@@ -1,0 +1,40 @@
+//! Criterion benchmark of the end-to-end link simulation — the unit of
+//! work behind every Monte-Carlo point of Figs. 2/6/7/8/9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use resilience_core::config::SystemConfig;
+use resilience_core::montecarlo::{build_buffer, StorageConfig};
+use resilience_core::simulator::LinkSimulator;
+
+fn bench_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link");
+    group.sample_size(10);
+    let cfg = SystemConfig::paper_64qam();
+    let sim = LinkSimulator::new(cfg);
+    let storages = [
+        ("ideal", StorageConfig::Perfect),
+        ("faulty10pct", StorageConfig::unprotected(0.10, cfg.llr_bits)),
+        ("hybrid4msb", StorageConfig::msb_protected(4, 0.10, cfg.llr_bits)),
+    ];
+    for (name, storage) in &storages {
+        for &snr in &[9.0f64, 18.0] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{snr}dB")),
+                &snr,
+                |b, &snr| {
+                    let mut buffer = build_buffer(&cfg, storage, 1);
+                    let mut rng = dsp::rng::seeded(2);
+                    b.iter(|| {
+                        black_box(sim.simulate_packet(black_box(snr), &mut buffer, &mut rng))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet);
+criterion_main!(benches);

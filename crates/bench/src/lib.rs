@@ -1,0 +1,75 @@
+//! Benchmark harness and figure regenerators.
+//!
+//! One binary per paper figure (`fig2`, `fig3`, `fig5`, `fig6a`, `fig6b`,
+//! `fig7`, `fig8`, `fig9`, `power_savings`), plus Criterion benches on the
+//! computational kernels and ablation studies on the design choices
+//! called out in `DESIGN.md`.
+//!
+//! Every binary accepts an optional `--packets N` argument to trade
+//! fidelity for runtime, and `--seed S` for independent replications.
+
+use resilience_core::experiments::ExperimentBudget;
+
+/// Parses `--packets N` and `--seed S` from command-line arguments into a
+/// budget, starting from [`ExperimentBudget::full`].
+///
+/// Unknown arguments are ignored so binaries can add their own flags.
+pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
+    let mut budget = ExperimentBudget::full();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--packets" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    budget.packets_per_point = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    budget.seed = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    budget
+}
+
+/// Standard banner for figure binaries.
+pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
+    format!(
+        "=== DAC'12 reproduction — {figure}: {what}\n=== packets/point = {}, seed = {:#x}\n",
+        budget.packets_per_point, budget.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_packets_and_seed() {
+        let args: Vec<String> = ["--packets", "12", "--seed", "99"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let b = budget_from_args(&args);
+        assert_eq!(b.packets_per_point, 12);
+        assert_eq!(b.seed, 99);
+    }
+
+    #[test]
+    fn ignores_unknown_args() {
+        let args: Vec<String> = ["--whatever", "--packets", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(budget_from_args(&args).packets_per_point, 3);
+    }
+
+    #[test]
+    fn banner_mentions_figure() {
+        let b = ExperimentBudget::smoke();
+        assert!(banner("fig6", "throughput", b).contains("fig6"));
+    }
+}

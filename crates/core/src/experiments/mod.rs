@@ -1,0 +1,79 @@
+//! Paper-figure experiments (Figs. 2–9 and the §6.3 power analysis).
+//!
+//! Each submodule regenerates one figure of the paper: it produces
+//! structured, serializable results plus a formatted table, and the
+//! `bench` crate exposes one binary per figure. Budgets are explicit so
+//! tests can run tiny versions of the same code paths the full
+//! regeneration uses.
+
+pub mod die_variation;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod power;
+pub mod soft_errors;
+
+use serde::{Deserialize, Serialize};
+
+/// Monte-Carlo effort knobs shared by all link-simulation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentBudget {
+    /// Packets simulated per (storage, SNR) operating point.
+    pub packets_per_point: usize,
+    /// Master seed; every point derives its own stream.
+    pub seed: u64,
+}
+
+impl ExperimentBudget {
+    /// Budget for the full figure regeneration (minutes of CPU).
+    pub fn full() -> Self {
+        Self {
+            packets_per_point: 60,
+            seed: 0xdac1_2012,
+        }
+    }
+
+    /// Tiny budget for integration tests (seconds of CPU).
+    pub fn smoke() -> Self {
+        Self {
+            packets_per_point: 6,
+            seed: 0xdac1_2012,
+        }
+    }
+}
+
+impl Default for ExperimentBudget {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The default SNR grid (dB) used by the throughput figures.
+pub fn snr_grid() -> Vec<f64> {
+    vec![0.0, 3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0, 27.0, 30.0]
+}
+
+/// The 3GPP normalized-throughput requirement the paper quotes for the
+/// 64QAM mode (0.53 at 18 dB).
+pub const THROUGHPUT_REQUIREMENT: (f64, f64) = (18.0, 0.53);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_ordered() {
+        assert!(ExperimentBudget::full().packets_per_point > ExperimentBudget::smoke().packets_per_point);
+    }
+
+    #[test]
+    fn snr_grid_covers_requirement_point() {
+        let grid = snr_grid();
+        assert!(grid.contains(&THROUGHPUT_REQUIREMENT.0));
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+}

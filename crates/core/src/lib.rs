@@ -1,0 +1,44 @@
+//! System-level fault simulator for wireless error resilience.
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! methodology that injects silicon-level faults (from the [`silicon`]
+//! substrate) into the HARQ LLR storage of a standard-compliant HSPA+
+//! link (from the [`hspa_phy`] substrate) and measures the system-level
+//! consequences — normalized throughput, average retransmission count,
+//! manufacturing yield and protection-scheme efficiency.
+//!
+//! The pieces:
+//!
+//! * [`buffer`] — LLR storage backends: quantized-but-perfect, faulty
+//!   (6T / hybrid 6T-8T arrays with fault maps), and SECDED-protected.
+//! * [`config`] — the simulated link configuration (block length,
+//!   modulation, code rate, HARQ budget, quantizer, channel).
+//! * [`simulator`] — one-packet link simulation: encode → rate-match →
+//!   interleave → modulate → fade+noise → MMSE equalize → demap →
+//!   *store in the (faulty) LLR memory* → combine → turbo decode → CRC.
+//! * [`montecarlo`] — seeded multi-packet Monte-Carlo runs.
+//! * [`experiments`] — one module per paper figure (Figs. 2–9), each
+//!   producing serializable series plus formatted tables.
+//! * [`report`] — plain-text table rendering shared by binaries.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use resilience_core::config::SystemConfig;
+//! use resilience_core::montecarlo::{run_point, StorageConfig};
+//!
+//! let cfg = SystemConfig::fast_test();
+//! let stats = run_point(&cfg, &StorageConfig::Perfect, 15.0, 20, 42);
+//! println!("throughput {:.2}", stats.normalized_throughput());
+//! ```
+
+pub mod buffer;
+pub mod config;
+pub mod experiments;
+pub mod montecarlo;
+pub mod report;
+pub mod simulator;
+
+pub use buffer::{EccLlrBuffer, FaultyLlrBuffer, QuantizedLlrBuffer, TransientLlrBuffer};
+pub use config::SystemConfig;
+pub use montecarlo::{run_point, DefectSpec, StorageConfig};

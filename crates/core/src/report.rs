@@ -1,0 +1,229 @@
+//! Plain-text tables and series for experiment output.
+//!
+//! Every figure regenerator prints its data through these helpers so the
+//! bench binaries produce uniform, diff-able output.
+
+use std::fmt::Write as _;
+
+/// A labelled (x, y) series — one curve of a paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. `"Nf=1%"`).
+    pub label: String,
+    /// X values (e.g. SNR in dB).
+    pub x: Vec<f64>,
+    /// Y values (e.g. normalized throughput).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series length mismatch");
+        Self {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+
+    /// Linear interpolation of y at `x0`; clamps outside the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty series.
+    pub fn interpolate(&self, x0: f64) -> f64 {
+        assert!(!self.x.is_empty(), "cannot interpolate an empty series");
+        if x0 <= self.x[0] {
+            return self.y[0];
+        }
+        for w in 0..self.x.len() - 1 {
+            let (xa, xb) = (self.x[w], self.x[w + 1]);
+            if x0 <= xb {
+                let t = (x0 - xa) / (xb - xa);
+                return self.y[w] + t * (self.y[w + 1] - self.y[w]);
+            }
+        }
+        *self.y.last().expect("non-empty")
+    }
+
+    /// First x at which the series crosses `level` upward, by linear
+    /// interpolation; `None` if it never does.
+    pub fn crossing(&self, level: f64) -> Option<f64> {
+        for w in 0..self.x.len().saturating_sub(1) {
+            let (ya, yb) = (self.y[w], self.y[w + 1]);
+            if ya < level && yb >= level {
+                let t = (level - ya) / (yb - ya);
+                return Some(self.x[w] + t * (self.x[w + 1] - self.x[w]));
+            }
+        }
+        if !self.y.is_empty() && self.y[0] >= level {
+            return Some(self.x[0]);
+        }
+        None
+    }
+}
+
+/// Renders a set of series sharing an x axis as one aligned table.
+///
+/// # Panics
+///
+/// Panics if the series have differing x axes.
+pub fn render_series_table(x_label: &str, series: &[Series]) -> String {
+    assert!(!series.is_empty(), "no series to render");
+    for s in series {
+        assert_eq!(s.x, series[0].x, "series must share the x axis");
+    }
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let mut rows = Vec::new();
+    for (i, &x) in series[0].x.iter().enumerate() {
+        let mut row = vec![format!("{x:.2}")];
+        row.extend(series.iter().map(|s| format!("{:.4}", s.y[i])));
+        rows.push(row);
+    }
+    render_table(&headers, &rows)
+}
+
+/// Renders an aligned ASCII table.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = w);
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, headers);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation() {
+        let s = Series::new("t", vec![0.0, 10.0], vec![0.0, 1.0]);
+        assert!((s.interpolate(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.interpolate(-5.0), 0.0);
+        assert_eq!(s.interpolate(20.0), 1.0);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let s = Series::new("t", vec![0.0, 10.0, 20.0], vec![0.1, 0.4, 0.9]);
+        let c = s.crossing(0.53).unwrap();
+        assert!(c > 10.0 && c < 20.0);
+        assert_eq!(s.crossing(0.95), None);
+        let hi = Series::new("t", vec![0.0, 1.0], vec![0.9, 0.95]);
+        assert_eq!(hi.crossing(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["snr".into(), "thr".into()],
+            &[vec!["1".into(), "0.5".into()], vec!["10".into(), "0.9".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("snr"));
+        assert!(lines[2].ends_with("0.5"));
+    }
+
+    #[test]
+    fn series_table() {
+        let a = Series::new("a", vec![1.0, 2.0], vec![0.1, 0.2]);
+        let b = Series::new("b", vec![1.0, 2.0], vec![0.3, 0.4]);
+        let t = render_series_table("x", &[a, b]);
+        assert!(t.contains("0.3000"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn interpolation_within_bounds(ys in proptest::collection::vec(0.0f64..1.0, 2..10),
+                                           t in 0.0f64..1.0) {
+                let n = ys.len();
+                let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let s = Series::new("p", xs, ys.clone());
+                let x0 = t * (n - 1) as f64;
+                let y = s.interpolate(x0);
+                let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12);
+            }
+
+            #[test]
+            fn interpolation_exact_at_knots(ys in proptest::collection::vec(-5.0f64..5.0, 2..8),
+                                            idx in 0usize..8) {
+                let n = ys.len();
+                let idx = idx % n;
+                let xs: Vec<f64> = (0..n).map(|i| i as f64 * 2.5).collect();
+                let s = Series::new("p", xs.clone(), ys.clone());
+                prop_assert!((s.interpolate(xs[idx]) - ys[idx]).abs() < 1e-12);
+            }
+
+            #[test]
+            fn crossing_is_consistent(ys in proptest::collection::vec(0.0f64..1.0, 2..10),
+                                      level in 0.05f64..0.95) {
+                let n = ys.len();
+                let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let s = Series::new("p", xs, ys);
+                if let Some(x) = s.crossing(level) {
+                    // At the reported crossing the interpolated value
+                    // matches the level (or the series starts above it).
+                    let y = s.interpolate(x);
+                    prop_assert!(y >= level - 1e-9 || x == 0.0);
+                }
+            }
+
+            #[test]
+            fn table_row_count(n in 1usize..20) {
+                let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let s = Series::new("p", xs.clone(), xs.clone());
+                let t = render_series_table("x", &[s]);
+                prop_assert_eq!(t.lines().count(), n + 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share the x axis")]
+    fn mismatched_axes_rejected() {
+        let a = Series::new("a", vec![1.0], vec![0.1]);
+        let b = Series::new("b", vec![2.0], vec![0.3]);
+        let _ = render_series_table("x", &[a, b]);
+    }
+}

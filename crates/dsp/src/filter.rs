@@ -1,0 +1,327 @@
+//! FIR filtering, convolution and root-raised-cosine pulse shaping.
+//!
+//! The HSPA+ transmitter shapes the chip stream with a root-raised-cosine
+//! (RRC) pulse (roll-off 0.22 in 3GPP), and the receiver applies the
+//! matched filter. This module provides the filter designer
+//! ([`rrc_taps`]), a streaming FIR filter over complex samples
+//! ([`FirFilter`]) and polyphase up/down-sampling helpers.
+
+use crate::complex::Complex64;
+
+/// A direct-form FIR filter with real taps operating on complex samples.
+///
+/// The filter keeps internal state so long signals can be processed in
+/// chunks; [`FirFilter::reset`] clears the delay line.
+///
+/// # Example
+///
+/// ```
+/// use dsp::filter::FirFilter;
+/// use dsp::Complex64;
+///
+/// // A two-tap averager.
+/// let mut f = FirFilter::new(vec![0.5, 0.5]);
+/// let y = f.process(&[Complex64::ONE, Complex64::ONE]);
+/// assert!((y[1].re - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    delay: Vec<Complex64>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Creates a filter from its impulse response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        let n = taps.len();
+        Self {
+            taps,
+            delay: vec![Complex64::ZERO; n],
+            pos: 0,
+        }
+    }
+
+    /// The filter's impulse response.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples for a symmetric (linear-phase) filter.
+    pub fn group_delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Clears the internal delay line.
+    pub fn reset(&mut self) {
+        self.delay.fill(Complex64::ZERO);
+        self.pos = 0;
+    }
+
+    /// Pushes one sample and returns one filtered output sample.
+    pub fn step(&mut self, x: Complex64) -> Complex64 {
+        let n = self.taps.len();
+        self.delay[self.pos] = x;
+        let mut acc = Complex64::ZERO;
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            acc += self.delay[idx].scale(t);
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filters a block of samples, preserving state across calls.
+    pub fn process(&mut self, input: &[Complex64]) -> Vec<Complex64> {
+        input.iter().map(|&x| self.step(x)).collect()
+    }
+}
+
+/// Full linear convolution of a complex signal with real taps.
+///
+/// Output length is `signal.len() + taps.len() - 1`. Stateless counterpart
+/// of [`FirFilter`] used by the channel model.
+pub fn convolve(signal: &[Complex64], taps: &[f64]) -> Vec<Complex64> {
+    if signal.is_empty() || taps.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Complex64::ZERO; signal.len() + taps.len() - 1];
+    for (i, &s) in signal.iter().enumerate() {
+        for (j, &t) in taps.iter().enumerate() {
+            out[i + j] += s.scale(t);
+        }
+    }
+    out
+}
+
+/// Full linear convolution of a complex signal with complex taps.
+pub fn convolve_complex(signal: &[Complex64], taps: &[Complex64]) -> Vec<Complex64> {
+    if signal.is_empty() || taps.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Complex64::ZERO; signal.len() + taps.len() - 1];
+    for (i, &s) in signal.iter().enumerate() {
+        for (j, &t) in taps.iter().enumerate() {
+            out[i + j] += s * t;
+        }
+    }
+    out
+}
+
+/// Designs a root-raised-cosine pulse.
+///
+/// * `rolloff` — excess-bandwidth factor β (3GPP uses 0.22).
+/// * `span` — filter length in symbol periods (total taps = `span·sps + 1`).
+/// * `sps` — samples per symbol (oversampling factor).
+///
+/// The taps are normalized to unit energy so that a matched-filter pair has
+/// unit gain at the optimum sampling instant.
+///
+/// # Panics
+///
+/// Panics if `rolloff` is outside `(0, 1]`, or `span`/`sps` is zero.
+///
+/// # Example
+///
+/// ```
+/// use dsp::filter::rrc_taps;
+/// let taps = rrc_taps(0.22, 6, 4);
+/// assert_eq!(taps.len(), 25);
+/// let energy: f64 = taps.iter().map(|t| t * t).sum();
+/// assert!((energy - 1.0).abs() < 1e-9);
+/// ```
+pub fn rrc_taps(rolloff: f64, span: usize, sps: usize) -> Vec<f64> {
+    assert!(rolloff > 0.0 && rolloff <= 1.0, "rolloff must be in (0, 1]");
+    assert!(span > 0 && sps > 0, "span and sps must be positive");
+    let n = span * sps + 1;
+    let half = (n - 1) as f64 / 2.0;
+    let mut taps = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = (i as f64 - half) / sps as f64; // time in symbol periods
+        taps.push(rrc_impulse(t, rolloff));
+    }
+    let energy: f64 = taps.iter().map(|t| t * t).sum();
+    let norm = energy.sqrt();
+    for t in &mut taps {
+        *t /= norm;
+    }
+    taps
+}
+
+/// RRC impulse response value at time `t` (in symbol periods).
+fn rrc_impulse(t: f64, beta: f64) -> f64 {
+    use std::f64::consts::PI;
+    let eps = 1e-9;
+    if t.abs() < eps {
+        return 1.0 - beta + 4.0 * beta / PI;
+    }
+    let quarter = 1.0 / (4.0 * beta);
+    if (t.abs() - quarter).abs() < eps {
+        let a = (PI / (4.0 * beta)).sin() * (1.0 + 2.0 / PI);
+        let b = (PI / (4.0 * beta)).cos() * (1.0 - 2.0 / PI);
+        return beta / std::f64::consts::SQRT_2 * (a + b);
+    }
+    let num = (PI * t * (1.0 - beta)).sin() + 4.0 * beta * t * (PI * t * (1.0 + beta)).cos();
+    let den = PI * t * (1.0 - (4.0 * beta * t) * (4.0 * beta * t));
+    num / den
+}
+
+/// Inserts `factor - 1` zeros between consecutive samples (zero-stuffing).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn upsample(signal: &[Complex64], factor: usize) -> Vec<Complex64> {
+    assert!(factor > 0, "upsampling factor must be positive");
+    let mut out = vec![Complex64::ZERO; signal.len() * factor];
+    for (i, &s) in signal.iter().enumerate() {
+        out[i * factor] = s;
+    }
+    out
+}
+
+/// Keeps every `factor`-th sample starting at `offset`.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn downsample(signal: &[Complex64], factor: usize, offset: usize) -> Vec<Complex64> {
+    assert!(factor > 0, "downsampling factor must be positive");
+    signal.iter().skip(offset).step_by(factor).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fir_impulse_response_is_taps() {
+        let taps = vec![1.0, -2.0, 3.0];
+        let mut f = FirFilter::new(taps.clone());
+        let mut input = vec![Complex64::ZERO; 3];
+        input[0] = Complex64::ONE;
+        let y = f.process(&input);
+        for (yi, ti) in y.iter().zip(&taps) {
+            assert!((yi.re - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fir_state_persists_across_blocks() {
+        let taps = vec![0.25; 4];
+        let mut chunked = FirFilter::new(taps.clone());
+        let mut whole = FirFilter::new(taps);
+        let sig: Vec<Complex64> = (0..16).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let mut a = chunked.process(&sig[..7]);
+        a.extend(chunked.process(&sig[7..]));
+        let b = whole.process(&sig);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fir_reset_clears_state() {
+        let mut f = FirFilter::new(vec![1.0, 1.0]);
+        f.step(Complex64::ONE);
+        f.reset();
+        let y = f.step(Complex64::ZERO);
+        assert_eq!(y, Complex64::ZERO);
+    }
+
+    #[test]
+    fn convolution_length_and_identity() {
+        let sig = vec![Complex64::ONE, Complex64::I];
+        let y = convolve(&sig, &[1.0]);
+        assert_eq!(y.len(), 2);
+        assert_eq!(y[1], Complex64::I);
+    }
+
+    #[test]
+    fn convolve_complex_matches_real_for_real_taps() {
+        let sig: Vec<Complex64> = (0..5).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let rt = [0.5, -1.5, 2.0];
+        let ct: Vec<Complex64> = rt.iter().map(|&t| Complex64::from_re(t)).collect();
+        let a = convolve(&sig, &rt);
+        let b = convolve_complex(&sig, &ct);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rrc_is_symmetric_unit_energy() {
+        let taps = rrc_taps(0.22, 8, 4);
+        let n = taps.len();
+        for i in 0..n / 2 {
+            assert!((taps[i] - taps[n - 1 - i]).abs() < 1e-12, "tap {i} asymmetric");
+        }
+        let e: f64 = taps.iter().map(|t| t * t).sum();
+        assert!((e - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matched_rrc_pair_is_nyquist() {
+        // The cascade RRC*RRC (a raised cosine) must have (near-)zero ISI at
+        // symbol-spaced offsets around the peak.
+        let sps = 4;
+        let taps = rrc_taps(0.22, 10, sps);
+        let ctaps: Vec<Complex64> = taps.iter().map(|&t| Complex64::from_re(t)).collect();
+        let rc = convolve_complex(&ctaps, &ctaps);
+        let peak_idx = rc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm().partial_cmp(&b.1.norm()).unwrap())
+            .unwrap()
+            .0;
+        let peak = rc[peak_idx].norm();
+        assert!((peak - 1.0).abs() < 1e-3);
+        for k in 1..5 {
+            let isi = rc[peak_idx + k * sps].norm();
+            assert!(isi < 0.01 * peak, "ISI at offset {k}: {isi}");
+        }
+    }
+
+    #[test]
+    fn upsample_downsample_roundtrip() {
+        let sig: Vec<Complex64> = (0..7).map(|i| Complex64::new(i as f64, 0.5)).collect();
+        let up = upsample(&sig, 3);
+        assert_eq!(up.len(), 21);
+        let down = downsample(&up, 3, 0);
+        assert_eq!(down, sig);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        let _ = FirFilter::new(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn convolution_is_commutative_in_length(a in 1usize..8, b in 1usize..8) {
+            let sig = vec![Complex64::ONE; a];
+            let taps = vec![1.0; b];
+            prop_assert_eq!(convolve(&sig, &taps).len(), a + b - 1);
+        }
+
+        #[test]
+        fn convolution_is_linear(scale in -3.0f64..3.0) {
+            let sig: Vec<Complex64> = (0..6).map(|i| Complex64::new(i as f64, -1.0)).collect();
+            let scaled: Vec<Complex64> = sig.iter().map(|&s| s.scale(scale)).collect();
+            let taps = [0.3, -0.7, 1.1];
+            let y1 = convolve(&scaled, &taps);
+            let y2: Vec<Complex64> = convolve(&sig, &taps).iter().map(|&y| y.scale(scale)).collect();
+            for (x, y) in y1.iter().zip(&y2) {
+                prop_assert!((*x - *y).norm() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Signal-processing substrate for the DAC'12 error-resilience reproduction.
+//!
+//! This crate provides the numeric foundations used by the HSPA+ physical
+//! layer (`hspa-phy`) and the system-level fault simulator: complex
+//! arithmetic ([`Complex64`]), fixed-point LLR quantization ([`fixed`]),
+//! FIR/root-raised-cosine filtering ([`filter`]), pseudo-noise sequence
+//! generation ([`sequences`]), dense complex linear algebra ([`linalg`])
+//! and statistics helpers ([`stats`]).
+//!
+//! Everything is implemented from scratch on top of `std` (plus `rand` for
+//! seeded randomness) so the workspace has no numeric dependencies outside
+//! the offline allowlist.
+//!
+//! # Example
+//!
+//! ```
+//! use dsp::{Complex64, stats::db_to_linear};
+//!
+//! let x = Complex64::new(1.0, -2.0);
+//! assert!((x.norm_sqr() - 5.0).abs() < 1e-12);
+//! assert!((db_to_linear(3.0) - 1.995).abs() < 1e-2);
+//! ```
+
+pub mod complex;
+pub mod filter;
+pub mod fixed;
+pub mod linalg;
+pub mod rng;
+pub mod sequences;
+pub mod stats;
+
+pub use complex::Complex64;
+pub use fixed::{LlrFormat, LlrQuantizer};
+pub use linalg::CMatrix;

@@ -1,0 +1,418 @@
+//! Dense complex linear algebra for the MMSE equalizer.
+//!
+//! The linear MMSE equalizer solves `(HᴴH + σ²I) w = Hᴴ e_d` for each
+//! channel realization. Filter lengths are small (tens of taps), so a
+//! dense Hermitian Cholesky factorization is the right tool; no external
+//! linear-algebra crate is required.
+
+use std::fmt;
+
+use crate::complex::Complex64;
+
+/// Error returned when a factorization or solve fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not positive definite (a pivot was ≤ 0 or non-finite).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// Operand dimensions do not match.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::DimensionMismatch { what } => {
+                write!(f, "dimension mismatch: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense, row-major complex matrix.
+///
+/// # Example
+///
+/// ```
+/// use dsp::{CMatrix, Complex64};
+///
+/// let eye = CMatrix::identity(3);
+/// let b = vec![Complex64::ONE; 3];
+/// let x = eye.solve_hermitian(&b)?;
+/// assert!((x[0] - Complex64::ONE).norm() < 1e-12);
+/// # Ok::<(), dsp::linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Conjugate transpose `Aᴴ`.
+    pub fn hermitian(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner dimensions
+    /// differ.
+    pub fn mul(&self, rhs: &CMatrix) -> Result<CMatrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                what: "matrix product inner dimensions",
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                what: "matrix-vector product",
+            });
+        }
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for c in 0..self.cols {
+                acc += self[(r, c)] * v[c];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Adds `sigma` to every diagonal entry (diagonal loading, `A + σI`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, sigma: f64) {
+        assert_eq!(self.rows, self.cols, "diagonal loading needs a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += Complex64::from_re(sigma);
+        }
+    }
+
+    /// Cholesky factorization `A = L·Lᴴ` of a Hermitian positive-definite
+    /// matrix; returns the lower-triangular factor.
+    ///
+    /// Only the lower triangle of `self` is read.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive, and
+    /// [`LinalgError::DimensionMismatch`] if the matrix is not square.
+    pub fn cholesky(&self) -> Result<CMatrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                what: "cholesky needs a square matrix",
+            });
+        }
+        let n = self.rows;
+        let mut l = CMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = self[(j, j)].re;
+            for k in 0..j {
+                diag -= l[(j, k)].norm_sqr();
+            }
+            if !(diag.is_finite() && diag > 0.0) {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = diag.sqrt();
+            l[(j, j)] = Complex64::from_re(dj);
+            for i in j + 1..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)].conj();
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A x = b` for Hermitian positive-definite `A` via Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CMatrix::cholesky`] errors, plus a dimension mismatch
+    /// if `b.len()` differs from the matrix order.
+    pub fn solve_hermitian(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                what: "right-hand side length",
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward substitution: L y = b
+        let mut y = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Backward substitution: Lᴴ x = y
+        let mut x = vec![Complex64::ZERO; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= l[(k, i)].conj() * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Builds the banded convolution (Toeplitz) matrix of a channel impulse
+/// response: `y = H s` where `H` has `rows` rows and `rows + taps - 1`
+/// columns... truncated to a square window used by the FIR MMSE design.
+///
+/// `H[(i, j)] = h[i - j]` for `0 ≤ i - j < taps`, with `rows` rows and
+/// `cols` columns.
+pub fn toeplitz_channel(h: &[Complex64], rows: usize, cols: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            if i >= j {
+                let d = i - j;
+                if d < h.len() {
+                    m[(i, j)] = h[d];
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-9
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let m = CMatrix::identity(4);
+        let b: Vec<Complex64> = (0..4).map(|i| Complex64::new(i as f64, -1.0)).collect();
+        let x = m.solve_hermitian(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!(approx(*xi, *bi));
+        }
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2i], [-2i, 3]] is Hermitian PD.
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::new(4.0, 0.0),
+                Complex64::new(0.0, 2.0),
+                Complex64::new(0.0, -2.0),
+                Complex64::new(3.0, 0.0),
+            ],
+        );
+        let l = a.cholesky().unwrap();
+        let rec = l.mul(&l.hermitian()).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx(rec[(r, c)], a[(r, c)]), "entry ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_manual_inverse() {
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::new(2.0, 0.0),
+                Complex64::new(0.5, 0.5),
+                Complex64::new(0.5, -0.5),
+                Complex64::new(1.0, 0.0),
+            ],
+        );
+        let b = vec![Complex64::ONE, Complex64::I];
+        let x = a.solve_hermitian(&b).unwrap();
+        let back = a.mul_vec(&x).unwrap();
+        for (bi, yi) in b.iter().zip(&back) {
+            assert!(approx(*bi, *yi));
+        }
+    }
+
+    #[test]
+    fn non_pd_matrix_rejected() {
+        let mut a = CMatrix::identity(2);
+        a[(0, 0)] = Complex64::from_re(-1.0);
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        assert!(a.mul(&b).is_err());
+        assert!(a.mul_vec(&[Complex64::ZERO; 2]).is_err());
+        let sq = CMatrix::identity(3);
+        assert!(sq.solve_hermitian(&[Complex64::ZERO; 2]).is_err());
+    }
+
+    #[test]
+    fn hermitian_transpose_involutive() {
+        let a = CMatrix::from_rows(
+            2,
+            3,
+            (0..6).map(|i| Complex64::new(i as f64, -(i as f64))).collect(),
+        );
+        let back = a.hermitian().hermitian();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn toeplitz_layout() {
+        let h = [Complex64::from_re(1.0), Complex64::from_re(0.5)];
+        let m = toeplitz_channel(&h, 3, 3);
+        assert!(approx(m[(0, 0)], Complex64::from_re(1.0)));
+        assert!(approx(m[(1, 0)], Complex64::from_re(0.5)));
+        assert!(approx(m[(2, 0)], Complex64::ZERO));
+        assert!(approx(m[(2, 1)], Complex64::from_re(0.5)));
+        assert!(approx(m[(0, 1)], Complex64::ZERO));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+
+    proptest! {
+        #[test]
+        fn gram_matrix_solve_roundtrip(seed in 0u64..500) {
+            // Build A = GᴴG + I (always Hermitian PD) from pseudo-random G.
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 4;
+            let g = CMatrix::from_rows(n, n,
+                (0..n * n).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect());
+            let mut a = g.hermitian().mul(&g).unwrap();
+            a.add_diagonal(1.0);
+            let b: Vec<Complex64> =
+                (0..n).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let x = a.solve_hermitian(&b).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            for (bi, yi) in b.iter().zip(&back) {
+                prop_assert!((*bi - *yi).norm() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Seeded randomness helpers for reproducible Monte-Carlo simulation.
+//!
+//! All stochastic components in the workspace (noise, fading, data bits,
+//! fault locations) draw from explicitly seeded generators so every
+//! experiment is bit-reproducible. `rand 0.8` does not ship a Gaussian
+//! distribution without `rand_distr`, so a Box–Muller sampler lives here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::complex::Complex64;
+
+/// Creates a deterministic [`StdRng`] from a 64-bit seed.
+///
+/// ```
+/// use dsp::rng::seeded;
+/// use rand::RngCore;
+/// assert_eq!(seeded(7).next_u64(), seeded(7).next_u64());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Used to give independent, reproducible streams to parallel Monte-Carlo
+/// workers (SplitMix64 finalizer — good avalanche, cheap).
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a circularly-symmetric complex Gaussian with total variance
+/// `variance` (i.e. `variance/2` per real dimension).
+///
+/// This is the additive-noise primitive of every channel model.
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Complex64 {
+    let sigma = (variance / 2.0).sqrt();
+    Complex64::new(sigma * standard_normal(rng), sigma * standard_normal(rng))
+}
+
+/// Fills a vector with `n` iid complex Gaussian samples of total variance
+/// `variance`.
+pub fn complex_gaussian_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, variance: f64) -> Vec<Complex64> {
+    (0..n).map(|_| complex_gaussian(rng, variance)).collect()
+}
+
+/// Generates `n` uniformly random bits.
+pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> Vec<u8> {
+    (0..n).map(|_| (rng.next_u32() & 1) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = seeded(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = seeded(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_stream() {
+        let s: Vec<u64> = (0..16).map(|i| derive_seed(1, i)).collect();
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "stream seeds must be distinct");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn complex_gaussian_variance_split() {
+        let mut rng = seeded(11);
+        let n = 100_000;
+        let v = 4.0;
+        let samples = complex_gaussian_vec(&mut rng, n, v);
+        let energy = samples.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((energy - v).abs() < 0.1, "energy {energy}");
+        let re_var = samples.iter().map(|z| z.re * z.re).sum::<f64>() / n as f64;
+        assert!((re_var - v / 2.0).abs() < 0.1, "re variance {re_var}");
+    }
+
+    #[test]
+    fn random_bits_are_binary_and_balanced() {
+        let mut rng = seeded(3);
+        let bits = random_bits(&mut rng, 20_000);
+        assert!(bits.iter().all(|&b| b <= 1));
+        let ones = bits.iter().map(|&b| b as usize).sum::<usize>();
+        let frac = ones as f64 / bits.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "bit bias {frac}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Pseudo-noise sequence generators.
+//!
+//! The HSPA+ downlink scrambles each chip stream with a complex Gold-code
+//! sequence built from two length-18 LFSRs (3GPP TS 25.213 §5.2.2). This
+//! module provides a generic Fibonacci [`Lfsr`] and the standard-compliant
+//! [`GoldSequence`] on top of it.
+
+/// A Fibonacci linear-feedback shift register over GF(2).
+///
+/// Bit 0 of `state` is the output end; `taps` lists the feedback tap
+/// positions (0-based, position `k` meaning state bit `k`).
+///
+/// # Example
+///
+/// ```
+/// use dsp::sequences::Lfsr;
+///
+/// // x^3 + x + 1, maximal length 7.
+/// let mut l = Lfsr::new(3, &[2, 0], 0b001);
+/// let seq: Vec<u8> = (0..7).map(|_| l.next_bit()).collect();
+/// assert_eq!(seq.iter().filter(|&&b| b == 1).count(), 4); // balance property
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    len: u32,
+    taps: Vec<u32>,
+    state: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `len` bits with the given feedback taps and a
+    /// non-zero initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or > 31, any tap is out of range, or the
+    /// initial state (masked to `len` bits) is zero.
+    pub fn new(len: u32, taps: &[u32], init: u32) -> Self {
+        assert!((1..=31).contains(&len), "LFSR length must be in 1..=31");
+        assert!(taps.iter().all(|&t| t < len), "tap position out of range");
+        let mask = (1u32 << len) - 1;
+        let state = init & mask;
+        assert!(state != 0, "LFSR state must be non-zero");
+        Self {
+            len,
+            taps: taps.to_vec(),
+            state,
+        }
+    }
+
+    /// Current register contents (low `len` bits).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Outputs the next bit and advances the register.
+    pub fn next_bit(&mut self) -> u8 {
+        let out = (self.state & 1) as u8;
+        let mut fb = 0u32;
+        for &t in &self.taps {
+            fb ^= (self.state >> t) & 1;
+        }
+        self.state >>= 1;
+        self.state |= fb << (self.len - 1);
+        out
+    }
+
+    /// Generates `n` bits.
+    pub fn bits(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+}
+
+/// The 3GPP downlink scrambling Gold sequence (TS 25.213).
+///
+/// Two degree-18 LFSRs with polynomials `x¹⁸ + x⁷ + 1` and
+/// `x¹⁸ + x¹⁰ + x⁷ + x⁵ + 1`; the X register is initialized to `1` and
+/// advanced by the scrambling-code number `n`, the Y register to all ones.
+/// [`GoldSequence::next_chip`] returns the binary I-branch chip; the
+/// complex scrambling chip used by the PHY is formed in `hspa-phy`.
+#[derive(Debug, Clone)]
+pub struct GoldSequence {
+    x: Lfsr,
+    y: Lfsr,
+}
+
+impl GoldSequence {
+    /// Degree of the component LFSRs.
+    pub const DEGREE: u32 = 18;
+
+    /// Creates the Gold generator for scrambling-code number `code`.
+    pub fn new(code: u32) -> Self {
+        // X: x^18 + x^7 + 1 → taps at state bits 0 and 7 (Fibonacci form).
+        let mut x = Lfsr::new(Self::DEGREE, &[7, 0], 1);
+        // Advance X by `code` steps to select the code (3GPP construction).
+        for _ in 0..code {
+            x.next_bit();
+        }
+        // If advancing zeroed nothing (state always non-zero for m-sequence).
+        // Y: x^18 + x^10 + x^7 + x^5 + 1 → taps at bits 0, 5, 7, 10.
+        let y = Lfsr::new(Self::DEGREE, &[10, 7, 5, 0], (1 << Self::DEGREE) - 1);
+        Self { x, y }
+    }
+
+    /// Next binary Gold chip (X ⊕ Y).
+    pub fn next_chip(&mut self) -> u8 {
+        self.x.next_bit() ^ self.y.next_bit()
+    }
+
+    /// Generates `n` binary chips.
+    pub fn chips(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_chip()).collect()
+    }
+}
+
+/// Normalized autocorrelation of a ±1-mapped binary sequence at `lag`.
+///
+/// Used in tests to check the noise-like property of scrambling sequences.
+pub fn binary_autocorrelation(bits: &[u8], lag: usize) -> f64 {
+    assert!(lag < bits.len(), "lag must be smaller than the sequence");
+    let n = bits.len() - lag;
+    let mut acc = 0i64;
+    for i in 0..n {
+        let a = 1 - 2 * bits[i] as i64;
+        let b = 1 - 2 * bits[i + lag] as i64;
+        acc += a * b;
+    }
+    acc as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lfsr_is_maximal_length_deg3() {
+        let mut l = Lfsr::new(3, &[2, 0], 0b001);
+        let mut states = vec![l.state()];
+        for _ in 0..6 {
+            l.next_bit();
+            states.push(l.state());
+        }
+        states.sort_unstable();
+        states.dedup();
+        assert_eq!(states.len(), 7, "degree-3 m-sequence must visit all 7 states");
+        l.next_bit();
+        assert_eq!(l.state(), 0b001, "period must be 7");
+    }
+
+    #[test]
+    fn lfsr_x18_period_is_maximal_prefix_distinct() {
+        // Full period is 2^18-1; just check a long prefix never hits zero
+        // and revisits the initial state only at the right time for a
+        // shorter degree-7 register where it is cheap.
+        let mut l = Lfsr::new(7, &[6, 0], 1); // x^7 + x + 1 is primitive
+        let start = l.state();
+        let mut period = 0usize;
+        loop {
+            l.next_bit();
+            period += 1;
+            assert_ne!(l.state(), 0);
+            if l.state() == start {
+                break;
+            }
+        }
+        assert_eq!(period, 127);
+    }
+
+    #[test]
+    fn gold_sequences_differ_by_code() {
+        let a = GoldSequence::new(0).chips(256);
+        let b = GoldSequence::new(5).chips(256);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gold_sequence_is_deterministic() {
+        assert_eq!(GoldSequence::new(3).chips(128), GoldSequence::new(3).chips(128));
+    }
+
+    #[test]
+    fn gold_sequence_is_balanced() {
+        let chips = GoldSequence::new(1).chips(20_000);
+        let ones = chips.iter().map(|&c| c as usize).sum::<usize>();
+        let frac = ones as f64 / chips.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "chip bias {frac}");
+    }
+
+    #[test]
+    fn gold_autocorrelation_is_spiky() {
+        let chips = GoldSequence::new(1).chips(8192);
+        assert!((binary_autocorrelation(&chips, 0) - 1.0).abs() < 1e-12);
+        for lag in [1, 7, 63, 500] {
+            assert!(
+                binary_autocorrelation(&chips, lag).abs() < 0.05,
+                "lag {lag} correlation too high"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        let _ = Lfsr::new(4, &[3, 0], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn lfsr_never_reaches_zero(init in 1u32..127, steps in 1usize..300) {
+            let mut l = Lfsr::new(7, &[6, 0], init);
+            for _ in 0..steps {
+                l.next_bit();
+                prop_assert_ne!(l.state(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Statistics and unit-conversion helpers.
+//!
+//! Provides dB conversions, an `erfc`/Q-function implementation (needed for
+//! theoretical BER references in tests), simple descriptive statistics and
+//! a Wilson confidence interval for Monte-Carlo error-rate estimates.
+
+/// Converts a ratio in decibels to linear scale.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear ratio to decibels.
+///
+/// Returns `-inf` for `x == 0`.
+#[inline]
+pub fn linear_to_db(x: f64) -> f64 {
+    10.0 * x.log10()
+}
+
+/// Complementary error function `erfc(x)`.
+///
+/// Uses the Numerical-Recipes rational Chebyshev approximation, accurate to
+/// about `1.2e-7` relative error — ample for BER reference curves.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Gaussian tail probability `Q(x) = P(N(0,1) > x)`.
+#[inline]
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Theoretical BPSK bit-error rate over AWGN at the given `Eb/N0` (linear).
+///
+/// Used as a reference curve when validating the simulated chain.
+#[inline]
+pub fn bpsk_ber_awgn(ebn0_linear: f64) -> f64 {
+    q_function((2.0 * ebn0_linear).sqrt())
+}
+
+/// Sample mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` at approximately the given z-score (1.96 ≈ 95 %).
+/// Well-behaved even when `successes` is 0 or `trials`, unlike the normal
+/// approximation — important for rare-event BLER estimates.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Running tally of bit/block error counting for Monte-Carlo loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorCounter {
+    /// Number of errored items observed.
+    pub errors: u64,
+    /// Total items observed.
+    pub total: u64,
+}
+
+impl ErrorCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `errors` errored items out of `total`.
+    pub fn record(&mut self, errors: u64, total: u64) {
+        self.errors += errors;
+        self.total += total;
+    }
+
+    /// Observed error rate; `0.0` before any item is recorded.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+
+    /// 95 % Wilson confidence interval of the rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been recorded yet.
+    pub fn confidence95(&self) -> (f64, f64) {
+        wilson_interval(self.errors, self.total, 1.96)
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &ErrorCounter) {
+        self.errors += other.errors;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-20.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+    }
+
+    #[test]
+    fn q_function_symmetry() {
+        for x in [0.3, 1.0, 2.2] {
+            assert!((q_function(x) + q_function(-x) - 1.0).abs() < 1e-7);
+        }
+        assert!((q_function(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bpsk_ber_reference_point() {
+        // At Eb/N0 = 9.6 dB, BPSK BER ≈ 1e-5.
+        let ber = bpsk_ber_awgn(db_to_linear(9.6));
+        assert!(ber > 3e-6 && ber < 3e-5, "ber {ber}");
+    }
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn wilson_contains_p_hat() {
+        let (lo, hi) = wilson_interval(10, 100, 1.96);
+        assert!(lo < 0.1 && 0.1 < hi);
+        let (lo0, _) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo0, 0.0);
+        let (_, hi1) = wilson_interval(50, 50, 1.96);
+        assert_eq!(hi1, 1.0);
+    }
+
+    #[test]
+    fn error_counter_merge() {
+        let mut a = ErrorCounter::new();
+        a.record(2, 10);
+        let mut b = ErrorCounter::new();
+        b.record(3, 10);
+        a.merge(&b);
+        assert_eq!(a.errors, 5);
+        assert!((a.rate() - 0.25).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn wilson_is_ordered(s in 0u64..100, extra in 1u64..100) {
+            let n = s + extra;
+            let (lo, hi) = wilson_interval(s, n, 1.96);
+            prop_assert!(lo <= hi);
+            prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+
+        #[test]
+        fn q_is_monotone_decreasing(a in -4.0f64..4.0, d in 0.01f64..2.0) {
+            prop_assert!(q_function(a) > q_function(a + d));
+        }
+    }
+}

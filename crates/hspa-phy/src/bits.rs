@@ -1,0 +1,119 @@
+//! Bit-vector helpers shared by the PHY blocks.
+//!
+//! Bits are represented as `u8` values restricted to `{0, 1}` in plain
+//! `Vec<u8>`s — simple, debuggable, and fast enough for link simulation.
+
+/// Validates that a slice contains only binary values.
+///
+/// # Panics
+///
+/// Panics when any element is not 0 or 1.
+pub fn assert_binary(bits: &[u8]) {
+    assert!(
+        bits.iter().all(|&b| b <= 1),
+        "bit vector contains non-binary values"
+    );
+}
+
+/// XOR of two equal-length bit slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x ^ y).collect()
+}
+
+/// Number of positions where the slices disagree.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance length mismatch");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Packs up to 32 bits (MSB first) into a `u32`.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 32` or a value is non-binary.
+pub fn pack_msb_first(bits: &[u8]) -> u32 {
+    assert!(bits.len() <= 32, "cannot pack more than 32 bits");
+    assert_binary(bits);
+    bits.iter().fold(0u32, |acc, &b| (acc << 1) | b as u32)
+}
+
+/// Unpacks `n` bits (MSB first) from a `u32`.
+pub fn unpack_msb_first(value: u32, n: usize) -> Vec<u8> {
+    assert!(n <= 32, "cannot unpack more than 32 bits");
+    (0..n)
+        .rev()
+        .map(|i| ((value >> i) & 1) as u8)
+        .collect()
+}
+
+/// Maps a bit to the BPSK-style antipodal value: bit 0 → `+1.0`,
+/// bit 1 → `-1.0` (matching the crate's LLR sign convention).
+#[inline]
+pub fn to_antipodal(bit: u8) -> f64 {
+    1.0 - 2.0 * bit as f64
+}
+
+/// Hard decision on an LLR: positive → bit 0.
+#[inline]
+pub fn hard_decision(llr: f64) -> u8 {
+    if llr >= 0.0 {
+        0
+    } else {
+        1
+    }
+}
+
+/// Hard decisions over a slice of LLRs.
+pub fn hard_decisions(llrs: &[f64]) -> Vec<u8> {
+    llrs.iter().map(|&l| hard_decision(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let v = pack_msb_first(&bits);
+        assert_eq!(v, 0b1011_0010);
+        assert_eq!(unpack_msb_first(v, 8), bits);
+    }
+
+    #[test]
+    fn xor_and_distance() {
+        let a = [1, 0, 1, 1];
+        let b = [1, 1, 0, 1];
+        assert_eq!(xor(&a, &b), vec![0, 1, 1, 0]);
+        assert_eq!(hamming_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn antipodal_convention() {
+        assert_eq!(to_antipodal(0), 1.0);
+        assert_eq!(to_antipodal(1), -1.0);
+        assert_eq!(hard_decision(2.5), 0);
+        assert_eq!(hard_decision(-0.1), 1);
+        assert_eq!(hard_decision(0.0), 0);
+    }
+
+    #[test]
+    fn hard_decisions_vector() {
+        assert_eq!(hard_decisions(&[1.0, -1.0, 0.5]), vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-binary")]
+    fn non_binary_rejected() {
+        assert_binary(&[0, 1, 2]);
+    }
+}

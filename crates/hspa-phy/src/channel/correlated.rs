@@ -1,0 +1,203 @@
+//! Time-correlated Rayleigh fading (Jakes sum-of-sinusoids).
+//!
+//! The block-fading models draw independent channel realizations per
+//! transmission — appropriate when the HARQ round trip exceeds the
+//! coherence time. At low terminal speeds consecutive retransmissions
+//! see *correlated* fades, which weakens HARQ's time diversity. This
+//! module provides a Jakes-spectrum tap process so that effect can be
+//! studied: the `quickstart`-level API matches [`super::ChannelModel`],
+//! but successive `realize` calls advance an internal clock instead of
+//! redrawing.
+
+use std::sync::Mutex;
+
+use dsp::stats::db_to_linear;
+use dsp::Complex64;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{ChannelModel, ChannelRealization};
+
+/// One Jakes sum-of-sinusoids fading process (a single tap).
+#[derive(Debug, Clone)]
+struct JakesProcess {
+    /// Per-oscillator angular Doppler (rad per unit time).
+    omegas: Vec<f64>,
+    /// Per-oscillator initial phases.
+    phases: Vec<f64>,
+    /// Mean power of the tap.
+    power: f64,
+}
+
+impl JakesProcess {
+    fn new(power: f64, doppler: f64, n_osc: usize, rng: &mut StdRng) -> Self {
+        use std::f64::consts::PI;
+        let omegas = (0..n_osc)
+            .map(|k| {
+                // Arrival angles spread over the circle with random jitter.
+                let alpha = 2.0 * PI * (k as f64 + rng.gen::<f64>()) / n_osc as f64;
+                2.0 * PI * doppler * alpha.cos()
+            })
+            .collect();
+        let phases = (0..n_osc).map(|_| rng.gen::<f64>() * 2.0 * PI).collect();
+        Self {
+            omegas,
+            phases,
+            power,
+        }
+    }
+
+    fn sample(&self, t: f64) -> Complex64 {
+        let n = self.omegas.len() as f64;
+        let mut acc = Complex64::ZERO;
+        for (&w, &p) in self.omegas.iter().zip(&self.phases) {
+            acc += Complex64::from_polar(1.0, w * t + p);
+        }
+        acc.scale((self.power / n).sqrt())
+    }
+}
+
+/// A time-correlated multipath channel: each `realize` advances time by
+/// one HARQ round trip, so successive transmissions of the same packet
+/// see correlated (not independent) fades.
+///
+/// # Example
+///
+/// ```
+/// use hspa_phy::channel::{ChannelModel, CorrelatedFadingChannel};
+/// use dsp::rng::seeded;
+///
+/// let ch = CorrelatedFadingChannel::new(&[1.0], 0.01, 6);
+/// let mut rng = seeded(1);
+/// let a = ch.realize(10.0, &mut rng);
+/// let b = ch.realize(10.0, &mut rng);
+/// // Slow fading: consecutive realizations are similar.
+/// assert!((a.taps[0] - b.taps[0]).norm() < 0.5);
+/// ```
+#[derive(Debug)]
+pub struct CorrelatedFadingChannel {
+    taps: Vec<JakesProcess>,
+    /// Normalized Doppler per HARQ round trip (f_d · T_rtt).
+    step: f64,
+    clock: Mutex<f64>,
+}
+
+impl CorrelatedFadingChannel {
+    /// Creates the channel from a power profile (will be normalized),
+    /// a normalized Doppler-per-round-trip `doppler_step`, and a
+    /// generator seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty or all-zero, or `doppler_step` is
+    /// not positive and finite.
+    pub fn new(power_profile: &[f64], doppler_step: f64, seed: u64) -> Self {
+        assert!(!power_profile.is_empty(), "need at least one tap");
+        assert!(
+            doppler_step.is_finite() && doppler_step > 0.0,
+            "doppler step must be positive"
+        );
+        let total: f64 = power_profile.iter().sum();
+        assert!(total > 0.0, "profile must carry energy");
+        let mut rng = dsp::rng::seeded(seed);
+        let taps = power_profile
+            .iter()
+            .map(|&p| JakesProcess::new(p / total, 1.0, 16, &mut rng))
+            .collect();
+        Self {
+            taps,
+            step: doppler_step,
+            clock: Mutex::new(0.0),
+        }
+    }
+
+    /// Resets the fading clock to time zero (new drop).
+    pub fn reset(&self) {
+        *self.clock.lock().expect("clock lock") = 0.0;
+    }
+}
+
+impl ChannelModel for CorrelatedFadingChannel {
+    fn realize(&self, snr_db: f64, _rng: &mut StdRng) -> ChannelRealization {
+        let mut clock = self.clock.lock().expect("clock lock");
+        let t = *clock;
+        *clock += self.step;
+        ChannelRealization {
+            taps: self.taps.iter().map(|p| p.sample(t)).collect(),
+            noise_var: 1.0 / db_to_linear(snr_db),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Jakes correlated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::rng::seeded;
+
+    #[test]
+    fn mean_power_is_normalized() {
+        let ch = CorrelatedFadingChannel::new(&[0.7, 0.3], 0.23, 3);
+        let mut rng = seeded(0);
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| ch.realize(10.0, &mut rng).energy())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.15, "mean energy {mean}");
+    }
+
+    #[test]
+    fn slow_fading_is_correlated_fast_is_not() {
+        let measure = |step: f64| -> f64 {
+            let ch = CorrelatedFadingChannel::new(&[1.0], step, 7);
+            let mut rng = seeded(0);
+            let samples: Vec<Complex64> =
+                (0..600).map(|_| ch.realize(10.0, &mut rng).taps[0]).collect();
+            // Lag-1 autocorrelation magnitude.
+            let num: Complex64 = samples
+                .windows(2)
+                .map(|w| w[1] * w[0].conj())
+                .sum();
+            let den: f64 = samples.iter().map(|s| s.norm_sqr()).sum();
+            (num.norm() / den).min(1.0)
+        };
+        let slow = measure(0.001);
+        let fast = measure(0.41);
+        assert!(slow > 0.95, "slow fading correlation {slow}");
+        assert!(fast < 0.6, "fast fading correlation {fast}");
+    }
+
+    #[test]
+    fn reset_restarts_the_process() {
+        let ch = CorrelatedFadingChannel::new(&[1.0], 0.1, 5);
+        let mut rng = seeded(0);
+        let a = ch.realize(10.0, &mut rng);
+        ch.reset();
+        let b = ch.realize(10.0, &mut rng);
+        assert_eq!(a, b, "same clock, same deterministic sample");
+    }
+
+    #[test]
+    fn envelope_is_rayleigh_like() {
+        // The Jakes envelope should fade below -10 dB of its mean a
+        // non-trivial fraction of the time (≈10% for Rayleigh).
+        let ch = CorrelatedFadingChannel::new(&[1.0], 0.37, 11);
+        let mut rng = seeded(0);
+        let n = 5000;
+        let deep = (0..n)
+            .filter(|_| ch.realize(10.0, &mut rng).energy() < 0.1)
+            .count();
+        let frac = deep as f64 / n as f64;
+        assert!((0.03..0.25).contains(&frac), "deep-fade fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_doppler_rejected() {
+        let _ = CorrelatedFadingChannel::new(&[1.0], 0.0, 0);
+    }
+}

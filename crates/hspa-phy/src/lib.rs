@@ -1,0 +1,60 @@
+//! HSPA+ (3GPP HSDPA) baseband physical layer.
+//!
+//! A from-scratch implementation of every PHY component the DAC'12 study
+//! relies on:
+//!
+//! * [`crc`] — transport-block CRC attachment (3GPP gCRC24/gCRC16).
+//! * [`turbo`] — the UMTS rate-1/3 PCCC turbo code: standard internal
+//!   interleaver (TS 25.212 §4.2.3.2.3), RSC encoders with trellis
+//!   termination, and an iterative Max-Log-MAP decoder.
+//! * [`rate_match`] — HARQ rate matching with redundancy versions
+//!   (puncturing/repetition via the 3GPP `e`-algorithm).
+//! * [`interleave`] — the 30-column second (channel) interleaver.
+//! * [`modulation`] — Gray-mapped QPSK/16QAM/64QAM with a max-log soft
+//!   demapper producing LLRs.
+//! * [`spreading`] — OVSF channelization codes and Gold-sequence
+//!   scrambling.
+//! * [`channel`] — AWGN and ITU multipath Rayleigh block-fading models.
+//! * [`equalizer`] — linear MMSE FIR equalizer plus a RAKE/matched-filter
+//!   baseline.
+//! * [`harq`] — the hybrid-ARQ entity: LLR buffering (through a pluggable,
+//!   possibly *faulty*, storage backend), Chase/IR combining and
+//!   throughput accounting.
+//!
+//! The convention throughout: an LLR is `ln P(b=0)/P(b=1)`, so positive
+//! LLRs favour bit 0, and BPSK-like mappings send bit 0 to the positive
+//! constellation point.
+//!
+//! # Example
+//!
+//! ```
+//! use hspa_phy::turbo::TurboCode;
+//!
+//! let code = TurboCode::new(40)?;
+//! let bits = vec![1u8, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0,
+//!                 1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0,
+//!                 1, 0, 1, 1, 0, 1, 0, 0];
+//! let coded = code.encode(&bits);
+//! assert_eq!(coded.len(), 3 * 40 + 12);
+//! // Noiseless LLRs decode back to the data.
+//! let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 8.0 } else { -8.0 }).collect();
+//! let out = code.decode(&llrs, 4);
+//! assert_eq!(out.bits, bits);
+//! # Ok::<(), hspa_phy::turbo::TurboError>(())
+//! ```
+
+pub mod bits;
+pub mod channel;
+pub mod crc;
+pub mod equalizer;
+pub mod harq;
+pub mod hsdpa;
+pub mod interleave;
+pub mod modulation;
+pub mod rate_match;
+pub mod spreading;
+pub mod turbo;
+
+pub use channel::ChannelModel;
+pub use harq::{HarqCombining, LlrBuffer};
+pub use modulation::Modulation;

@@ -1,0 +1,281 @@
+//! CDMA spreading: OVSF channelization codes and scrambling (TS 25.213).
+//!
+//! HS-PDSCH uses spreading factor 16 with up to 15 parallel
+//! channelization codes, all multiplied by a cell-specific complex
+//! scrambling sequence derived from the downlink Gold code.
+
+use dsp::sequences::GoldSequence;
+use dsp::Complex64;
+
+/// HS-PDSCH spreading factor.
+pub const HS_PDSCH_SF: usize = 16;
+
+/// Generates the OVSF (orthogonal variable spreading factor) code
+/// `C_{sf,index}` as ±1 chips.
+///
+/// # Panics
+///
+/// Panics if `sf` is not a power of two or `index >= sf`.
+///
+/// # Example
+///
+/// ```
+/// use hspa_phy::spreading::ovsf_code;
+///
+/// let c0 = ovsf_code(4, 0);
+/// let c1 = ovsf_code(4, 1);
+/// let dot: i32 = c0.iter().zip(&c1).map(|(&a, &b)| (a * b) as i32).sum();
+/// assert_eq!(dot, 0); // orthogonal
+/// ```
+pub fn ovsf_code(sf: usize, index: usize) -> Vec<i8> {
+    assert!(sf.is_power_of_two() && sf >= 1, "SF must be a power of two");
+    assert!(index < sf, "code index out of range");
+    let mut code = vec![1i8];
+    let mut len = 1usize;
+    // Walk down the OVSF tree: each level doubles; bit of `index` picks
+    // the child (0 → [c, c], 1 → [c, -c]).
+    while len < sf {
+        let bit = (index >> (sf.trailing_zeros() as usize - 1 - len.trailing_zeros() as usize))
+            & 1;
+        let mut nxt = Vec::with_capacity(len * 2);
+        nxt.extend_from_slice(&code);
+        if bit == 0 {
+            nxt.extend_from_slice(&code);
+        } else {
+            nxt.extend(code.iter().map(|&c| -c));
+        }
+        code = nxt;
+        len *= 2;
+    }
+    code
+}
+
+/// The complex downlink scrambling sequence for `code_number`, `n` chips.
+///
+/// Chips are unit-magnitude: `(±1 ± j)/√2` built from two Gold-sequence
+/// phases as in TS 25.213 §5.2.2.
+pub fn scrambling_sequence(code_number: u32, n: usize) -> Vec<Complex64> {
+    let mut gold_i = GoldSequence::new(code_number);
+    // The Q branch is the same Gold sequence delayed by 2^17 chips
+    // (TS 25.213 §5.2.2); advance a second generator by that offset.
+    let mut gold_q = GoldSequence::new(code_number);
+    for _ in 0..131_072 {
+        gold_q.next_chip();
+    }
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    (0..n)
+        .map(|_| {
+            let i = 1.0 - 2.0 * gold_i.next_chip() as f64;
+            let q = 1.0 - 2.0 * gold_q.next_chip() as f64;
+            Complex64::new(i * s, q * s)
+        })
+        .collect()
+}
+
+/// Spreads symbols with an OVSF code and applies scrambling.
+///
+/// Output is `symbols.len() × sf` chips with unit average energy.
+///
+/// # Panics
+///
+/// Panics if `scrambling.len() < symbols.len() * code.len()`.
+pub fn spread(symbols: &[Complex64], code: &[i8], scrambling: &[Complex64]) -> Vec<Complex64> {
+    let sf = code.len();
+    assert!(
+        scrambling.len() >= symbols.len() * sf,
+        "scrambling sequence too short"
+    );
+    let norm = 1.0 / (sf as f64).sqrt();
+    let mut chips = Vec::with_capacity(symbols.len() * sf);
+    for (si, &s) in symbols.iter().enumerate() {
+        for (ci, &c) in code.iter().enumerate() {
+            let scr = scrambling[si * sf + ci];
+            chips.push(s.scale(c as f64 * norm) * scr);
+        }
+    }
+    chips
+}
+
+/// Despreads chips back to symbols (descramble, correlate with the code).
+///
+/// # Panics
+///
+/// Panics if `chips.len()` is not a multiple of the code length or the
+/// scrambling sequence is too short.
+pub fn despread(chips: &[Complex64], code: &[i8], scrambling: &[Complex64]) -> Vec<Complex64> {
+    let sf = code.len();
+    assert_eq!(chips.len() % sf, 0, "chip count must be a symbol multiple");
+    assert!(scrambling.len() >= chips.len(), "scrambling sequence too short");
+    let norm = 1.0 / (sf as f64).sqrt();
+    chips
+        .chunks(sf)
+        .enumerate()
+        .map(|(si, chunk)| {
+            let mut acc = Complex64::ZERO;
+            for (ci, &y) in chunk.iter().enumerate() {
+                let scr = scrambling[si * sf + ci];
+                acc += y * scr.conj() * Complex64::from_re(code[ci] as f64);
+            }
+            acc.scale(norm)
+        })
+        .collect()
+}
+
+/// Multi-code transmission: spreads each stream with its own OVSF code
+/// and sums the chips (HS-PDSCH uses up to 15 codes at SF16).
+///
+/// # Panics
+///
+/// Panics if streams have unequal lengths or there are more streams than
+/// codes at the spreading factor.
+pub fn spread_multicode(
+    streams: &[Vec<Complex64>],
+    sf: usize,
+    scrambling: &[Complex64],
+) -> Vec<Complex64> {
+    assert!(!streams.is_empty(), "need at least one stream");
+    assert!(streams.len() <= sf, "more streams than orthogonal codes");
+    let n = streams[0].len();
+    assert!(
+        streams.iter().all(|s| s.len() == n),
+        "streams must have equal lengths"
+    );
+    let mut sum = vec![Complex64::ZERO; n * sf];
+    // HS-PDSCH codes start at index 1 (index 0 is reserved for control).
+    let scale = 1.0 / (streams.len() as f64).sqrt();
+    for (k, stream) in streams.iter().enumerate() {
+        let code = ovsf_code(sf, (k + 1) % sf);
+        let chips = spread(stream, &code, scrambling);
+        for (acc, c) in sum.iter_mut().zip(chips) {
+            *acc += c.scale(scale);
+        }
+    }
+    sum
+}
+
+/// Despreads one code of a multi-code transmission.
+pub fn despread_multicode(
+    chips: &[Complex64],
+    sf: usize,
+    stream_index: usize,
+    n_streams: usize,
+    scrambling: &[Complex64],
+) -> Vec<Complex64> {
+    let code = ovsf_code(sf, (stream_index + 1) % sf);
+    let scale = (n_streams as f64).sqrt();
+    despread(chips, &code, scrambling)
+        .into_iter()
+        .map(|s| s.scale(scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::rng::{complex_gaussian_vec, seeded};
+    use proptest::prelude::*;
+
+    #[test]
+    fn ovsf_codes_are_orthogonal() {
+        for sf in [2usize, 4, 8, 16] {
+            for a in 0..sf {
+                for b in 0..sf {
+                    let ca = ovsf_code(sf, a);
+                    let cb = ovsf_code(sf, b);
+                    let dot: i32 = ca.iter().zip(&cb).map(|(&x, &y)| (x * y) as i32).sum();
+                    if a == b {
+                        assert_eq!(dot, sf as i32);
+                    } else {
+                        assert_eq!(dot, 0, "SF{sf} codes {a},{b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ovsf_code_zero_is_all_ones() {
+        assert!(ovsf_code(16, 0).iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn spread_despread_roundtrip() {
+        let mut rng = seeded(1);
+        let symbols = complex_gaussian_vec(&mut rng, 32, 1.0);
+        let scr = scrambling_sequence(0, 32 * 16);
+        let code = ovsf_code(16, 5);
+        let chips = spread(&symbols, &code, &scr);
+        assert_eq!(chips.len(), 32 * 16);
+        let back = despread(&chips, &code, &scr);
+        for (a, b) in back.iter().zip(&symbols) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spreading_preserves_energy() {
+        let mut rng = seeded(2);
+        let symbols = complex_gaussian_vec(&mut rng, 64, 1.0);
+        let scr = scrambling_sequence(3, 64 * 16);
+        let chips = spread(&symbols, &ovsf_code(16, 2), &scr);
+        let es: f64 = symbols.iter().map(|s| s.norm_sqr()).sum();
+        let ec: f64 = chips.iter().map(|c| c.norm_sqr()).sum();
+        assert!((es - ec).abs() / es < 1e-9);
+    }
+
+    #[test]
+    fn multicode_streams_separate() {
+        let mut rng = seeded(3);
+        let n_streams = 4;
+        let streams: Vec<Vec<Complex64>> = (0..n_streams)
+            .map(|_| complex_gaussian_vec(&mut rng, 16, 1.0))
+            .collect();
+        let scr = scrambling_sequence(7, 16 * 16);
+        let chips = spread_multicode(&streams, 16, &scr);
+        for (k, stream) in streams.iter().enumerate() {
+            let back = despread_multicode(&chips, 16, k, n_streams, &scr);
+            for (a, b) in back.iter().zip(stream) {
+                assert!((*a - *b).norm() < 1e-9, "stream {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_scrambling_codes_decorrelate() {
+        let mut rng = seeded(4);
+        let symbols = complex_gaussian_vec(&mut rng, 64, 1.0);
+        let scr_a = scrambling_sequence(0, 64 * 16);
+        let scr_b = scrambling_sequence(9, 64 * 16);
+        let code = ovsf_code(16, 1);
+        let chips = spread(&symbols, &code, &scr_a);
+        let wrong = despread(&chips, &code, &scr_b);
+        let energy_right: f64 = symbols.iter().map(|s| s.norm_sqr()).sum();
+        let energy_wrong: f64 = wrong.iter().map(|s| s.norm_sqr()).sum();
+        assert!(
+            energy_wrong < 0.3 * energy_right,
+            "wrong descrambling should collapse energy: {energy_wrong} vs {energy_right}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_sf_rejected() {
+        let _ = ovsf_code(12, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_code(sf_exp in 1u32..5, idx in 0usize..16, seed in 0u64..50) {
+            let sf = 1usize << sf_exp;
+            let idx = idx % sf;
+            let mut rng = seeded(seed);
+            let symbols = complex_gaussian_vec(&mut rng, 8, 1.0);
+            let scr = scrambling_sequence(seed as u32 % 64, 8 * sf);
+            let chips = spread(&symbols, &ovsf_code(sf, idx), &scr);
+            let back = despread(&chips, &ovsf_code(sf, idx), &scr);
+            for (a, b) in back.iter().zip(&symbols) {
+                prop_assert!((*a - *b).norm() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The turbo-code internal interleaver (TS 25.212 §4.2.3.2.3).
+//!
+//! A prime-based block interleaver: the `K` input bits are written row by
+//! row into an `R × C` matrix, each row is permuted by a
+//! primitive-root-generated sequence, the rows themselves are permuted by
+//! a fixed pattern, and the matrix is read column by column with dummy
+//! positions pruned. Implemented exactly per the specification, including
+//! the special `481 ≤ K ≤ 530` case.
+
+use super::TurboError;
+
+/// The standard-compliant internal interleaver for block length `K`.
+///
+/// # Example
+///
+/// ```
+/// use hspa_phy::turbo::TurboInterleaver;
+///
+/// let il = TurboInterleaver::new(40)?;
+/// let perm = il.permutation();
+/// let mut sorted = perm.to_vec();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..40).collect::<Vec<_>>()); // a true permutation
+/// # Ok::<(), hspa_phy::turbo::TurboError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurboInterleaver {
+    k: usize,
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl TurboInterleaver {
+    /// Builds the interleaver for block length `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TurboError::BlockLength`] if `k` is outside `40..=5114`.
+    pub fn new(k: usize) -> Result<Self, TurboError> {
+        if !(40..=5114).contains(&k) {
+            return Err(TurboError::BlockLength { k });
+        }
+        let perm = build_permutation(k);
+        debug_assert_eq!(perm.len(), k);
+        let mut inv = vec![0usize; k];
+        for (out_pos, &in_pos) in perm.iter().enumerate() {
+            inv[in_pos] = out_pos;
+        }
+        Ok(Self { k, perm, inv })
+    }
+
+    /// Block length `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The permutation: `output[m] = input[permutation()[m]]`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Applies the interleaver to a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != K`.
+    pub fn interleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.k, "interleaver length mismatch");
+        self.perm.iter().map(|&i| input[i]).collect()
+    }
+
+    /// Applies the inverse permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != K`.
+    pub fn deinterleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.k, "deinterleaver length mismatch");
+        self.inv.iter().map(|&i| input[i]).collect()
+    }
+}
+
+/// Builds the raw permutation per the specification steps.
+#[allow(clippy::needless_range_loop)] // index-based loops mirror the spec text
+fn build_permutation(k: usize) -> Vec<usize> {
+    // Step 1: number of rows R.
+    let r = if (40..=159).contains(&k) {
+        5
+    } else if (160..=200).contains(&k) || (481..=530).contains(&k) {
+        10
+    } else {
+        20
+    };
+
+    // Step 2: prime p and number of columns C.
+    let (p, c) = if (481..=530).contains(&k) {
+        (53usize, 53usize)
+    } else {
+        let mut p = 7usize; // smallest prime in the spec's table
+        while k > r * (p + 1) || !is_prime(p) {
+            p += 1;
+            while !is_prime(p) {
+                p += 1;
+            }
+        }
+        let c = if k <= r * (p - 1) {
+            p - 1
+        } else if k <= r * p {
+            p
+        } else {
+            p + 1
+        };
+        (p, c)
+    };
+
+    // Primitive root v of p (the spec's table lists the least one).
+    let v = least_primitive_root(p);
+
+    // Step 4 base sequence s(j), j = 0..p-2.
+    let mut s = vec![0usize; p - 1];
+    s[0] = 1;
+    for j in 1..p - 1 {
+        s[j] = (v * s[j - 1]) % p;
+    }
+
+    // Minimum prime integers q_i, gcd(q_i, p-1) = 1, strictly increasing.
+    let mut q = vec![0usize; r];
+    q[0] = 1;
+    let mut candidate = 2usize;
+    for i in 1..r {
+        loop {
+            if is_prime(candidate) && gcd(candidate, p - 1) == 1 {
+                q[i] = candidate;
+                candidate += 1;
+                break;
+            }
+            candidate += 1;
+        }
+    }
+
+    // Inter-row permutation pattern T.
+    let t: Vec<usize> = match r {
+        5 => vec![4, 3, 2, 1, 0],
+        10 => vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+        20 => {
+            if (2281..=2480).contains(&k) || (3161..=3210).contains(&k) {
+                vec![
+                    19, 9, 14, 4, 0, 2, 5, 7, 12, 18, 16, 13, 17, 15, 3, 1, 6, 11, 8, 10,
+                ]
+            } else {
+                vec![
+                    19, 9, 14, 4, 0, 2, 5, 7, 12, 18, 10, 8, 13, 17, 3, 1, 16, 6, 15, 11,
+                ]
+            }
+        }
+        _ => unreachable!("R is always 5, 10 or 20"),
+    };
+
+    // r_{T(i)} = q_i.
+    let mut rr = vec![0usize; r];
+    for i in 0..r {
+        rr[t[i]] = q[i];
+    }
+
+    // Intra-row permutations U_i(j) for each original row i.
+    let mut u = vec![vec![0usize; c]; r];
+    for (i, ui) in u.iter_mut().enumerate() {
+        match c.cmp(&p) {
+            std::cmp::Ordering::Equal => {
+                for (j, slot) in ui.iter_mut().enumerate().take(p - 1) {
+                    *slot = s[(j * rr[i]) % (p - 1)];
+                }
+                ui[p - 1] = 0;
+            }
+            std::cmp::Ordering::Greater => {
+                // C = p + 1
+                for (j, slot) in ui.iter_mut().enumerate().take(p - 1) {
+                    *slot = s[(j * rr[i]) % (p - 1)];
+                }
+                ui[p - 1] = 0;
+                ui[p] = p;
+            }
+            std::cmp::Ordering::Less => {
+                // C = p - 1
+                for (j, slot) in ui.iter_mut().enumerate().take(p - 1) {
+                    *slot = s[(j * rr[i]) % (p - 1)] - 1;
+                }
+            }
+        }
+    }
+    // Special exchange when the matrix is exactly full and C = p + 1.
+    if c == p + 1 && k == r * c {
+        u[r - 1].swap(p, 0);
+    }
+
+    // Steps 5-6: read column by column from the row-permuted matrix,
+    // pruning positions beyond K. Final row i is original row T(i).
+    let mut out = Vec::with_capacity(k);
+    for j in 0..c {
+        for ti in t.iter().take(r) {
+            let src = ti * c + u[*ti][j];
+            if src < k {
+                out.push(src);
+            }
+        }
+    }
+    out
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least primitive root modulo prime `p` (matches the 25.212 table).
+fn least_primitive_root(p: usize) -> usize {
+    let phi = p - 1;
+    let factors = prime_factors(phi);
+    'outer: for v in 2..p {
+        for &f in &factors {
+            if mod_pow(v, phi / f, p) == 1 {
+                continue 'outer;
+            }
+        }
+        return v;
+    }
+    unreachable!("every prime has a primitive root")
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+fn mod_pow(mut base: usize, mut exp: usize, modulus: usize) -> usize {
+    let mut result = 1usize;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_is_permutation(perm: &[usize], k: usize) {
+        assert_eq!(perm.len(), k);
+        let mut sorted = perm.to_vec();
+        sorted.sort_unstable();
+        for (i, &v) in sorted.iter().enumerate() {
+            assert_eq!(i, v, "K = {k}: not a permutation");
+        }
+    }
+
+    #[test]
+    fn bijective_across_regimes() {
+        // Covers R=5, R=10 (both bands), the p=53 special case, C=p-1,
+        // C=p, C=p+1, and the alternate 20-row patterns.
+        for k in [
+            40, 41, 100, 159, 160, 200, 201, 320, 481, 530, 531, 1000, 2281, 2480, 3161,
+            3210, 4000, 5114,
+        ] {
+            let il = TurboInterleaver::new(k).unwrap();
+            assert_is_permutation(il.permutation(), k);
+        }
+    }
+
+    #[test]
+    fn full_sweep_small_lengths() {
+        for k in 40..=400 {
+            let il = TurboInterleaver::new(k).unwrap();
+            assert_is_permutation(il.permutation(), k);
+        }
+    }
+
+    #[test]
+    fn interleave_deinterleave_roundtrip() {
+        let il = TurboInterleaver::new(123).unwrap();
+        let data: Vec<u32> = (0..123).collect();
+        let shuffled = il.interleave(&data);
+        assert_ne!(shuffled, data, "interleaver must not be identity");
+        assert_eq!(il.deinterleave(&shuffled), data);
+    }
+
+    #[test]
+    fn interleaver_has_spread() {
+        // Adjacent input bits should land far apart — the property that
+        // gives the turbo code its distance. Check minimum output spacing
+        // of input neighbours exceeds a loose bound.
+        let k = 320;
+        let il = TurboInterleaver::new(k).unwrap();
+        let mut pos = vec![0usize; k];
+        for (out_idx, &in_idx) in il.permutation().iter().enumerate() {
+            pos[in_idx] = out_idx;
+        }
+        let mut min_spread = usize::MAX;
+        for i in 0..k - 1 {
+            let d = pos[i].abs_diff(pos[i + 1]);
+            min_spread = min_spread.min(d);
+        }
+        assert!(min_spread >= 5, "spread {min_spread} too small");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TurboInterleaver::new(777).unwrap();
+        let b = TurboInterleaver::new(777).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn helper_number_theory() {
+        assert!(is_prime(2) && is_prime(53) && is_prime(257));
+        assert!(!is_prime(1) && !is_prime(55));
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(prime_factors(60), vec![2, 3, 5]);
+        assert_eq!(mod_pow(3, 4, 7), 4);
+        // Spec table spot checks: least primitive roots.
+        assert_eq!(least_primitive_root(7), 3);
+        assert_eq!(least_primitive_root(41), 6);
+        assert_eq!(least_primitive_root(191), 19);
+        assert_eq!(least_primitive_root(53), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn always_a_permutation(k in 40usize..=5114) {
+            let il = TurboInterleaver::new(k).unwrap();
+            let mut sorted = il.permutation().to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k);
+        }
+
+        #[test]
+        fn roundtrip_any_length(k in 40usize..=600) {
+            let il = TurboInterleaver::new(k).unwrap();
+            let data: Vec<usize> = (0..k).collect();
+            prop_assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The 8-state recursive systematic convolutional constituent encoder.
+//!
+//! Transfer function `g1(D)/g0(D)` with feedback polynomial
+//! `g0 = 1 + D² + D³` (13 octal) and feedforward `g1 = 1 + D + D³`
+//! (15 octal), per TS 25.212 §4.2.3.1.
+
+/// Number of trellis states (2³).
+pub const RSC_STATES: usize = 8;
+
+/// Tail bits appended per constituent encoder stream (3 systematic +
+/// 3 parity interleaved as x z x z x z → this constant counts the 3
+/// trellis-termination steps).
+pub const TAIL_BITS: usize = 3;
+
+/// One constituent RSC encoder.
+///
+/// State encoding: `s = s0 + 2·s1 + 4·s2` where `s0` is the most recent
+/// register bit (D¹) and `s2` the oldest (D³).
+///
+/// # Example
+///
+/// ```
+/// use hspa_phy::turbo::Rsc;
+///
+/// let mut enc = Rsc::new();
+/// let p0 = enc.step(1);
+/// assert!(p0 <= 1);
+/// let tail = enc.terminate();
+/// assert_eq!(tail.len(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rsc {
+    state: u8,
+}
+
+impl Rsc {
+    /// Creates an encoder in the all-zero state.
+    pub fn new() -> Self {
+        Self { state: 0 }
+    }
+
+    /// Current trellis state (0..8).
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Encodes one input bit, returning the parity output bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `bit` is non-binary.
+    pub fn step(&mut self, bit: u8) -> u8 {
+        debug_assert!(bit <= 1, "non-binary input");
+        let (next, parity) = transition(self.state, bit);
+        self.state = next;
+        parity
+    }
+
+    /// Drives the register to the all-zero state, returning the six tail
+    /// bits in `x z x z x z` order (3GPP termination: the feedback bit is
+    /// fed as input so the register flushes in [`TAIL_BITS`] steps).
+    pub fn terminate(&mut self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 * TAIL_BITS);
+        for _ in 0..TAIL_BITS {
+            let u = termination_input(self.state);
+            let parity = self.step(u);
+            out.push(u);
+            out.push(parity);
+        }
+        debug_assert_eq!(self.state, 0, "termination must reach state 0");
+        out
+    }
+}
+
+/// The trellis transition: given `state` and input `bit`, returns
+/// `(next_state, parity)`.
+#[inline]
+pub fn transition(state: u8, bit: u8) -> (u8, u8) {
+    let s0 = state & 1;
+    let s1 = (state >> 1) & 1;
+    let s2 = (state >> 2) & 1;
+    // Feedback: g0 = 1 + D² + D³ → d = u ⊕ s1 ⊕ s2.
+    let d = bit ^ s1 ^ s2;
+    // Parity: g1 = 1 + D + D³ → z = d ⊕ s0 ⊕ s2.
+    let parity = d ^ s0 ^ s2;
+    let next = (d | (s0 << 1) | (s1 << 2)) & 0x7;
+    (next, parity)
+}
+
+/// The input bit that makes the feedback zero (used for termination).
+#[inline]
+pub fn termination_input(state: u8) -> u8 {
+    let s1 = (state >> 1) & 1;
+    let s2 = (state >> 2) & 1;
+    s1 ^ s2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_zero_input_stays_zero() {
+        let mut enc = Rsc::new();
+        assert_eq!(enc.step(0), 0);
+        assert_eq!(enc.state(), 0);
+    }
+
+    #[test]
+    fn one_input_from_zero_state() {
+        // d = 1, parity = d ⊕ 0 ⊕ 0 = 1, next state = 001.
+        let (next, parity) = transition(0, 1);
+        assert_eq!(parity, 1);
+        assert_eq!(next, 1);
+    }
+
+    #[test]
+    fn trellis_is_a_bijection_per_input() {
+        // For each input bit, the state map must be a permutation of 0..8.
+        for bit in [0u8, 1] {
+            let mut seen = [false; RSC_STATES];
+            for s in 0..RSC_STATES as u8 {
+                let (ns, _) = transition(s, bit);
+                assert!(!seen[ns as usize], "state collision");
+                seen[ns as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn termination_always_reaches_zero() {
+        for start in 0..RSC_STATES as u8 {
+            let mut enc = Rsc { state: start };
+            let tail = enc.terminate();
+            assert_eq!(enc.state(), 0, "start {start}");
+            assert_eq!(tail.len(), 6);
+        }
+    }
+
+    #[test]
+    fn impulse_response_is_periodic() {
+        // A recursive encoder's impulse response repeats with period 7
+        // (2³ - 1) after the initial transient.
+        let mut enc = Rsc::new();
+        let first = enc.step(1);
+        let mut outputs = vec![first];
+        for _ in 0..21 {
+            outputs.push(enc.step(0));
+        }
+        // Period-7 check on the tail of the response.
+        for i in 1..8 {
+            assert_eq!(outputs[i], outputs[i + 7], "position {i}");
+        }
+    }
+
+    #[test]
+    fn encoder_is_linear_over_gf2() {
+        // parity(a ⊕ b) = parity(a) ⊕ parity(b) for linear codes (from the
+        // zero state).
+        let a = [1u8, 0, 1, 1, 0, 1, 0, 0];
+        let b = [0u8, 1, 1, 0, 1, 1, 0, 1];
+        let run = |bits: &[u8]| -> Vec<u8> {
+            let mut e = Rsc::new();
+            bits.iter().map(|&x| e.step(x)).collect()
+        };
+        let pa = run(&a);
+        let pb = run(&b);
+        let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let pab = run(&ab);
+        for i in 0..a.len() {
+            assert_eq!(pab[i], pa[i] ^ pb[i], "position {i}");
+        }
+    }
+}

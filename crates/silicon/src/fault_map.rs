@@ -1,0 +1,416 @@
+//! Random fault-location maps (the paper's Section 4).
+//!
+//! A [`FaultMap`] records which bit cells of a memory array are defective
+//! and how each defect manifests. The paper draws `N_f` fault locations
+//! uniformly at random over the array and inverts any stored bit that maps
+//! onto a faulty cell; stuck-at variants are provided for the fault-model
+//! ablation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dsp::rng::seeded;
+
+/// How a defective cell corrupts the bit stored in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The stored bit is inverted (the paper's model).
+    #[default]
+    Flip,
+    /// The cell always reads 0.
+    StuckAt0,
+    /// The cell always reads 1.
+    StuckAt1,
+}
+
+/// A single defective bit cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Word index within the array.
+    pub word: u32,
+    /// Bit position within the word (0 = LSB).
+    pub bit: u8,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+/// A fault-location map over an array of `words × bits_per_word` cells.
+///
+/// # Example
+///
+/// ```
+/// use silicon::fault_map::{FaultMap, FaultKind};
+///
+/// // 1000-word × 10-bit array with exactly 50 flip faults.
+/// let map = FaultMap::random_exact(1000, 10, 50, FaultKind::Flip, 42);
+/// assert_eq!(map.fault_count(), 50);
+/// // Same seed → identical map.
+/// assert_eq!(map, FaultMap::random_exact(1000, 10, 50, FaultKind::Flip, 42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    words: u32,
+    bits_per_word: u8,
+    faults: Vec<Fault>,
+}
+
+impl FaultMap {
+    /// An empty (defect-free) map for the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn defect_free(words: u32, bits_per_word: u8) -> Self {
+        assert!(words > 0 && bits_per_word > 0, "array dimensions must be positive");
+        Self {
+            words,
+            bits_per_word,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Draws exactly `n_faults` defective cells uniformly without
+    /// replacement over the whole array (the paper's selection-criterion
+    /// worst case: dies with exactly `N_f` failing cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_faults` exceeds the number of cells.
+    pub fn random_exact(
+        words: u32,
+        bits_per_word: u8,
+        n_faults: usize,
+        kind: FaultKind,
+        seed: u64,
+    ) -> Self {
+        let mut map = Self::defect_free(words, bits_per_word);
+        let cells = words as u64 * bits_per_word as u64;
+        assert!(
+            n_faults as u64 <= cells,
+            "cannot place {n_faults} faults in {cells} cells"
+        );
+        let mut rng = seeded(seed);
+        // Floyd's algorithm for distinct uniform samples.
+        let mut chosen = std::collections::HashSet::with_capacity(n_faults);
+        let n = cells;
+        let k = n_faults as u64;
+        for j in n - k..n {
+            let t = rng.gen_range(0..=j);
+            let cell = if chosen.contains(&t) { j } else { t };
+            chosen.insert(cell);
+        }
+        let mut faults: Vec<Fault> = chosen
+            .into_iter()
+            .map(|cell| Fault {
+                word: (cell / bits_per_word as u64) as u32,
+                bit: (cell % bits_per_word as u64) as u8,
+                kind: resolve_kind(kind, &mut rng),
+            })
+            .collect();
+        faults.sort_by_key(|f| (f.word, f.bit));
+        map.faults = faults;
+        map
+    }
+
+    /// Draws each cell independently faulty with probability `p_cell`
+    /// (Bernoulli per cell, the manufacturing view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_cell` is not in `[0, 1]`.
+    pub fn random_bernoulli(
+        words: u32,
+        bits_per_word: u8,
+        p_cell: f64,
+        kind: FaultKind,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+        let mut map = Self::defect_free(words, bits_per_word);
+        let mut rng = seeded(seed);
+        for word in 0..words {
+            for bit in 0..bits_per_word {
+                if rng.gen::<f64>() < p_cell {
+                    let k = resolve_kind(kind, &mut rng);
+                    map.faults.push(Fault { word, bit, kind: k });
+                }
+            }
+        }
+        map
+    }
+
+    /// Draws exactly `n_faults` faults restricted to bit positions in
+    /// `bit_range` (used for hybrid arrays where the protected MSB columns
+    /// are fault-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, out of bounds, or too small for
+    /// `n_faults`.
+    pub fn random_in_bits(
+        words: u32,
+        bits_per_word: u8,
+        bit_range: std::ops::Range<u8>,
+        n_faults: usize,
+        kind: FaultKind,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            bit_range.start < bit_range.end && bit_range.end <= bits_per_word,
+            "bit range out of bounds"
+        );
+        let span = (bit_range.end - bit_range.start) as u64;
+        let cells = words as u64 * span;
+        assert!(
+            n_faults as u64 <= cells,
+            "cannot place {n_faults} faults in {cells} cells"
+        );
+        let mut rng = seeded(seed);
+        let mut all: Vec<u64> = (0..cells).collect();
+        // For very large arrays fall back to rejection-free Floyd sampling.
+        let mut faults: Vec<Fault> = if cells <= 1 << 22 {
+            all.shuffle(&mut rng);
+            all.truncate(n_faults);
+            all.into_iter()
+                .map(|cell| Fault {
+                    word: (cell / span) as u32,
+                    bit: bit_range.start + (cell % span) as u8,
+                    kind: resolve_kind(kind, &mut rng),
+                })
+                .collect()
+        } else {
+            let mut chosen = std::collections::HashSet::with_capacity(n_faults);
+            for j in cells - n_faults as u64..cells {
+                let t = rng.gen_range(0..=j);
+                let cell = if chosen.contains(&t) { j } else { t };
+                chosen.insert(cell);
+            }
+            chosen
+                .into_iter()
+                .map(|cell| Fault {
+                    word: (cell / span) as u32,
+                    bit: bit_range.start + (cell % span) as u8,
+                    kind: resolve_kind(kind, &mut rng),
+                })
+                .collect()
+        };
+        faults.sort_by_key(|f| (f.word, f.bit));
+        Self {
+            words,
+            bits_per_word,
+            faults,
+        }
+    }
+
+    /// Number of words in the array.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn bits_per_word(&self) -> u8 {
+        self.bits_per_word
+    }
+
+    /// Total number of bit cells.
+    pub fn cells(&self) -> u64 {
+        self.words as u64 * self.bits_per_word as u64
+    }
+
+    /// Number of defective cells.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Fraction of defective cells (the paper's `N_f` in %-of-array units).
+    pub fn defect_fraction(&self) -> f64 {
+        self.faults.len() as f64 / self.cells() as f64
+    }
+
+    /// Iterates over the faults in (word, bit) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fault> {
+        self.faults.iter()
+    }
+
+    /// Applies the map to one stored word: every faulty cell in `word`
+    /// corrupts the corresponding bit of `value`.
+    ///
+    /// The fault list is sorted, so per-word lookup is a binary search —
+    /// O(log N_f) per read, independent of array size.
+    pub fn corrupt(&self, word: u32, value: u32) -> u32 {
+        let start = self.faults.partition_point(|f| f.word < word);
+        let mut v = value;
+        for f in &self.faults[start..] {
+            if f.word != word {
+                break;
+            }
+            let mask = 1u32 << f.bit;
+            v = match f.kind {
+                FaultKind::Flip => v ^ mask,
+                FaultKind::StuckAt0 => v & !mask,
+                FaultKind::StuckAt1 => v | mask,
+            };
+        }
+        v
+    }
+
+    /// Replaces the fault list, restoring the sorted-by-(word, bit)
+    /// invariant that [`FaultMap::corrupt`] relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault lies outside the array geometry.
+    pub fn set_faults(&mut self, mut faults: Vec<Fault>) {
+        assert!(
+            faults
+                .iter()
+                .all(|f| f.word < self.words && f.bit < self.bits_per_word),
+            "fault outside array geometry"
+        );
+        faults.sort_by_key(|f| (f.word, f.bit));
+        self.faults = faults;
+    }
+
+    /// Counts faults whose bit position lies in `bit_range`.
+    pub fn faults_in_bits(&self, bit_range: std::ops::Range<u8>) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| bit_range.contains(&f.bit))
+            .count()
+    }
+}
+
+/// Resolves `Flip`/`StuckAt*` — stuck polarity is already explicit; this
+/// hook exists so a future mixed-mode model can randomize per fault.
+fn resolve_kind<R: Rng>(kind: FaultKind, _rng: &mut R) -> FaultKind {
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_count_and_distinct() {
+        let m = FaultMap::random_exact(100, 10, 250, FaultKind::Flip, 1);
+        assert_eq!(m.fault_count(), 250);
+        let mut cells: Vec<(u32, u8)> = m.iter().map(|f| (f.word, f.bit)).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(cells.len(), 250, "faults must hit distinct cells");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = FaultMap::random_exact(500, 10, 100, FaultKind::Flip, 7);
+        let b = FaultMap::random_exact(500, 10, 100, FaultKind::Flip, 7);
+        let c = FaultMap::random_exact(500, 10, 100, FaultKind::Flip, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn defect_free_is_transparent() {
+        let m = FaultMap::defect_free(10, 10);
+        for v in [0u32, 0x3ff, 0x155] {
+            assert_eq!(m.corrupt(3, v), v);
+        }
+        assert_eq!(m.defect_fraction(), 0.0);
+    }
+
+    #[test]
+    fn flip_fault_inverts_bit() {
+        let mut m = FaultMap::defect_free(4, 8);
+        m.faults.push(Fault {
+            word: 2,
+            bit: 3,
+            kind: FaultKind::Flip,
+        });
+        assert_eq!(m.corrupt(2, 0b0000_0000), 0b0000_1000);
+        assert_eq!(m.corrupt(2, 0b0000_1000), 0b0000_0000);
+        assert_eq!(m.corrupt(1, 0b0000_0000), 0, "other words untouched");
+    }
+
+    #[test]
+    fn stuck_faults() {
+        let mut m = FaultMap::defect_free(4, 8);
+        m.faults.push(Fault {
+            word: 0,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+        });
+        m.faults.push(Fault {
+            word: 0,
+            bit: 1,
+            kind: FaultKind::StuckAt0,
+        });
+        assert_eq!(m.corrupt(0, 0b00), 0b01);
+        assert_eq!(m.corrupt(0, 0b11), 0b01);
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let p = 0.05;
+        let m = FaultMap::random_bernoulli(2000, 10, p, FaultKind::Flip, 3);
+        let rate = m.defect_fraction();
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn restricted_faults_stay_in_range() {
+        let m = FaultMap::random_in_bits(300, 10, 0..6, 500, FaultKind::Flip, 9);
+        assert_eq!(m.fault_count(), 500);
+        assert!(m.iter().all(|f| f.bit < 6));
+        assert_eq!(m.faults_in_bits(6..10), 0);
+        assert_eq!(m.faults_in_bits(0..6), 500);
+    }
+
+    #[test]
+    fn defect_fraction_matches() {
+        let m = FaultMap::random_exact(1000, 10, 1000, FaultKind::Flip, 2);
+        assert!((m.defect_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_faults_rejected() {
+        let _ = FaultMap::random_exact(2, 2, 5, FaultKind::Flip, 0);
+    }
+
+    #[test]
+    fn full_array_fault() {
+        let m = FaultMap::random_exact(4, 4, 16, FaultKind::Flip, 0);
+        assert_eq!(m.fault_count(), 16);
+        // Every bit flips.
+        assert_eq!(m.corrupt(0, 0x0), 0xf);
+    }
+
+    proptest! {
+        #[test]
+        fn corrupt_is_involutive_for_flips(seed in 0u64..100, v in 0u32..1024) {
+            let m = FaultMap::random_exact(50, 10, 100, FaultKind::Flip, seed);
+            for w in 0..50u32 {
+                prop_assert_eq!(m.corrupt(w, m.corrupt(w, v)), v);
+            }
+        }
+
+        #[test]
+        fn stuck_is_idempotent(seed in 0u64..100, v in 0u32..1024) {
+            let m = FaultMap::random_exact(50, 10, 80, FaultKind::StuckAt0, seed);
+            for w in 0..50u32 {
+                let once = m.corrupt(w, v);
+                prop_assert_eq!(m.corrupt(w, once), once);
+            }
+        }
+
+        #[test]
+        fn fault_counts_partition(seed in 0u64..50) {
+            let m = FaultMap::random_exact(100, 10, 300, FaultKind::Flip, seed);
+            let low = m.faults_in_bits(0..5);
+            let high = m.faults_in_bits(5..10);
+            prop_assert_eq!(low + high, 300);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Unreliable-silicon substrate for the DAC'12 error-resilience study.
+//!
+//! This crate models everything below the system level:
+//!
+//! * [`cell`] — per-bit-cell failure probability `P_cell(Vdd)` for 6T,
+//!   upsized-6T and 8T SRAM cells (the paper's Fig. 3), plus a soft-error
+//!   model.
+//! * [`fault_map`] — random fault-location maps over a memory array
+//!   (the paper's Section 4 methodology).
+//! * [`memory`] — a bit-accurate faulty storage array that corrupts reads
+//!   according to a fault map.
+//! * [`hybrid`] — per-bit protection plans (e.g. 8T cells on the MSBs,
+//!   6T elsewhere) and their fault statistics.
+//! * [`ecc`] — Hamming SECDED as the conventional full-word protection
+//!   baseline the paper compares against.
+//! * [`yield_model`] — the binomial yield expression `Y(N_f)` of Eq. (2).
+//! * [`area_power`] — relative area and power models used for the
+//!   protection-efficiency figure (Fig. 8) and the voltage-scaling power
+//!   savings (Section 6.3).
+//!
+//! # Example
+//!
+//! ```
+//! use silicon::cell::{BitCellKind, CellFailureModel};
+//! use silicon::yield_model::yield_accepting;
+//!
+//! let model = CellFailureModel::dac12();
+//! let p08 = model.p_cell(BitCellKind::Sram6T, 0.8);
+//! // A 200 Kb array at 0.8 V: accepting a few hundred faulty cells
+//! // recovers essentially full yield.
+//! let y = yield_accepting(200 * 1024, p08, 400);
+//! assert!(y > 0.99);
+//! ```
+
+pub mod area_power;
+pub mod cell;
+pub mod ecc;
+pub mod fault_map;
+pub mod hybrid;
+pub mod memory;
+pub mod repair;
+pub mod variation;
+pub mod yield_model;
+
+pub use cell::{BitCellKind, CellFailureModel};
+pub use fault_map::{FaultKind, FaultMap};
+pub use hybrid::ProtectionPlan;
+pub use memory::FaultyMemory;

@@ -1,0 +1,221 @@
+//! Bit-accurate faulty storage array.
+//!
+//! [`FaultyMemory`] is the LLR-storage stand-in: a word-addressable array
+//! that behaves like perfect SRAM except where a [`FaultMap`] marks cells
+//! defective. Following the paper, corruption is applied when data passes
+//! through the array (a stored bit mapped onto a faulty cell is read back
+//! inverted); the fault map itself never changes during a simulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault_map::FaultMap;
+
+/// A word-addressable memory whose cells may be defective.
+///
+/// # Example
+///
+/// ```
+/// use silicon::{FaultMap, FaultyMemory};
+/// use silicon::fault_map::FaultKind;
+///
+/// let map = FaultMap::random_exact(64, 10, 32, FaultKind::Flip, 1);
+/// let mut mem = FaultyMemory::new(map);
+/// mem.write(3, 0b11_1111_1111);
+/// let v = mem.read(3); // possibly corrupted
+/// assert!(v <= 0b11_1111_1111);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyMemory {
+    map: FaultMap,
+    data: Vec<u32>,
+}
+
+impl FaultyMemory {
+    /// Creates a zero-initialized memory with the given fault map.
+    pub fn new(map: FaultMap) -> Self {
+        let data = vec![0u32; map.words() as usize];
+        Self { map, data }
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u32 {
+        self.map.words()
+    }
+
+    /// Word width in bits.
+    pub fn bits_per_word(&self) -> u8 {
+        self.map.bits_per_word()
+    }
+
+    /// The underlying fault map.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.map
+    }
+
+    /// Stores `value` at word `addr` (the value is kept pristine; faults
+    /// manifest on read, which models read-path inversion and also keeps
+    /// flip faults involutive as in the paper's methodology).
+    ///
+    /// Bits above the word width are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        let mask = word_mask(self.map.bits_per_word());
+        self.data[addr as usize] = value & mask;
+    }
+
+    /// Reads word `addr`, applying any faults on the way out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: u32) -> u32 {
+        let raw = self.data[addr as usize];
+        self.map.corrupt(addr, raw)
+    }
+
+    /// Reads word `addr` without fault corruption (test/inspection hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read_pristine(&self, addr: u32) -> u32 {
+        self.data[addr as usize]
+    }
+
+    /// Writes a whole slice starting at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is longer than the array.
+    pub fn write_all(&mut self, values: &[u32]) {
+        assert!(
+            values.len() <= self.data.len(),
+            "slice longer than memory ({} > {})",
+            values.len(),
+            self.data.len()
+        );
+        let mask = word_mask(self.map.bits_per_word());
+        for (slot, &v) in self.data.iter_mut().zip(values) {
+            *slot = v & mask;
+        }
+    }
+
+    /// Reads `n` words starting at address 0, with fault corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the array size.
+    pub fn read_all(&self, n: usize) -> Vec<u32> {
+        assert!(n <= self.data.len(), "read beyond memory size");
+        (0..n as u32).map(|a| self.read(a)).collect()
+    }
+
+    /// Clears all stored words to zero (fault map unchanged).
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+fn word_mask(bits: u8) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_map::{FaultKind, FaultMap};
+    use proptest::prelude::*;
+
+    #[test]
+    fn defect_free_memory_is_transparent() {
+        let mut mem = FaultyMemory::new(FaultMap::defect_free(16, 10));
+        for (i, v) in [0u32, 1, 0x3ff, 0x2aa].iter().enumerate() {
+            mem.write(i as u32, *v);
+            assert_eq!(mem.read(i as u32), *v);
+        }
+    }
+
+    #[test]
+    fn width_masking() {
+        let mut mem = FaultyMemory::new(FaultMap::defect_free(4, 8));
+        mem.write(0, 0xffff_ffff);
+        assert_eq!(mem.read(0), 0xff);
+    }
+
+    #[test]
+    fn faults_corrupt_reads_not_storage() {
+        let map = FaultMap::random_exact(8, 8, 16, FaultKind::Flip, 5);
+        let mut mem = FaultyMemory::new(map);
+        mem.write(0, 0xaa);
+        let _ = mem.read(0);
+        assert_eq!(mem.read_pristine(0), 0xaa, "storage must stay pristine");
+        // Reading twice gives the same corrupted value (faults are static).
+        assert_eq!(mem.read(0), mem.read(0));
+    }
+
+    #[test]
+    fn corrupted_bits_match_fault_count_for_all_ones() {
+        let n_faults = 40;
+        let map = FaultMap::random_exact(32, 10, n_faults, FaultKind::Flip, 9);
+        let mut mem = FaultyMemory::new(map);
+        for a in 0..32 {
+            mem.write(a, 0);
+        }
+        // With all-zero storage, every flip fault reads back as a 1.
+        let ones: u32 = (0..32).map(|a| mem.read(a).count_ones()).sum();
+        assert_eq!(ones as usize, n_faults);
+    }
+
+    #[test]
+    fn write_all_read_all_roundtrip_defect_free() {
+        let mut mem = FaultyMemory::new(FaultMap::defect_free(64, 10));
+        let vals: Vec<u32> = (0..64).map(|i| (i * 7) & 0x3ff).collect();
+        mem.write_all(&vals);
+        assert_eq!(mem.read_all(64), vals);
+    }
+
+    #[test]
+    fn clear_zeroes_data() {
+        let mut mem = FaultyMemory::new(FaultMap::defect_free(4, 10));
+        mem.write(2, 0x3ff);
+        mem.clear();
+        assert_eq!(mem.read(2), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_write_panics() {
+        let mut mem = FaultyMemory::new(FaultMap::defect_free(4, 10));
+        mem.write(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice longer")]
+    fn oversized_write_all_panics() {
+        let mut mem = FaultyMemory::new(FaultMap::defect_free(2, 10));
+        mem.write_all(&[0; 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn hamming_distance_bounded_by_faults(seed in 0u64..50, v in 0u32..1024) {
+            let map = FaultMap::random_exact(16, 10, 20, FaultKind::Flip, seed);
+            let mut mem = FaultyMemory::new(map);
+            for a in 0..16u32 {
+                mem.write(a, v);
+            }
+            let mut flipped = 0u32;
+            for a in 0..16u32 {
+                flipped += (mem.read(a) ^ v).count_ones();
+            }
+            prop_assert_eq!(flipped, 20);
+        }
+    }
+}

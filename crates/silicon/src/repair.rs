@@ -1,0 +1,273 @@
+//! Spare-row/column repair — the conventional yield mechanism of §3.
+//!
+//! Classical memories recover from manufacturing defects by remapping
+//! faulty rows/columns onto spares. The paper argues this becomes
+//! insufficient once defect counts grow (and cannot track
+//! operating-condition-dependent fault maps at all). This module
+//! implements the standard must-repair + greedy spare-allocation
+//! heuristic and a Monte-Carlo repair-yield estimator so the comparison
+//! against defect *acceptance* (Eq. 2) is quantitative.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dsp::rng::seeded;
+
+/// Physical array organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Word lines.
+    pub rows: u32,
+    /// Bit lines.
+    pub cols: u32,
+}
+
+impl ArrayGeometry {
+    /// Total bit cells.
+    pub fn cells(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+/// Available spare resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SpareBudget {
+    /// Spare rows.
+    pub rows: u32,
+    /// Spare columns.
+    pub cols: u32,
+}
+
+/// Attempts to cover all `faults` (as `(row, col)` cells) with the spare
+/// budget using the standard two-phase heuristic:
+///
+/// 1. **Must-repair**: a row holding more faults than the remaining spare
+///    columns can only be fixed by a spare row (and symmetrically).
+/// 2. **Greedy**: repeatedly spend a spare on the line covering the most
+///    remaining faults.
+///
+/// Returns `true` when every fault is covered. The heuristic is not
+/// optimal (optimal spare allocation is NP-complete), matching what
+/// production BIST/BISR logic actually implements.
+pub fn repair_covers(faults: &[(u32, u32)], budget: SpareBudget) -> bool {
+    let mut remaining: Vec<(u32, u32)> = faults.to_vec();
+    let mut spare_rows = budget.rows;
+    let mut spare_cols = budget.cols;
+
+    loop {
+        if remaining.is_empty() {
+            return true;
+        }
+        let mut by_row: HashMap<u32, u32> = HashMap::new();
+        let mut by_col: HashMap<u32, u32> = HashMap::new();
+        for &(r, c) in &remaining {
+            *by_row.entry(r).or_insert(0) += 1;
+            *by_col.entry(c).or_insert(0) += 1;
+        }
+
+        // Phase 1: must-repair.
+        let must_row: Vec<u32> = by_row
+            .iter()
+            .filter(|&(_, &n)| n > spare_cols)
+            .map(|(&r, _)| r)
+            .collect();
+        let must_col: Vec<u32> = by_col
+            .iter()
+            .filter(|&(_, &n)| n > spare_rows)
+            .map(|(&c, _)| c)
+            .collect();
+        if must_row.len() as u32 > spare_rows || must_col.len() as u32 > spare_cols {
+            return false;
+        }
+        if !must_row.is_empty() || !must_col.is_empty() {
+            spare_rows -= must_row.len() as u32;
+            spare_cols -= must_col.len() as u32;
+            remaining.retain(|&(r, c)| !must_row.contains(&r) && !must_col.contains(&c));
+            continue;
+        }
+
+        // Phase 2: greedy single step, then re-evaluate must-repair.
+        if spare_rows == 0 && spare_cols == 0 {
+            return false;
+        }
+        let best_row = by_row.iter().max_by_key(|&(_, &n)| n).map(|(&r, &n)| (r, n));
+        let best_col = by_col.iter().max_by_key(|&(_, &n)| n).map(|(&c, &n)| (c, n));
+        let use_row = match (best_row, best_col) {
+            (Some((_, nr)), Some((_, nc))) => {
+                if spare_cols == 0 {
+                    true
+                } else if spare_rows == 0 {
+                    false
+                } else {
+                    nr >= nc
+                }
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return true,
+        };
+        if use_row {
+            let (r, _) = best_row.expect("non-empty");
+            spare_rows -= 1;
+            remaining.retain(|&(rr, _)| rr != r);
+        } else {
+            let (c, _) = best_col.expect("non-empty");
+            spare_cols -= 1;
+            remaining.retain(|&(_, cc)| cc != c);
+        }
+    }
+}
+
+/// Monte-Carlo estimate of the repair yield: the probability that an
+/// array with iid cell-failure probability `p_cell` is fully repairable
+/// with the given spare budget.
+///
+/// # Panics
+///
+/// Panics if `p_cell` is outside `[0, 1]` or `trials == 0`.
+pub fn yield_with_repair(
+    geometry: ArrayGeometry,
+    p_cell: f64,
+    budget: SpareBudget,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = seeded(seed);
+    let mut pass = 0u32;
+    let mean_faults = geometry.cells() as f64 * p_cell;
+    for _ in 0..trials {
+        // Draw the fault count from the binomial via per-cell sampling
+        // when cheap, else normal approximation on the count and uniform
+        // placement (indistinguishable for the repair question).
+        let faults: Vec<(u32, u32)> = if geometry.cells() <= 1 << 16 {
+            let mut v = Vec::new();
+            for r in 0..geometry.rows {
+                for c in 0..geometry.cols {
+                    if rng.gen::<f64>() < p_cell {
+                        v.push((r, c));
+                    }
+                }
+            }
+            v
+        } else {
+            let std = (mean_faults * (1.0 - p_cell)).sqrt();
+            let n = (mean_faults + std * dsp::rng::standard_normal(&mut rng))
+                .round()
+                .max(0.0) as u64;
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..geometry.rows),
+                        rng.gen_range(0..geometry.cols),
+                    )
+                })
+                .collect()
+        };
+        if repair_covers(&faults, budget) {
+            pass += 1;
+        }
+    }
+    pass as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yield_model::yield_accepting;
+    use proptest::prelude::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn no_faults_always_repairable() {
+        assert!(repair_covers(&[], SpareBudget::default()));
+    }
+
+    #[test]
+    fn single_fault_needs_one_spare() {
+        let f = [(3u32, 5u32)];
+        assert!(!repair_covers(&f, SpareBudget { rows: 0, cols: 0 }));
+        assert!(repair_covers(&f, SpareBudget { rows: 1, cols: 0 }));
+        assert!(repair_covers(&f, SpareBudget { rows: 0, cols: 1 }));
+    }
+
+    #[test]
+    fn clustered_row_repaired_by_one_spare_row() {
+        let f: Vec<(u32, u32)> = (0..10).map(|c| (7u32, c)).collect();
+        assert!(repair_covers(&f, SpareBudget { rows: 1, cols: 0 }));
+        assert!(!repair_covers(&f, SpareBudget { rows: 0, cols: 5 }));
+    }
+
+    #[test]
+    fn diagonal_faults_need_one_spare_each() {
+        // k faults on a diagonal: no line covers two of them.
+        let f: Vec<(u32, u32)> = (0..6).map(|i| (i, i)).collect();
+        assert!(repair_covers(&f, SpareBudget { rows: 3, cols: 3 }));
+        assert!(!repair_covers(&f, SpareBudget { rows: 2, cols: 3 }));
+    }
+
+    #[test]
+    fn must_repair_detects_infeasible() {
+        // Two heavy rows, one spare row, no spare columns.
+        let mut f: Vec<(u32, u32)> = (0..8).map(|c| (0u32, c)).collect();
+        f.extend((0..8).map(|c| (1u32, c)));
+        assert!(!repair_covers(&f, SpareBudget { rows: 1, cols: 0 }));
+        assert!(repair_covers(&f, SpareBudget { rows: 2, cols: 0 }));
+    }
+
+    #[test]
+    fn repair_yield_beats_zero_defect_at_low_p() {
+        let g = ArrayGeometry { rows: 128, cols: 128 };
+        let p = 1e-4; // ~1.6 expected faults
+        let budget = SpareBudget { rows: 2, cols: 2 };
+        let y_repair = yield_with_repair(g, p, budget, 300, 1);
+        let y_zero = yield_accepting(g.cells(), p, 0);
+        assert!(
+            y_repair > y_zero + 0.1,
+            "repair {y_repair} should beat zero-defect {y_zero}"
+        );
+        assert!(y_repair > 0.95, "2+2 spares handle ~1.6 faults: {y_repair}");
+    }
+
+    #[test]
+    fn repair_collapses_at_high_p_but_acceptance_does_not() {
+        // The paper's §3 argument: at high defect rates spares run out
+        // while Eq. 2 acceptance (with system-level tolerance) still
+        // yields.
+        let g = ArrayGeometry { rows: 128, cols: 128 };
+        let p = 3e-3; // ~49 expected faults
+        let budget = SpareBudget { rows: 4, cols: 4 };
+        let y_repair = yield_with_repair(g, p, budget, 200, 2);
+        let y_accept = yield_accepting(g.cells(), p, (g.cells() / 100) as u64); // tolerate 1 %
+        assert!(y_repair < 0.05, "spares must be exhausted: {y_repair}");
+        assert!(y_accept > 0.999, "1% tolerance still yields: {y_accept}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn more_spares_never_hurt(n in 0usize..12, seed in 0u64..50,
+                                  r1 in 0u32..3, c1 in 0u32..3) {
+            let mut rng = seeded(seed);
+            let faults: Vec<(u32, u32)> =
+                (0..n).map(|_| (rng.gen_range(0..16u32), rng.gen_range(0..16u32))).collect();
+            let small = SpareBudget { rows: r1, cols: c1 };
+            let big = SpareBudget { rows: r1 + 1, cols: c1 + 1 };
+            if repair_covers(&faults, small) {
+                prop_assert!(repair_covers(&faults, big));
+            }
+        }
+
+        #[test]
+        fn budget_of_fault_count_always_suffices(n in 0usize..8, seed in 0u64..50) {
+            let mut rng = seeded(seed);
+            let faults: Vec<(u32, u32)> =
+                (0..n).map(|_| (rng.gen_range(0..32u32), rng.gen_range(0..32u32))).collect();
+            let budget = SpareBudget { rows: n as u32, cols: 0 };
+            prop_assert!(repair_covers(&faults, budget));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Manufacturing-yield model (Eqs. 1–2 of the paper).
+//!
+//! A die passes inspection when its memory array has at most `N_f` faulty
+//! cells. With independent per-cell failure probability `p`, the yield of
+//! an `M`-cell array is the binomial CDF
+//!
+//! ```text
+//! Y(N_f) = Σ_{i=0}^{N_f} C(M, i) pⁱ (1-p)^{M-i}
+//! ```
+//!
+//! For the paper's arrays (`M ≈ 2·10⁶` cells) direct evaluation overflows,
+//! so terms are accumulated in the log domain with an early-exit once the
+//! remaining tail is negligible.
+
+/// Conventional zero-defect yield `Y = (1-p)^M` (Eq. 1).
+///
+/// # Panics
+///
+/// Panics if `p_cell` is outside `[0, 1]`.
+pub fn yield_zero_defect(cells: u64, p_cell: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    if p_cell == 1.0 {
+        return if cells == 0 { 1.0 } else { 0.0 };
+    }
+    (cells as f64 * (-p_cell).ln_1p()).exp()
+}
+
+/// Yield when accepting dies with at most `n_accept` faulty cells (Eq. 2).
+///
+/// Numerically stable for millions of cells: the binomial PMF is built
+/// incrementally in the log domain and summation stops once terms fall
+/// 40 decades below the running total (past the distribution's mode).
+///
+/// # Panics
+///
+/// Panics if `p_cell` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use silicon::yield_model::yield_accepting;
+///
+/// let m = 200 * 1024;
+/// // With p = 1e-4 the array has ~20 expected faults: rejecting any
+/// // defective die is hopeless, accepting 0.1 % (≈ 205 cells) is safe.
+/// assert!(yield_accepting(m, 1e-4, 0) < 1e-8);
+/// assert!(yield_accepting(m, 1e-4, (m as f64 * 0.001) as u64) > 0.999);
+/// ```
+pub fn yield_accepting(cells: u64, p_cell: f64, n_accept: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    if p_cell == 0.0 {
+        return 1.0;
+    }
+    if p_cell == 1.0 {
+        return if n_accept >= cells { 1.0 } else { 0.0 };
+    }
+    if n_accept >= cells {
+        return 1.0;
+    }
+    let m = cells as f64;
+    let log_p = p_cell.ln();
+    let log_q = (-p_cell).ln_1p();
+    let log_ratio = log_p - log_q;
+    // log PMF(0) = M ln(1-p)
+    let mut log_term = m * log_q;
+    let mut sum = 0.0f64;
+    let mut max_log = f64::NEG_INFINITY;
+    let mean = m * p_cell;
+    for i in 0..=n_accept {
+        if log_term > max_log {
+            // Rescale the running sum to the new maximum.
+            sum *= (max_log - log_term).exp();
+            max_log = log_term;
+        }
+        sum += (log_term - max_log).exp();
+        // Past the mode, terms only shrink; stop once negligible.
+        if (i as f64) > mean && log_term < max_log - 92.0 {
+            break;
+        }
+        // term_{i+1} = term_i * (M-i)/(i+1) * p/(1-p)
+        log_term += ((m - i as f64) / (i as f64 + 1.0)).ln() + log_ratio;
+    }
+    (sum.ln() + max_log).exp().clamp(0.0, 1.0)
+}
+
+/// Smallest `N_f` such that `yield_accepting(cells, p_cell, N_f) ≥ target`.
+///
+/// Returns `None` if even accepting every cell faulty cannot reach the
+/// target (i.e. `target > 1`).
+///
+/// # Panics
+///
+/// Panics if `p_cell` is outside `[0, 1]` or `target` outside `(0, 1]`.
+pub fn min_accepted_faults(cells: u64, p_cell: f64, target: f64) -> Option<u64> {
+    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    assert!(target > 0.0 && target <= 1.0, "target yield must be in (0, 1]");
+    // Binary search over the monotone CDF.
+    let (mut lo, mut hi) = (0u64, cells);
+    if yield_accepting(cells, p_cell, hi) < target {
+        return None;
+    }
+    if yield_accepting(cells, p_cell, 0) >= target {
+        return Some(0);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if yield_accepting(cells, p_cell, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// The supply-voltage headroom story of Fig. 5: given a yield target and an
+/// acceptable defect *fraction*, returns the largest `p_cell` that still
+/// meets the target.
+///
+/// Used to translate "tolerate x % defects" into "may operate at the Vdd
+/// where `P_cell(Vdd)` equals this value".
+pub fn max_p_cell_for_target(cells: u64, defect_fraction: f64, target: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&defect_fraction));
+    let n_accept = (cells as f64 * defect_fraction).floor() as u64;
+    // Bisect on log10(p) in [-12, 0].
+    let (mut lo, mut hi) = (-12.0f64, 0.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let p = 10f64.powf(mid);
+        if yield_accepting(cells, p, n_accept) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    10f64.powf(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_defect_matches_closed_form() {
+        let y = yield_zero_defect(1000, 1e-3);
+        assert!((y - 0.999f64.powi(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accepting_zero_equals_zero_defect() {
+        for p in [1e-6, 1e-4, 1e-2] {
+            let a = yield_accepting(10_000, p, 0);
+            let b = yield_zero_defect(10_000, p);
+            assert!((a - b).abs() < 1e-9, "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn small_case_matches_direct_sum() {
+        // M = 20, p = 0.1, N_f = 3: compute directly.
+        let (m, p, nf) = (20u64, 0.1f64, 3u64);
+        let mut direct = 0.0;
+        for i in 0..=nf {
+            let mut c = 1.0f64;
+            for k in 0..i {
+                c *= (m - k) as f64 / (k + 1) as f64;
+            }
+            direct += c * p.powi(i as i32) * (1.0 - p).powi((m - i) as i32);
+        }
+        let fast = yield_accepting(m, p, nf);
+        assert!((fast - direct).abs() < 1e-12, "{fast} vs {direct}");
+    }
+
+    #[test]
+    fn paper_fig5_anchor() {
+        // Fig. 5: 200 Kb array, P_cell = 1e-4 → accepting 0.1 % defects
+        // meets the 95 % yield target.
+        let m = 200 * 1024u64;
+        let nf = (m as f64 * 0.001) as u64;
+        assert!(yield_accepting(m, 1e-4, nf) > 0.95);
+        // ...while zero-defect yield is hopeless.
+        assert!(yield_accepting(m, 1e-4, 0) < 0.01);
+    }
+
+    #[test]
+    fn monotone_in_n_accept() {
+        let m = 50_000u64;
+        let p = 5e-4;
+        let mut prev = 0.0;
+        for nf in [0u64, 5, 10, 25, 50, 100, 500] {
+            let y = yield_accepting(m, p, nf);
+            assert!(y >= prev - 1e-12, "not monotone at nf={nf}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn large_array_large_p_no_overflow() {
+        // 2M cells at 10 % failure: mean 200k faults.
+        let m = 2_000_000u64;
+        let y_low = yield_accepting(m, 0.1, 150_000);
+        let y_mid = yield_accepting(m, 0.1, 200_000);
+        let y_high = yield_accepting(m, 0.1, 250_000);
+        assert!(y_low < 1e-6, "{y_low}");
+        assert!((y_mid - 0.5).abs() < 0.01, "{y_mid}");
+        assert!(y_high > 0.999_999, "{y_high}");
+    }
+
+    #[test]
+    fn min_accepted_faults_inverse() {
+        let m = 200 * 1024u64;
+        let p = 1e-4;
+        let nf = min_accepted_faults(m, p, 0.95).unwrap();
+        assert!(yield_accepting(m, p, nf) >= 0.95);
+        assert!(yield_accepting(m, p, nf - 1) < 0.95);
+        // ~mean + small margin, far below 0.1 % of the array.
+        assert!((20..60).contains(&nf), "nf = {nf}");
+    }
+
+    #[test]
+    fn min_accepted_faults_zero_p() {
+        assert_eq!(min_accepted_faults(1000, 0.0, 0.95), Some(0));
+    }
+
+    #[test]
+    fn max_p_cell_monotone_in_tolerance() {
+        let m = 200 * 1024u64;
+        let p1 = max_p_cell_for_target(m, 0.001, 0.95);
+        let p2 = max_p_cell_for_target(m, 0.01, 0.95);
+        let p3 = max_p_cell_for_target(m, 0.10, 0.95);
+        assert!(p1 < p2 && p2 < p3);
+        // 0.1 % tolerance admits p ≈ 1e-3-ish; sanity band.
+        assert!(p1 > 1e-5 && p1 < 1e-2, "p1 = {p1}");
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(yield_accepting(100, 0.0, 0), 1.0);
+        assert_eq!(yield_accepting(100, 1.0, 99), 0.0);
+        assert_eq!(yield_accepting(100, 1.0, 100), 1.0);
+        assert_eq!(yield_zero_defect(0, 1.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn yield_is_probability(mexp in 2u32..20, p in 1e-6f64..0.3, frac in 0.0f64..0.2) {
+            let m = 1u64 << mexp;
+            let nf = (m as f64 * frac) as u64;
+            let y = yield_accepting(m, p, nf);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn yield_decreases_with_p(mexp in 6u32..16, nf in 0u64..50) {
+            let m = 1u64 << mexp;
+            let y1 = yield_accepting(m, 1e-5, nf);
+            let y2 = yield_accepting(m, 1e-3, nf);
+            prop_assert!(y1 >= y2 - 1e-12);
+        }
+    }
+}

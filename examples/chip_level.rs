@@ -1,0 +1,81 @@
+//! Chip-level waveform demo: the parts the symbol-level simulator skips.
+//!
+//! ```text
+//! cargo run --release --example chip_level
+//! ```
+//!
+//! Builds the full HS-PDSCH transmit waveform — 64QAM symbols on several
+//! SF16 OVSF codes, Gold-scrambled, RRC-shaped at 4 samples/chip — sends
+//! it through an AWGN channel, runs the matched-filter front-end, and
+//! checks the recovered symbol quality (EVM) and bit errors per code.
+
+use dsp::rng::{complex_gaussian, random_bits, seeded};
+use dsp::stats::{db_to_linear, linear_to_db};
+use hspa_phy::bits::hamming_distance;
+use hspa_phy::hsdpa::HsdpaFrontend;
+use hspa_phy::Modulation;
+
+fn main() {
+    let n_codes = 8;
+    let n_sym = 64; // per code
+    let modulation = Modulation::Qam64;
+    let snr_db = 25.0;
+    let fe = HsdpaFrontend::new(n_codes, 5, 4);
+    let mut rng = seeded(11);
+
+    // Independent 64QAM streams per channelization code.
+    let mut bits = Vec::new();
+    let mut streams = Vec::new();
+    for _ in 0..n_codes {
+        let b = random_bits(&mut rng, n_sym * modulation.bits_per_symbol());
+        streams.push(modulation.modulate(&b));
+        bits.push(b);
+    }
+
+    let wave = fe.transmit(&streams);
+    println!(
+        "waveform: {} samples ({} codes x {} symbols x SF16 x {} sps + filter tails)",
+        wave.len(),
+        n_codes,
+        n_sym,
+        fe.sps()
+    );
+
+    // Per-chip SNR: the waveform carries n_codes streams at 1/n_codes
+    // power each, so per-sample signal power ≈ 1/sps after shaping.
+    let sig_power = wave.iter().map(|w| w.norm_sqr()).sum::<f64>() / wave.len() as f64;
+    let noise_var = sig_power / db_to_linear(snr_db);
+    let rx: Vec<_> = wave
+        .iter()
+        .map(|&w| w + complex_gaussian(&mut rng, noise_var))
+        .collect();
+
+    let recovered = fe.receive(&rx, n_sym);
+    println!("\nper-code results at {snr_db} dB chip SNR:");
+    let mut total_err = 0usize;
+    let mut total_bits = 0usize;
+    for k in 0..n_codes {
+        let evm: f64 = streams[k]
+            .iter()
+            .zip(&recovered[k])
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            / n_sym as f64;
+        let hard = modulation.demodulate_hard(&recovered[k]);
+        let errs = hamming_distance(&hard, &bits[k]);
+        total_err += errs;
+        total_bits += bits[k].len();
+        println!(
+            "  code {k:2}: EVM {:6.1} dB, bit errors {errs}/{}",
+            linear_to_db(evm),
+            bits[k].len()
+        );
+    }
+    println!(
+        "\ntotal raw BER: {:.4} ({} / {} bits)",
+        total_err as f64 / total_bits as f64,
+        total_err,
+        total_bits
+    );
+    println!("despreading gain (SF16 = 12 dB) makes the symbol SNR comfortable for 64QAM.");
+}

@@ -1,0 +1,5 @@
+//! Meta-crate re-exporting the whole reproduction suite.
+pub use dsp;
+pub use hspa_phy;
+pub use resilience_core;
+pub use silicon;

@@ -1,0 +1,80 @@
+//! Smoke tests running every figure experiment end to end at tiny budget —
+//! the same code paths the `bench` binaries use for full regeneration.
+
+use resilience_core::config::SystemConfig;
+use resilience_core::experiments::{fig2, fig3, fig5, fig6, fig7, fig8, fig9, power, ExperimentBudget};
+
+fn cfg() -> SystemConfig {
+    SystemConfig::fast_test()
+}
+
+#[test]
+fn fig2_smoke() {
+    let res = fig2::run(&cfg(), ExperimentBudget::smoke());
+    assert_eq!(res.bler.len(), 3);
+    // High-SNR regime decodes far better than low-SNR on the first try.
+    let low = &res.bler[0];
+    let high = &res.bler[2];
+    assert!(low.snr_db < high.snr_db);
+    assert!(high.bler[0] <= low.bler[0]);
+    assert!(!res.table().is_empty());
+}
+
+#[test]
+fn fig3_smoke() {
+    let res = fig3::run();
+    assert_eq!(res.log10_p.len(), 3);
+    assert!(res.table().contains("Vdd"));
+}
+
+#[test]
+fn fig5_smoke() {
+    let res = fig5::run_for(50 * 1024);
+    assert!(!res.n_f.is_empty());
+    for c in &res.curves {
+        assert!(c.yields.iter().all(|&y| (0.0..=1.0).contains(&y)));
+    }
+}
+
+#[test]
+fn fig6_smoke() {
+    let res = fig6::run_with_fractions(&cfg(), ExperimentBudget::smoke(), &[0.0, 0.05]);
+    assert_eq!(res.curves.len(), 2);
+    assert!(res.table_throughput().contains("SNR"));
+    assert!(res
+        .curves
+        .iter()
+        .all(|c| c.avg_transmissions.iter().all(|&t| (1.0..=4.0).contains(&t))));
+}
+
+#[test]
+fn fig7_smoke() {
+    let panel = fig7::run_panel(&cfg(), ExperimentBudget::smoke(), 0.05);
+    assert_eq!(panel.throughput.len(), fig7::PROTECTED_BITS.len());
+    assert!(panel.table().contains("defect-free"));
+}
+
+#[test]
+fn fig8_smoke() {
+    let res = fig8::run(&cfg(), ExperimentBudget::smoke(), 12.0);
+    // 0..=10 protected bits plus the ECC row.
+    assert_eq!(res.rows.len(), 12);
+    // Efficiency is finite and positive everywhere.
+    assert!(res.rows.iter().all(|r| r.efficiency.is_finite() && r.efficiency >= 0.0));
+}
+
+#[test]
+fn fig9_smoke() {
+    let res = fig9::run(&cfg(), ExperimentBudget::smoke());
+    assert_eq!(res.throughput.len(), fig9::BIT_WIDTHS.len());
+    assert!(res.storage_cells.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn power_smoke() {
+    let res = power::run(&cfg(), ExperimentBudget::smoke(), 12.0);
+    assert_eq!(res.rows.len(), 4);
+    // Savings ordering: lower voltage, lower power.
+    assert!(res.rows[3].relative_power < res.rows[0].relative_power);
+    assert!(res.table().contains("Vdd"));
+}

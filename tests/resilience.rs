@@ -1,0 +1,146 @@
+//! Integration tests of the paper's headline claims at smoke scale.
+
+use resilience_core::config::SystemConfig;
+use resilience_core::montecarlo::{run_point, DefectSpec, StorageConfig};
+use silicon::fault_map::FaultKind;
+
+const SNR: f64 = 14.0;
+const PACKETS: usize = 12;
+const SEED: u64 = 2012;
+
+/// Claim 1 (Fig. 6): small defect rates are free; large ones cost
+/// throughput. The ordering clean ≥ 0.1 % ≥ 25 % must hold.
+#[test]
+fn defect_tolerance_ordering() {
+    let cfg = SystemConfig::fast_test();
+    let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
+    let tiny = run_point(&cfg, &StorageConfig::unprotected(0.001, cfg.llr_bits), SNR, PACKETS, SEED);
+    let huge = run_point(&cfg, &StorageConfig::unprotected(0.25, cfg.llr_bits), SNR, PACKETS, SEED);
+    assert_eq!(clean.delivered, tiny.delivered, "0.1% must be transparent");
+    assert!(
+        huge.normalized_throughput() < clean.normalized_throughput(),
+        "heavy defects must degrade: {} !< {}",
+        huge.normalized_throughput(),
+        clean.normalized_throughput()
+    );
+    assert!(
+        huge.avg_transmissions() >= clean.avg_transmissions(),
+        "defects must cost retransmissions"
+    );
+}
+
+/// Claim 2 (Fig. 7): protecting the MSBs recovers throughput lost to a
+/// high defect rate in the remaining bits.
+#[test]
+fn msb_protection_recovers() {
+    let cfg = SystemConfig::fast_test();
+    let frac = 0.20;
+    let none = run_point(&cfg, &StorageConfig::msb_protected(0, frac, cfg.llr_bits), SNR, PACKETS, SEED);
+    let four = run_point(&cfg, &StorageConfig::msb_protected(4, frac, cfg.llr_bits), SNR, PACKETS, SEED);
+    let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
+    assert!(
+        four.normalized_throughput() >= none.normalized_throughput(),
+        "4-MSB protection must not lose to none: {} vs {}",
+        four.normalized_throughput(),
+        none.normalized_throughput()
+    );
+    // Protected system sits close to the defect-free reference.
+    assert!(
+        clean.normalized_throughput() - four.normalized_throughput() <= 0.35,
+        "protected {} too far below clean {}",
+        four.normalized_throughput(),
+        clean.normalized_throughput()
+    );
+}
+
+/// Claim 3 (§6.2): SECDED over the whole word also restores throughput at
+/// sparse defect rates — it is the *area*, not the function, that damns it.
+#[test]
+fn ecc_restores_at_sparse_rates() {
+    let cfg = SystemConfig::fast_test();
+    let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
+    let ecc = run_point(
+        &cfg,
+        &StorageConfig::Ecc {
+            defects: DefectSpec::Fraction(0.002),
+            fault_kind: FaultKind::Flip,
+        },
+        SNR,
+        PACKETS,
+        SEED,
+    );
+    assert_eq!(clean.delivered, ecc.delivered, "sparse faults fully corrected by SECDED");
+}
+
+/// Claim 4 (Fig. 9): at a fixed high defect rate, wider LLR words do not
+/// help (quantization noise is not the bottleneck; fault exposure is).
+#[test]
+fn wider_words_do_not_help_under_defects() {
+    let mut cfg10 = SystemConfig::fast_test();
+    cfg10.llr_bits = 10;
+    let mut cfg12 = SystemConfig::fast_test();
+    cfg12.llr_bits = 12;
+    let frac = 0.15;
+    let t10 = run_point(&cfg10, &StorageConfig::unprotected(frac, 10), SNR, PACKETS, SEED);
+    let t12 = run_point(&cfg12, &StorageConfig::unprotected(frac, 12), SNR, PACKETS, SEED);
+    assert!(
+        t12.normalized_throughput() <= t10.normalized_throughput() + 0.15,
+        "12-bit {} should not beat 10-bit {} under defects",
+        t12.normalized_throughput(),
+        t10.normalized_throughput()
+    );
+}
+
+/// Claim 5 (stuck-at vs flip): stuck faults corrupt only ~half the reads
+/// (the stored bit may already equal the stuck value), so flips are the
+/// worst case — as the paper assumes.
+#[test]
+fn flips_are_at_least_as_bad_as_stuck() {
+    let cfg = SystemConfig::fast_test();
+    let frac = 0.2;
+    let mk = |kind| StorageConfig::Faulty {
+        plan: silicon::ProtectionPlan::uniform(cfg.llr_bits, silicon::BitCellKind::Sram6T),
+        defects: DefectSpec::Fraction(frac),
+        fault_kind: kind,
+    };
+    let flip = run_point(&cfg, &mk(FaultKind::Flip), SNR, PACKETS, SEED);
+    let sa0 = run_point(&cfg, &mk(FaultKind::StuckAt0), SNR, PACKETS, SEED);
+    assert!(
+        flip.normalized_throughput() <= sa0.normalized_throughput() + 0.2,
+        "flips {} should be at least as harmful as stuck-at-0 {}",
+        flip.normalized_throughput(),
+        sa0.normalized_throughput()
+    );
+}
+
+/// Yield model and throughput tie together: the defect fraction a 95 %
+/// yield target forces at low voltage is one the system tolerates.
+#[test]
+fn yield_and_throughput_compose() {
+    use silicon::cell::{BitCellKind, CellFailureModel};
+    use silicon::yield_model::min_accepted_faults;
+
+    let cfg = SystemConfig::fast_test();
+    let cells = cfg.storage_cells();
+    let model = CellFailureModel::dac12();
+    let p = model.p_cell(BitCellKind::Sram6T, 0.8);
+    let nf = min_accepted_faults(cells, p, 0.95).expect("target reachable");
+    let frac = nf as f64 / cells as f64;
+    assert!(frac < 0.01, "0.8 V should need well under 1% acceptance, got {frac}");
+    let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
+    let scaled = run_point(
+        &cfg,
+        &StorageConfig::Faulty {
+            plan: silicon::ProtectionPlan::uniform(cfg.llr_bits, BitCellKind::Sram6T),
+            defects: DefectSpec::Count(nf as usize),
+            fault_kind: FaultKind::Flip,
+        },
+        SNR,
+        PACKETS,
+        SEED,
+    );
+    assert_eq!(
+        clean.delivered, scaled.delivered,
+        "the yield-driven defect count must be transparent to the link"
+    );
+}
