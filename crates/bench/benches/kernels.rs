@@ -94,7 +94,13 @@ fn bench_silicon(c: &mut Criterion) {
     });
     group.bench_function("fault_map_draw_10pct", |b| {
         b.iter(|| {
-            black_box(FaultMap::random_exact(1884, 10, 1884, FaultKind::Flip, black_box(7)))
+            black_box(FaultMap::random_exact(
+                1884,
+                10,
+                1884,
+                FaultKind::Flip,
+                black_box(7),
+            ))
         });
     });
     group.bench_function("yield_200kb_mean", |b| {

@@ -1,40 +1,148 @@
-//! Criterion benchmark of the end-to-end link simulation — the unit of
-//! work behind every Monte-Carlo point of Figs. 2/6/7/8/9.
+//! Benchmark of the end-to-end link simulation and the Monte-Carlo
+//! engine — the unit of work behind every figure of the paper.
+//!
+//! Two parts:
+//!
+//! 1. Per-packet wall-clock of `simulate_packet_with` across storage
+//!    backends and SNRs (the kernel every Monte-Carlo point repeats).
+//! 2. Engine throughput (packets/sec) at 1 worker vs all CPUs over a
+//!    realistic operating grid, written to `BENCH_engine.json` so future
+//!    changes have a machine-readable perf trajectory.
+//!
+//! Run with `cargo bench --bench link_simulation`. The JSON lands in the
+//! working directory.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::Instant;
 
 use resilience_core::config::SystemConfig;
+use resilience_core::engine::SimulationEngine;
 use resilience_core::montecarlo::{build_buffer, StorageConfig};
-use resilience_core::simulator::LinkSimulator;
+use resilience_core::simulator::{LinkSimulator, PacketScratch};
 
-fn bench_packet(c: &mut Criterion) {
-    let mut group = c.benchmark_group("link");
-    group.sample_size(10);
+/// One engine measurement for the JSON report.
+struct EngineSample {
+    threads: usize,
+    packets: usize,
+    seconds: f64,
+}
+
+impl EngineSample {
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn bench_single_packet() {
+    println!("--- per-packet kernel (median of repeated packets)");
     let cfg = SystemConfig::paper_64qam();
     let sim = LinkSimulator::new(cfg);
     let storages = [
         ("ideal", StorageConfig::Perfect),
-        ("faulty10pct", StorageConfig::unprotected(0.10, cfg.llr_bits)),
-        ("hybrid4msb", StorageConfig::msb_protected(4, 0.10, cfg.llr_bits)),
+        (
+            "faulty10pct",
+            StorageConfig::unprotected(0.10, cfg.llr_bits),
+        ),
+        (
+            "hybrid4msb",
+            StorageConfig::msb_protected(4, 0.10, cfg.llr_bits),
+        ),
     ];
     for (name, storage) in &storages {
         for &snr in &[9.0f64, 18.0] {
-            group.bench_with_input(
-                BenchmarkId::new(*name, format!("{snr}dB")),
-                &snr,
-                |b, &snr| {
-                    let mut buffer = build_buffer(&cfg, storage, 1);
-                    let mut rng = dsp::rng::seeded(2);
-                    b.iter(|| {
-                        black_box(sim.simulate_packet(black_box(snr), &mut buffer, &mut rng))
-                    });
-                },
-            );
+            let mut buffer = build_buffer(&cfg, storage, 1);
+            let mut rng = dsp::rng::seeded(2);
+            let mut scratch = PacketScratch::new();
+            // Warm up allocations and fault-map caches.
+            for _ in 0..3 {
+                black_box(sim.simulate_packet_with(snr, &mut buffer, &mut rng, &mut scratch));
+            }
+            let reps = 20;
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                black_box(sim.simulate_packet_with(
+                    black_box(snr),
+                    &mut buffer,
+                    &mut rng,
+                    &mut scratch,
+                ));
+                samples.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let us = samples[reps / 2];
+            println!("bench link/{name}/{snr}dB {us:>12.1} us/packet");
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_packet);
-criterion_main!(benches);
+fn measure_engine(threads: usize, packets_per_point: usize) -> EngineSample {
+    let cfg = SystemConfig::paper_64qam();
+    let sim = LinkSimulator::new(cfg);
+    let engine = SimulationEngine::with_threads(threads);
+    let storages = [
+        StorageConfig::Quantized,
+        StorageConfig::unprotected(0.10, cfg.llr_bits),
+        StorageConfig::msb_protected(4, 0.10, cfg.llr_bits),
+    ];
+    let snrs = [9.0, 13.0, 18.0];
+    let t = Instant::now();
+    let grid = engine.run_grid(&sim, &storages, &snrs, packets_per_point, 0xbe_c41);
+    let seconds = t.elapsed().as_secs_f64();
+    let packets: u64 = grid.stats.iter().flatten().map(|s| s.packets).sum();
+    EngineSample {
+        threads: engine.threads(),
+        packets: packets as usize,
+        seconds,
+    }
+}
+
+fn main() {
+    bench_single_packet();
+
+    println!("--- engine scaling (grid: 3 storages x 3 SNRs)");
+    let packets_per_point = std::env::args()
+        .skip_while(|a| a != "--packets")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let serial = measure_engine(1, packets_per_point);
+    let parallel = measure_engine(0, packets_per_point);
+    let speedup = parallel.packets_per_sec() / serial.packets_per_sec();
+    for s in [&serial, &parallel] {
+        println!(
+            "bench engine/threads={} {:>10.1} packets/sec ({} packets in {:.2}s)",
+            s.threads,
+            s.packets_per_sec(),
+            s.packets,
+            s.seconds
+        );
+    }
+    println!(
+        "engine speedup at {} threads: {speedup:.2}x",
+        parallel.threads
+    );
+
+    // Machine-readable trajectory for future PRs. Hand-formatted JSON:
+    // the offline serde shim intentionally has no serializer.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"engine_grid\",");
+    let _ = writeln!(json, "  \"packets_per_point\": {packets_per_point},");
+    let _ = writeln!(json, "  \"grid_points\": 9,");
+    let _ = writeln!(
+        json,
+        "  \"serial\": {{\"threads\": 1, \"packets_per_sec\": {:.2}}},",
+        serial.packets_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel\": {{\"threads\": {}, \"packets_per_sec\": {:.2}}},",
+        parallel.threads,
+        parallel.packets_per_sec()
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    json.push('}');
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}

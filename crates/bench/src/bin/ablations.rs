@@ -17,7 +17,7 @@ use hspa_phy::channel::{ChannelModel, MultipathChannel};
 use hspa_phy::equalizer::{MmseEqualizer, RakeReceiver};
 use hspa_phy::harq::HarqCombining;
 use resilience_core::config::SystemConfig;
-use resilience_core::montecarlo::{run_point_with, DefectSpec, StorageConfig};
+use resilience_core::montecarlo::{DefectSpec, StorageConfig};
 use resilience_core::report::render_table;
 use resilience_core::simulator::LinkSimulator;
 use silicon::fault_map::FaultKind;
@@ -26,9 +26,13 @@ use silicon::ProtectionPlan;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
+    let engine = budget.engine();
     let snr = 12.0;
     let frac = 0.05;
-    println!("{}", banner("ablations", "design-choice sensitivity", budget));
+    println!(
+        "{}",
+        banner("ablations", "design-choice sensitivity", budget)
+    );
 
     // 1. Storage format.
     let mut rows = Vec::new();
@@ -39,7 +43,7 @@ fn main() {
         let mut cfg = SystemConfig::paper_64qam();
         cfg.llr_format = fmt;
         let sim = LinkSimulator::new(cfg);
-        let stats = run_point_with(
+        let stats = engine.run_point(
             &sim,
             &StorageConfig::unprotected(frac, cfg.llr_bits),
             snr,
@@ -52,8 +56,17 @@ fn main() {
             format!("{:.2}", stats.avg_transmissions()),
         ]);
     }
-    println!("--- ablation 1: LLR storage format (Nf={:.0}%, {snr} dB)", frac * 100.0);
-    println!("{}", render_table(&["format".into(), "throughput".into(), "avg tx".into()], &rows));
+    println!(
+        "--- ablation 1: LLR storage format (Nf={:.0}%, {snr} dB)",
+        frac * 100.0
+    );
+    println!(
+        "{}",
+        render_table(
+            &["format".into(), "throughput".into(), "avg tx".into()],
+            &rows
+        )
+    );
 
     // 2. Decoder iterations as a proxy knob the paper-era ASICs tuned.
     let mut rows = Vec::new();
@@ -61,7 +74,7 @@ fn main() {
         let mut cfg = SystemConfig::paper_64qam();
         cfg.decoder_iterations = iters;
         let sim = LinkSimulator::new(cfg);
-        let stats = run_point_with(
+        let stats = engine.run_point(
             &sim,
             &StorageConfig::unprotected(frac, cfg.llr_bits),
             snr,
@@ -73,8 +86,14 @@ fn main() {
             format!("{:.4}", stats.normalized_throughput()),
         ]);
     }
-    println!("--- ablation 2: turbo iterations (Nf={:.0}%, {snr} dB)", frac * 100.0);
-    println!("{}", render_table(&["decoder".into(), "throughput".into()], &rows));
+    println!(
+        "--- ablation 2: turbo iterations (Nf={:.0}%, {snr} dB)",
+        frac * 100.0
+    );
+    println!(
+        "{}",
+        render_table(&["decoder".into(), "throughput".into()], &rows)
+    );
 
     // 3. Fault model.
     let mut rows = Vec::new();
@@ -90,25 +109,34 @@ fn main() {
             defects: DefectSpec::Fraction(frac),
             fault_kind: kind,
         };
-        let stats = run_point_with(&sim, &storage, snr, budget.packets_per_point, budget.seed);
+        let stats = engine.run_point(&sim, &storage, snr, budget.packets_per_point, budget.seed);
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", stats.normalized_throughput()),
         ]);
     }
-    println!("--- ablation 3: fault model (Nf={:.0}%, {snr} dB)", frac * 100.0);
-    println!("{}", render_table(&["fault kind".into(), "throughput".into()], &rows));
+    println!(
+        "--- ablation 3: fault model (Nf={:.0}%, {snr} dB)",
+        frac * 100.0
+    );
+    println!(
+        "{}",
+        render_table(&["fault kind".into(), "throughput".into()], &rows)
+    );
 
     // 4. HARQ combining.
     let mut rows = Vec::new();
     for (name, comb) in [
-        ("incremental redundancy", HarqCombining::IncrementalRedundancy),
+        (
+            "incremental redundancy",
+            HarqCombining::IncrementalRedundancy,
+        ),
         ("chase", HarqCombining::Chase),
     ] {
         let mut cfg = SystemConfig::paper_64qam();
         cfg.combining = comb;
         let sim = LinkSimulator::new(cfg);
-        let stats = run_point_with(
+        let stats = engine.run_point(
             &sim,
             &StorageConfig::Quantized,
             6.0,
@@ -122,7 +150,13 @@ fn main() {
         ]);
     }
     println!("--- ablation 4: HARQ combining (defect-free, 6 dB)");
-    println!("{}", render_table(&["combining".into(), "throughput".into(), "avg tx".into()], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["combining".into(), "throughput".into(), "avg tx".into()],
+            &rows
+        )
+    );
 
     // 5. Equalizer (component level): mean post-SINR over realizations.
     let ch = MultipathChannel::vehicular_a_chip_rate();
@@ -140,8 +174,14 @@ fn main() {
         render_table(
             &["equalizer".into(), "mean post-SINR".into()],
             &[
-                vec!["MMSE-31".into(), format!("{:.2} dB", linear_to_db(mmse_sum / n as f64))],
-                vec!["RAKE".into(), format!("{:.2} dB", linear_to_db(rake_sum / n as f64))],
+                vec![
+                    "MMSE-31".into(),
+                    format!("{:.2} dB", linear_to_db(mmse_sum / n as f64))
+                ],
+                vec![
+                    "RAKE".into(),
+                    format!("{:.2} dB", linear_to_db(rake_sum / n as f64))
+                ],
             ],
         )
     );

@@ -9,7 +9,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
-    println!("{}", banner("die-var", "throughput spread across dies", budget));
+    println!(
+        "{}",
+        banner("die-var", "throughput spread across dies", budget)
+    );
     for frac in [0.01, 0.10] {
         let res = die_variation::run(&cfg, budget, 15.0, frac, 12);
         println!("{}", res.table());

@@ -9,13 +9,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
-    println!("{}", banner("Fig. 6a", "throughput vs SNR vs defect rate", budget));
+    println!(
+        "{}",
+        banner("Fig. 6a", "throughput vs SNR vs defect rate", budget)
+    );
     let res = fig6::run(&cfg, budget);
     println!("{}", res.table_throughput());
     let (snr_req, thr_req) = THROUGHPUT_REQUIREMENT;
     for s in res.throughput_series() {
         match s.crossing(thr_req) {
-            Some(x) => println!("{:<10} crosses {:.2} at {:5.1} dB (3GPP point: {:.0} dB)", s.label, thr_req, x, snr_req),
+            Some(x) => println!(
+                "{:<10} crosses {:.2} at {:5.1} dB (3GPP point: {:.0} dB)",
+                s.label, thr_req, x, snr_req
+            ),
             None => println!("{:<10} never reaches {:.2}", s.label, thr_req),
         }
     }

@@ -9,7 +9,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
-    println!("{}", banner("Fig. 6b", "avg transmissions vs SNR vs defect rate", budget));
+    println!(
+        "{}",
+        banner("Fig. 6b", "avg transmissions vs SNR vs defect rate", budget)
+    );
     let res = fig6::run(&cfg, budget);
     println!("{}", res.table_avg_tx());
     println!("expected shape: defect rates beyond 0.1% push the retransmission");

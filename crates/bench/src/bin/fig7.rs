@@ -9,10 +9,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
-    println!("{}", banner("Fig. 7", "throughput vs protected MSBs", budget));
+    println!(
+        "{}",
+        banner("Fig. 7", "throughput vs protected MSBs", budget)
+    );
     let res = fig7::run(&cfg, budget);
-    println!("--- panel (a): Nf = 1% in 6T cells\n{}", res.panel_a.table());
-    println!("--- panel (b): Nf = 10% in 6T cells\n{}", res.panel_b.table());
+    println!(
+        "--- panel (a): Nf = 1% in 6T cells\n{}",
+        res.panel_a.table()
+    );
+    println!(
+        "--- panel (b): Nf = 10% in 6T cells\n{}",
+        res.panel_b.table()
+    );
     println!("expected shape: protecting 3-4 MSBs recovers (almost) the defect-free");
     println!("curve even under 10% defects in the remaining bits.");
 }

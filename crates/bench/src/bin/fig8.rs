@@ -11,7 +11,10 @@ fn main() {
     let cfg = SystemConfig::paper_64qam();
     // Mid-waterfall SNR: where the unprotected system suffers most.
     let snr = 9.0;
-    println!("{}", banner("Fig. 8", "protection efficiency at Nf=10%", budget));
+    println!(
+        "{}",
+        banner("Fig. 8", "protection efficiency at Nf=10%", budget)
+    );
     let res = fig8::run(&cfg, budget, snr);
     println!("{}", res.table());
     println!("best gain/area protection: {} MSBs", res.best_protection());

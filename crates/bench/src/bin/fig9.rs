@@ -9,12 +9,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
-    println!("{}", banner("Fig. 9", "bit-width vs defect interaction", budget));
+    println!(
+        "{}",
+        banner("Fig. 9", "bit-width vs defect interaction", budget)
+    );
     let res = fig9::run(&cfg, budget);
     println!("{}", res.table());
     for (i, w) in fig9::BIT_WIDTHS.iter().enumerate() {
-        println!("{w}-bit: {} storage cells, high-SNR mean throughput {:.3}",
-            res.storage_cells[i], res.high_snr_mean(i));
+        println!(
+            "{w}-bit: {} storage cells, high-SNR mean throughput {:.3}",
+            res.storage_cells[i],
+            res.high_snr_mean(i)
+        );
     }
     println!("\nexpected shape: under 10% defects the 10-bit system matches or beats");
     println!("11/12-bit at high SNR - bigger arrays collect more faults.");

@@ -10,7 +10,10 @@ fn main() {
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
     let snr = 9.0; // the paper's retransmission comparison point
-    println!("{}", banner("§6.3", "power reduction via defect tolerance", budget));
+    println!(
+        "{}",
+        banner("§6.3", "power reduction via defect tolerance", budget)
+    );
     let res = power::run(&cfg, budget, snr);
     println!("{}", res.table());
     println!("expected shape: 6T@0.8V saves ~30-40% with no throughput cost;");

@@ -9,15 +9,21 @@ use silicon::repair::{yield_with_repair, ArrayGeometry, SpareBudget};
 use silicon::yield_model::yield_accepting;
 
 fn main() {
-    let g = ArrayGeometry { rows: 256, cols: 128 }; // 32 Kb tile
+    let g = ArrayGeometry {
+        rows: 256,
+        cols: 128,
+    }; // 32 Kb tile
     let budget = SpareBudget { rows: 4, cols: 4 };
     println!("=== DAC'12 reproduction — §3 ext: repair vs acceptance yield");
-    println!("=== {}x{} tile, {} spare rows + {} spare columns\n", g.rows, g.cols, budget.rows, budget.cols);
+    println!(
+        "=== {}x{} tile, {} spare rows + {} spare columns\n",
+        g.rows, g.cols, budget.rows, budget.cols
+    );
     let mut rows = Vec::new();
     for (i, p) in [1e-5f64, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2].iter().enumerate() {
         let y_zero = yield_accepting(g.cells(), *p, 0);
         let y_rep = yield_with_repair(g, *p, budget, 400, 100 + i as u64);
-        let tol = (g.cells() / 100) as u64; // tolerate 1% faulty cells
+        let tol = g.cells() / 100; // tolerate 1% faulty cells
         let y_acc = yield_accepting(g.cells(), *p, tol);
         rows.push(vec![
             format!("{p:.0e}"),
@@ -27,11 +33,19 @@ fn main() {
             format!("{y_acc:.3}"),
         ]);
     }
-    println!("{}", render_table(
-        &["Pcell".into(), "E[faults]".into(), "zero-defect".into(),
-          "4+4 spares".into(), "accept 1%".into()],
-        &rows,
-    ));
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Pcell".into(),
+                "E[faults]".into(),
+                "zero-defect".into(),
+                "4+4 spares".into(),
+                "accept 1%".into()
+            ],
+            &rows,
+        )
+    );
     println!("expected shape: spares rescue yield for a handful of faults, then");
     println!("collapse; acceptance (enabled by system resilience) keeps yielding");
     println!("until E[faults] approaches the tolerated count - the paper's §3 point.");

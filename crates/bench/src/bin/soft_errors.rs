@@ -8,7 +8,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
     let cfg = SystemConfig::paper_64qam();
-    println!("{}", banner("§3 ext", "soft-error (transient upset) sensitivity", budget));
+    println!(
+        "{}",
+        banner("§3 ext", "soft-error (transient upset) sensitivity", budget)
+    );
     let res = soft_errors::run(&cfg, budget, 18.0);
     println!("{}", res.table());
     println!("expected shape: throughput unaffected until ~1e-4 upsets/bit/read,");

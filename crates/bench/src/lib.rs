@@ -6,12 +6,14 @@
 //! called out in `DESIGN.md`.
 //!
 //! Every binary accepts an optional `--packets N` argument to trade
-//! fidelity for runtime, and `--seed S` for independent replications.
+//! fidelity for runtime, `--seed S` for independent replications, and
+//! `--threads T` to pin the Monte-Carlo engine's worker count
+//! (`0` = one per CPU; the default). Thread count never changes results.
 
 use resilience_core::experiments::ExperimentBudget;
 
-/// Parses `--packets N` and `--seed S` from command-line arguments into a
-/// budget, starting from [`ExperimentBudget::full`].
+/// Parses `--packets N`, `--seed S` and `--threads T` from command-line
+/// arguments into a budget, starting from [`ExperimentBudget::full`].
 ///
 /// Unknown arguments are ignored so binaries can add their own flags.
 pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
@@ -27,6 +29,11 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
             "--seed" => {
                 if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                     budget.seed = v;
+                }
+            }
+            "--threads" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    budget.threads = v;
                 }
             }
             _ => {}
@@ -65,6 +72,13 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert_eq!(budget_from_args(&args).packets_per_point, 3);
+    }
+
+    #[test]
+    fn parses_threads() {
+        let args: Vec<String> = ["--threads", "4"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(budget_from_args(&args).threads, 4);
+        assert_eq!(budget_from_args(&[]).threads, 0, "default is auto");
     }
 
     #[test]

@@ -55,7 +55,15 @@ impl LlrBuffer for QuantizedLlrBuffer {
     }
 
     fn load(&self) -> Vec<f64> {
-        self.codes.iter().map(|&c| self.quantizer.dequantize(c)).collect()
+        self.codes
+            .iter()
+            .map(|&c| self.quantizer.dequantize(c))
+            .collect()
+    }
+
+    fn load_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.codes.iter().map(|&c| self.quantizer.dequantize(c)));
     }
 
     fn reset(&mut self) {
@@ -133,6 +141,13 @@ impl LlrBuffer for FaultyLlrBuffer {
             .collect()
     }
 
+    fn load_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            (0..self.memory.words()).map(|addr| self.quantizer.dequantize(self.memory.read(addr))),
+        );
+    }
+
     fn reset(&mut self) {
         let zero = self.quantizer.quantize(0.0);
         for addr in 0..self.memory.words() {
@@ -208,6 +223,14 @@ impl LlrBuffer for EccLlrBuffer {
             .collect()
     }
 
+    fn load_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.memory.words()).map(|addr| {
+            let (data, _outcome) = self.code.decode(self.memory.read(addr));
+            self.quantizer.dequantize(data)
+        }));
+    }
+
     fn reset(&mut self) {
         let zero = self.code.encode(self.quantizer.quantize(0.0));
         for addr in 0..self.memory.words() {
@@ -228,6 +251,7 @@ pub struct TransientLlrBuffer<B> {
     inner: B,
     quantizer: LlrQuantizer,
     p_upset: f64,
+    seed: u64,
     rng: std::cell::RefCell<rand::rngs::StdRng>,
 }
 
@@ -246,6 +270,7 @@ impl<B: LlrBuffer> TransientLlrBuffer<B> {
             inner,
             quantizer,
             p_upset,
+            seed,
             rng: std::cell::RefCell::new(dsp::rng::seeded(seed)),
         }
     }
@@ -266,29 +291,40 @@ impl<B: LlrBuffer> LlrBuffer for TransientLlrBuffer<B> {
     }
 
     fn load(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.load_into(&mut out);
+        out
+    }
+
+    fn load_into(&self, out: &mut Vec<f64>) {
         use rand::Rng;
+        self.inner.load_into(out);
+        if self.p_upset == 0.0 {
+            return;
+        }
         let bits = self.quantizer.bits();
         let mut rng = self.rng.borrow_mut();
-        self.inner
-            .load()
-            .into_iter()
-            .map(|l| {
-                if self.p_upset == 0.0 {
-                    return l;
+        for l in out.iter_mut() {
+            let mut code = self.quantizer.quantize(*l);
+            for b in 0..bits {
+                if rng.gen::<f64>() < self.p_upset {
+                    code = dsp::fixed::flip_bit(code, b);
                 }
-                let mut code = self.quantizer.quantize(l);
-                for b in 0..bits {
-                    if rng.gen::<f64>() < self.p_upset {
-                        code = dsp::fixed::flip_bit(code, b);
-                    }
-                }
-                self.quantizer.dequantize(code)
-            })
-            .collect()
+            }
+            *l = self.quantizer.dequantize(code);
+        }
     }
 
     fn reset(&mut self) {
         self.inner.reset();
+    }
+
+    fn begin_packet(&mut self, packet_seed: u64) {
+        // Upset draws restart from a per-packet stream: results no longer
+        // depend on how many packets this buffer served before, which is
+        // what lets the Monte-Carlo engine shard packets across threads.
+        *self.rng.borrow_mut() = dsp::rng::seeded(dsp::rng::derive_seed(self.seed, packet_seed));
+        self.inner.begin_packet(packet_seed);
     }
 }
 
@@ -336,9 +372,15 @@ mod tests {
         buf.store(&v);
         let out = buf.load();
         let perturbed = out.iter().filter(|&&x| (x - 5.0).abs() > q.step()).count();
-        assert!(perturbed > 0, "64 faults in 64 words must corrupt something");
+        assert!(
+            perturbed > 0,
+            "64 faults in 64 words must corrupt something"
+        );
         // About 10% of faults hit the sign bit → large negative values.
-        assert!(out.iter().any(|&x| x < 0.0), "expected at least one sign flip");
+        assert!(
+            out.iter().any(|&x| x < 0.0),
+            "expected at least one sign flip"
+        );
     }
 
     #[test]
@@ -394,8 +436,16 @@ mod tests {
         let code = Secded::new(10);
         let mut map = FaultMap::defect_free(4, code.codeword_bits());
         map.set_faults(vec![
-            silicon::fault_map::Fault { word: 0, bit: 2, kind: FaultKind::Flip },
-            silicon::fault_map::Fault { word: 0, bit: 7, kind: FaultKind::Flip },
+            silicon::fault_map::Fault {
+                word: 0,
+                bit: 2,
+                kind: FaultKind::Flip,
+            },
+            silicon::fault_map::Fault {
+                word: 0,
+                bit: 7,
+                kind: FaultKind::Flip,
+            },
         ]);
         let mut buf = EccLlrBuffer::new(map, q);
         buf.store(&[8.0; 4]);
@@ -421,7 +471,6 @@ mod tests {
         e.reset();
         assert!(e.load().iter().all(|&x| x == 0.0));
     }
-
 
     #[test]
     fn transient_buffer_zero_rate_is_transparent() {

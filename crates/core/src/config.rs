@@ -138,14 +138,18 @@ impl SystemConfig {
     /// bits, zero budgets, out-of-range turbo length).
     pub fn validate(&self) {
         assert!(
-            self.channel_bits_per_tx.is_multiple_of(self.modulation.bits_per_symbol()),
+            self.channel_bits_per_tx
+                .is_multiple_of(self.modulation.bits_per_symbol()),
             "channel bits must be a multiple of bits/symbol"
         );
         assert!(
             (40..=5114).contains(&self.turbo_k()),
             "turbo input length out of 3GPP range"
         );
-        assert!(self.max_transmissions >= 1, "need at least one transmission");
+        assert!(
+            self.max_transmissions >= 1,
+            "need at least one transmission"
+        );
         assert!(self.decoder_iterations >= 1, "need at least one iteration");
         assert!(
             self.channel_bits_per_tx >= self.turbo_k() + 6,

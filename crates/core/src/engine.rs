@@ -1,0 +1,528 @@
+//! Parallel, deterministic Monte-Carlo execution engine.
+//!
+//! Every figure of the paper is thousands of independent packet
+//! simulations spread over a grid of (SNR × storage configuration ×
+//! defect density) operating points — an embarrassingly parallel
+//! workload. [`SimulationEngine`] shards that work across OS threads
+//! while keeping results **bit-identical for any thread count**,
+//! including the serial path used by [`crate::montecarlo::run_point`].
+//!
+//! # Determinism model
+//!
+//! Randomness is organized as a seed tree rooted at a caller-supplied
+//! master seed (see [`dsp::rng::derive_seed_path`]):
+//!
+//! ```text
+//! master ─┬─ point 0 ─┬─ 0xfa        → fault map ("one die per run")
+//!         │           └─ 1 ─┬─ pkt 0 → noise/data stream of packet 0
+//!         │                 ├─ pkt 1 → noise/data stream of packet 1
+//!         │                 └─ ...
+//!         └─ point 1 ─ ...
+//! ```
+//!
+//! A packet's stream depends only on its position in the tree — never on
+//! the thread that simulates it — and [`HarqStats`] aggregation is a sum
+//! of counters, so any shard-to-worker assignment yields the same
+//! statistics. Buffers with internal randomness are re-anchored per
+//! packet through [`LlrBuffer::begin_packet`].
+//!
+//! # Work decomposition
+//!
+//! [`SimulationEngine::run_batch`] flattens all operating points into
+//! shards of [`SimulationEngine::shard_packets`] packets and lets workers
+//! pull shards from a shared atomic counter (work stealing), so a single
+//! expensive point — low SNR, many retransmissions — cannot serialize the
+//! run. Each worker keeps one storage buffer per point (rebuilt
+//! deterministically from the point's fault seed: the *same die*, per the
+//! paper's worst-case methodology) plus one [`PacketScratch`], and merges
+//! its partial statistics locally; the main thread folds worker partials
+//! in task order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dsp::rng::{derive_seed, packet_seed, STREAM_FAULT_MAP};
+use hspa_phy::harq::{HarqStats, LlrBuffer};
+
+use crate::config::SystemConfig;
+use crate::montecarlo::{build_buffer, StorageConfig};
+use crate::simulator::{LinkSimulator, PacketScratch};
+
+/// One Monte-Carlo operating point for [`SimulationEngine::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// LLR-storage backend under test.
+    pub storage: StorageConfig,
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Packets to simulate.
+    pub n_packets: usize,
+    /// Seed of this point's stream subtree.
+    pub seed: u64,
+}
+
+/// An operating point for [`SimulationEngine::run_batch_with_buffers`]:
+/// [`PointSpec`] minus the storage field. The caller's buffer factory
+/// *is* the storage, so a (silently ignored) `StorageConfig` cannot be
+/// supplied by mistake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CustomPoint {
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Packets to simulate.
+    pub n_packets: usize,
+    /// Seed of this point's stream subtree.
+    pub seed: u64,
+}
+
+impl From<&PointSpec> for CustomPoint {
+    fn from(spec: &PointSpec) -> Self {
+        Self {
+            snr_db: spec.snr_db,
+            n_packets: spec.n_packets,
+            seed: spec.seed,
+        }
+    }
+}
+
+/// A full (storage × SNR) evaluation produced by
+/// [`SimulationEngine::run_grid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    /// SNR grid (dB), shared by every row.
+    pub snr_db: Vec<f64>,
+    /// `stats[row][col]` = statistics of storage `row` at SNR `col`.
+    pub stats: Vec<Vec<HarqStats>>,
+}
+
+/// Sharded Monte-Carlo executor over a [`LinkSimulator`].
+///
+/// Construction is cheap; the engine owns no threads between calls
+/// (scoped workers are spawned per run).
+#[derive(Debug, Clone)]
+pub struct SimulationEngine {
+    threads: usize,
+    shard_packets: usize,
+}
+
+impl Default for SimulationEngine {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl SimulationEngine {
+    /// Default shard granularity: small enough to balance uneven points,
+    /// large enough to amortize per-shard buffer setup.
+    const DEFAULT_SHARD: usize = 8;
+
+    /// Engine using every available CPU.
+    pub fn auto() -> Self {
+        Self::with_threads(0)
+    }
+
+    /// Strictly serial engine (reference path; no worker threads).
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Engine with an explicit worker count; `0` means one worker per
+    /// available CPU.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Self {
+            threads,
+            shard_packets: Self::DEFAULT_SHARD,
+        }
+    }
+
+    /// Overrides the packets-per-shard granularity (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shard_packets(mut self, n: usize) -> Self {
+        assert!(n > 0, "shard size must be positive");
+        self.shard_packets = n;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates one operating point.
+    pub fn run_point(
+        &self,
+        sim: &LinkSimulator,
+        storage: &StorageConfig,
+        snr_db: f64,
+        n_packets: usize,
+        seed: u64,
+    ) -> HarqStats {
+        self.run_batch(
+            sim,
+            &[PointSpec {
+                storage: storage.clone(),
+                snr_db,
+                n_packets,
+                seed,
+            }],
+        )
+        .pop()
+        .expect("one spec in, one stats out")
+    }
+
+    /// Evaluates one storage configuration over an SNR sweep. Point `i`
+    /// draws its own die from `derive_seed(seed, i)`, matching the
+    /// historical serial sweep semantics.
+    pub fn run_sweep(
+        &self,
+        sim: &LinkSimulator,
+        storage: &StorageConfig,
+        snrs_db: &[f64],
+        n_packets: usize,
+        seed: u64,
+    ) -> Vec<HarqStats> {
+        let specs: Vec<PointSpec> = snrs_db
+            .iter()
+            .enumerate()
+            .map(|(i, &snr_db)| PointSpec {
+                storage: storage.clone(),
+                snr_db,
+                n_packets,
+                seed: derive_seed(seed, i as u64),
+            })
+            .collect();
+        self.run_batch(sim, &specs)
+    }
+
+    /// Evaluates a full (storage × SNR) matrix in one sharded run.
+    ///
+    /// Row `r` takes its subtree from `derive_seed(master_seed, r)`;
+    /// within a row every SNR point shares **one die** (one fault-map
+    /// draw), so a row is a physical device swept over operating SNRs —
+    /// the paper's worst-case single-map methodology. Buffers are also
+    /// cached per row (not per cell) inside each worker, so the shared
+    /// die is actually built once per (worker, row), not once per grid
+    /// cell.
+    pub fn run_grid(
+        &self,
+        sim: &LinkSimulator,
+        storages: &[StorageConfig],
+        snrs_db: &[f64],
+        n_packets: usize,
+        master_seed: u64,
+    ) -> GridResult {
+        let cfg = *sim.config();
+        let mut specs = Vec::with_capacity(storages.len() * snrs_db.len());
+        let mut fault_seeds = Vec::with_capacity(specs.capacity());
+        let mut groups = Vec::with_capacity(specs.capacity());
+        for (r, storage) in storages.iter().enumerate() {
+            let row_seed = derive_seed(master_seed, r as u64);
+            let die_seed = derive_seed(row_seed, STREAM_FAULT_MAP);
+            for (c, &snr_db) in snrs_db.iter().enumerate() {
+                specs.push(PointSpec {
+                    storage: storage.clone(),
+                    snr_db,
+                    n_packets,
+                    seed: derive_seed(row_seed, 0x100 + c as u64),
+                });
+                fault_seeds.push(die_seed);
+                groups.push(r);
+            }
+        }
+        let points: Vec<CustomPoint> = specs.iter().map(CustomPoint::from).collect();
+        let flat = self.run_specs(sim, &points, Some(&groups), &|point, _seed| {
+            build_buffer(&cfg, &specs[point].storage, fault_seeds[point])
+        });
+        let mut rows = Vec::with_capacity(storages.len());
+        let mut it = flat.into_iter();
+        for _ in 0..storages.len() {
+            rows.push(it.by_ref().take(snrs_db.len()).collect());
+        }
+        GridResult {
+            snr_db: snrs_db.to_vec(),
+            stats: rows,
+        }
+    }
+
+    /// Evaluates an arbitrary batch of operating points. Each point draws
+    /// its die from `derive_seed(point.seed, STREAM_FAULT_MAP)`.
+    pub fn run_batch(&self, sim: &LinkSimulator, specs: &[PointSpec]) -> Vec<HarqStats> {
+        let cfg = *sim.config();
+        let points: Vec<CustomPoint> = specs.iter().map(CustomPoint::from).collect();
+        self.run_specs(sim, &points, None, &move |point, fault_seed| {
+            build_buffer(&cfg, &specs[point].storage, fault_seed)
+        })
+    }
+
+    /// Evaluates points whose LLR buffers come from a caller factory —
+    /// the escape hatch for backends outside [`StorageConfig`] (e.g.
+    /// transient soft-error wrappers). The factory receives the point
+    /// index and the point's fault-stream seed, and must be
+    /// deterministic in them.
+    pub fn run_batch_with_buffers<F>(
+        &self,
+        sim: &LinkSimulator,
+        points: &[CustomPoint],
+        make_buffer: F,
+    ) -> Vec<HarqStats>
+    where
+        F: Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync,
+    {
+        self.run_specs(sim, points, None, &make_buffer)
+    }
+
+    /// `groups`, when given, assigns each point a buffer-sharing group:
+    /// points in one group must deterministically build identical
+    /// buffers (same storage, same die seed), and each worker then
+    /// builds that buffer once per group instead of once per point.
+    /// `None` means every point is its own group.
+    fn run_specs(
+        &self,
+        sim: &LinkSimulator,
+        specs: &[CustomPoint],
+        groups: Option<&[usize]>,
+        make_buffer: &(dyn Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync),
+    ) -> Vec<HarqStats> {
+        let cfg = *sim.config();
+        // Flatten every point into packet shards.
+        let mut tasks: Vec<Shard> = Vec::new();
+        for (point, spec) in specs.iter().enumerate() {
+            let mut start = 0;
+            while start < spec.n_packets {
+                let count = self.shard_packets.min(spec.n_packets - start);
+                tasks.push(Shard {
+                    point,
+                    start,
+                    count,
+                });
+                start += count;
+            }
+        }
+
+        let workers = self.threads.min(tasks.len()).max(1);
+        let mut partials: Vec<Vec<(usize, HarqStats)>> = if workers == 1 {
+            let mut worker = Worker::new(&cfg, sim.clone(), specs, groups, make_buffer);
+            vec![tasks
+                .iter()
+                .map(|t| (t.point, worker.run_shard(t)))
+                .collect()]
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let tasks = &tasks;
+                        let sim = sim.clone();
+                        scope.spawn(move || {
+                            let mut worker = Worker::new(&cfg, sim, specs, groups, make_buffer);
+                            let mut out = Vec::new();
+                            loop {
+                                let t = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(task) = tasks.get(t) else { break };
+                                out.push((task.point, worker.run_shard(task)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Fold worker partials; order is irrelevant for the result
+        // because HarqStats::merge is a sum of counters.
+        let mut merged: Vec<HarqStats> = specs
+            .iter()
+            .map(|_| HarqStats::new(cfg.max_transmissions, cfg.payload_bits))
+            .collect();
+        for (point, stats) in partials.drain(..).flatten() {
+            merged[point].merge(&stats);
+        }
+        merged
+    }
+}
+
+/// One contiguous range of packets of one operating point.
+struct Shard {
+    point: usize,
+    start: usize,
+    count: usize,
+}
+
+/// Per-thread execution state: a simulator handle, one buffer per point
+/// touched, and reusable scratch space.
+struct Worker<'a> {
+    cfg: &'a SystemConfig,
+    sim: LinkSimulator,
+    specs: &'a [CustomPoint],
+    /// Buffer-sharing group per point (`None`: one group per point).
+    groups: Option<&'a [usize]>,
+    make_buffer: &'a (dyn Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync),
+    buffers: HashMap<usize, Box<dyn LlrBuffer + Send>>,
+    scratch: PacketScratch,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        cfg: &'a SystemConfig,
+        sim: LinkSimulator,
+        specs: &'a [CustomPoint],
+        groups: Option<&'a [usize]>,
+        make_buffer: &'a (dyn Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync),
+    ) -> Self {
+        Self {
+            cfg,
+            sim,
+            specs,
+            groups,
+            make_buffer,
+            buffers: HashMap::new(),
+            scratch: PacketScratch::new(),
+        }
+    }
+
+    fn run_shard(&mut self, shard: &Shard) -> HarqStats {
+        let spec = &self.specs[shard.point];
+        let make_buffer = self.make_buffer;
+        let group = self.groups.map_or(shard.point, |g| g[shard.point]);
+        let buffer = self.buffers.entry(group).or_insert_with(|| {
+            let fault_seed = derive_seed(spec.seed, STREAM_FAULT_MAP);
+            make_buffer(shard.point, fault_seed)
+        });
+        let mut stats = HarqStats::new(self.cfg.max_transmissions, self.cfg.payload_bits);
+        for p in shard.start..shard.start + shard.count {
+            let pseed = packet_seed(spec.seed, p as u64);
+            let mut rng = StdRng::seed_from_u64(pseed);
+            buffer.begin_packet(pseed);
+            let outcome =
+                self.sim
+                    .simulate_packet_with(spec.snr_db, buffer, &mut rng, &mut self.scratch);
+            stats.record(outcome.success_after, self.cfg.max_transmissions);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::DefectSpec;
+    use silicon::fault_map::FaultKind;
+
+    fn engine_stats(threads: usize, shard: usize) -> Vec<HarqStats> {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let engine = SimulationEngine::with_threads(threads).shard_packets(shard);
+        engine.run_batch(
+            &sim,
+            &[
+                PointSpec {
+                    storage: StorageConfig::unprotected(0.10, cfg.llr_bits),
+                    snr_db: 10.0,
+                    n_packets: 10,
+                    seed: 42,
+                },
+                PointSpec {
+                    storage: StorageConfig::Quantized,
+                    snr_db: 18.0,
+                    n_packets: 7,
+                    seed: 43,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let serial = engine_stats(1, 8);
+        for (threads, shard) in [(2, 8), (4, 3), (8, 1)] {
+            assert_eq!(
+                serial,
+                engine_stats(threads, shard),
+                "threads={threads} shard={shard} must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn packet_counts_are_exact() {
+        let stats = engine_stats(3, 4);
+        assert_eq!(stats[0].packets, 10);
+        assert_eq!(stats[1].packets, 7);
+    }
+
+    #[test]
+    fn grid_shares_one_die_per_row() {
+        // With a per-row die, the SNR=∞-ish column of a faulty row is
+        // reproducible: run the grid twice and compare.
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let engine = SimulationEngine::serial();
+        let storages = [
+            StorageConfig::Quantized,
+            StorageConfig::unprotected(0.10, cfg.llr_bits),
+        ];
+        let a = engine.run_grid(&sim, &storages, &[10.0, 20.0], 5, 7);
+        let b = engine.run_grid(&sim, &storages, &[10.0, 20.0], 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.stats.len(), 2);
+        assert_eq!(a.stats[0].len(), 2);
+    }
+
+    #[test]
+    fn batch_with_custom_buffers_is_deterministic() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let spec = vec![CustomPoint {
+            snr_db: 14.0,
+            n_packets: 9,
+            seed: 5,
+        }];
+        let run = |threads| {
+            SimulationEngine::with_threads(threads)
+                .shard_packets(2)
+                .run_batch_with_buffers(&sim, &spec, |_, fault_seed| {
+                    Box::new(crate::buffer::TransientLlrBuffer::new(
+                        crate::buffer::QuantizedLlrBuffer::new(cfg.coded_len(), cfg.quantizer()),
+                        cfg.quantizer(),
+                        0.01,
+                        fault_seed,
+                    ))
+                })
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn ecc_storage_runs_through_engine() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let stats = SimulationEngine::with_threads(2).run_point(
+            &sim,
+            &StorageConfig::Ecc {
+                defects: DefectSpec::Fraction(0.001),
+                fault_kind: FaultKind::Flip,
+            },
+            25.0,
+            6,
+            5,
+        );
+        assert_eq!(stats.packets, 6);
+        assert_eq!(stats.delivered, stats.packets);
+    }
+}

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use dsp::stats::{mean, variance};
 
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_point_with, StorageConfig};
+use crate::engine::PointSpec;
+use crate::montecarlo::StorageConfig;
 use crate::simulator::LinkSimulator;
 
 use super::ExperimentBudget;
@@ -48,19 +49,22 @@ pub fn run(
     assert!(n_dies >= 2, "need at least two dies for a spread");
     let sim = LinkSimulator::new(*cfg);
     let storage = StorageConfig::unprotected(defect_fraction, cfg.llr_bits);
-    let per_die: Vec<f64> = (0..n_dies)
-        .map(|die| {
-            // The die index perturbs the seed, drawing a fresh fault map
-            // (and fresh channel noise) per die.
-            run_point_with(
-                &sim,
-                &storage,
-                snr_db,
-                budget.packets_per_point,
-                budget.seed.wrapping_add(0x10_0000 + die as u64),
-            )
-            .normalized_throughput()
+    // One engine batch, one point per die: the die index perturbs the
+    // seed, drawing a fresh fault map (and fresh channel noise) per die,
+    // and all dies simulate concurrently.
+    let specs: Vec<PointSpec> = (0..n_dies)
+        .map(|die| PointSpec {
+            storage: storage.clone(),
+            snr_db,
+            n_packets: budget.packets_per_point,
+            seed: budget.seed.wrapping_add(0x10_0000 + die as u64),
         })
+        .collect();
+    let per_die: Vec<f64> = budget
+        .engine()
+        .run_batch(&sim, &specs)
+        .iter()
+        .map(|s| s.normalized_throughput())
         .collect();
     let m = mean(&per_die);
     let sd = variance(&per_die).sqrt();

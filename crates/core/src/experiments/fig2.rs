@@ -10,7 +10,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_point_with, StorageConfig};
+use crate::engine::PointSpec;
+use crate::montecarlo::StorageConfig;
 use crate::report::{render_series_table, Series};
 use crate::simulator::LinkSimulator;
 
@@ -38,24 +39,26 @@ pub struct BlerCurve {
 /// Runs the experiment.
 pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig2Result {
     let sim = LinkSimulator::new(*cfg);
-    let storage = StorageConfig::Quantized;
-    let bler = SNR_REGIMES
+    let specs: Vec<PointSpec> = SNR_REGIMES
         .iter()
         .enumerate()
-        .map(|(i, &snr)| {
-            let stats = run_point_with(
-                &sim,
-                &storage,
-                snr,
-                budget.packets_per_point,
-                budget.seed.wrapping_add(i as u64),
-            );
-            BlerCurve {
-                snr_db: snr,
-                bler: (1..=cfg.max_transmissions)
-                    .map(|t| stats.bler_after(t))
-                    .collect(),
-            }
+        .map(|(i, &snr_db)| PointSpec {
+            storage: StorageConfig::Quantized,
+            snr_db,
+            n_packets: budget.packets_per_point,
+            seed: budget.seed.wrapping_add(i as u64),
+        })
+        .collect();
+    let bler = budget
+        .engine()
+        .run_batch(&sim, &specs)
+        .iter()
+        .zip(&SNR_REGIMES)
+        .map(|(stats, &snr)| BlerCurve {
+            snr_db: snr,
+            bler: (1..=cfg.max_transmissions)
+                .map(|t| stats.bler_after(t))
+                .collect(),
         })
         .collect();
     Fig2Result { bler }

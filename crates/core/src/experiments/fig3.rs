@@ -29,11 +29,7 @@ pub fn run() -> Fig3Result {
     let vdd: Vec<f64> = (0..=24).map(|i| 0.5 + i as f64 * 0.025).collect();
     let log10_p = BitCellKind::ALL
         .iter()
-        .map(|&kind| {
-            vdd.iter()
-                .map(|&v| model.p_cell(kind, v).log10())
-                .collect()
-        })
+        .map(|&kind| vdd.iter().map(|&v| model.p_cell(kind, v).log10()).collect())
         .collect();
     let log10_soft = vdd.iter().map(|&v| soft.p_upset(v).log10()).collect();
     Fig3Result {

@@ -57,7 +57,10 @@ pub fn run_for(cells: u64) -> Fig5Result {
         .iter()
         .map(|&p| YieldCurve {
             p_cell: p,
-            yields: n_f.iter().map(|&nf| yield_accepting(cells, p, nf)).collect(),
+            yields: n_f
+                .iter()
+                .map(|&nf| yield_accepting(cells, p, nf))
+                .collect(),
         })
         .collect();
     let nf_for_95 = P_CELLS
@@ -78,7 +81,13 @@ impl Fig5Result {
         let series: Vec<Series> = self
             .curves
             .iter()
-            .map(|c| Series::new(format!("Pcell={:.0e}", c.p_cell), x.clone(), c.yields.clone()))
+            .map(|c| {
+                Series::new(
+                    format!("Pcell={:.0e}", c.p_cell),
+                    x.clone(),
+                    c.yields.clone(),
+                )
+            })
             .collect();
         let mut out = crate::report::render_series_table("Nf", &series);
         out.push('\n');

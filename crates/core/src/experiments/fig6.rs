@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_sweep, StorageConfig};
+use crate::montecarlo::StorageConfig;
 use crate::report::{render_series_table, Series};
 use crate::simulator::LinkSimulator;
 
@@ -52,27 +52,32 @@ pub fn run_with_fractions(
 ) -> Fig6Result {
     let sim = LinkSimulator::new(*cfg);
     let snrs = snr_grid();
-    let curves = fractions
+    let storages: Vec<StorageConfig> = fractions
         .iter()
-        .enumerate()
-        .map(|(i, &f)| {
-            let storage = if f == 0.0 {
+        .map(|&f| {
+            if f == 0.0 {
                 StorageConfig::Quantized
             } else {
                 StorageConfig::unprotected(f, cfg.llr_bits)
-            };
-            let stats = run_sweep(
-                &sim,
-                &storage,
-                &snrs,
-                budget.packets_per_point,
-                budget.seed.wrapping_add(1000 * i as u64),
-            );
-            DefectCurve {
-                defect_fraction: f,
-                throughput: stats.iter().map(|s| s.normalized_throughput()).collect(),
-                avg_transmissions: stats.iter().map(|s| s.avg_transmissions()).collect(),
             }
+        })
+        .collect();
+    // One engine call for the whole (defect × SNR) matrix: every row is
+    // one die swept over SNR, and all points shard across the workers.
+    let grid = budget.engine().run_grid(
+        &sim,
+        &storages,
+        &snrs,
+        budget.packets_per_point,
+        budget.seed,
+    );
+    let curves = fractions
+        .iter()
+        .zip(&grid.stats)
+        .map(|(&f, row)| DefectCurve {
+            defect_fraction: f,
+            throughput: row.iter().map(|s| s.normalized_throughput()).collect(),
+            avg_transmissions: row.iter().map(|s| s.avg_transmissions()).collect(),
         })
         .collect();
     Fig6Result {

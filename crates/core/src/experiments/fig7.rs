@@ -8,8 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use dsp::rng::derive_seed;
+
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_sweep, StorageConfig};
+use crate::montecarlo::StorageConfig;
 use crate::report::{render_series_table, Series};
 use crate::simulator::LinkSimulator;
 
@@ -53,37 +55,27 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig7Result {
 pub fn run_panel(cfg: &SystemConfig, budget: ExperimentBudget, defect_fraction: f64) -> Fig7Panel {
     let sim = LinkSimulator::new(*cfg);
     let snrs = snr_grid();
-    let throughput = PROTECTED_BITS
+    // Rows: one per protected-bit count, defect-free reference last. The
+    // whole panel is a single engine grid so its points shard together.
+    let mut storages: Vec<StorageConfig> = PROTECTED_BITS
         .iter()
-        .enumerate()
-        .map(|(i, &protected)| {
-            let storage = StorageConfig::msb_protected(protected, defect_fraction, cfg.llr_bits);
-            run_sweep(
-                &sim,
-                &storage,
-                &snrs,
-                budget.packets_per_point,
-                budget.seed.wrapping_add(77 * i as u64),
-            )
-            .iter()
-            .map(|s| s.normalized_throughput())
-            .collect()
-        })
+        .map(|&protected| StorageConfig::msb_protected(protected, defect_fraction, cfg.llr_bits))
         .collect();
-    let reference = run_sweep(
-        &sim,
-        &StorageConfig::Quantized,
-        &snrs,
-        budget.packets_per_point,
-        budget.seed.wrapping_add(999_999),
-    )
-    .iter()
-    .map(|s| s.normalized_throughput())
-    .collect();
+    storages.push(StorageConfig::Quantized);
+    let master = derive_seed(budget.seed, (defect_fraction * 1e4) as u64);
+    let grid = budget
+        .engine()
+        .run_grid(&sim, &storages, &snrs, budget.packets_per_point, master);
+    let mut rows: Vec<Vec<f64>> = grid
+        .stats
+        .iter()
+        .map(|row| row.iter().map(|s| s.normalized_throughput()).collect())
+        .collect();
+    let reference = rows.pop().expect("reference row present");
     Fig7Panel {
         defect_fraction,
         snr_db: snrs,
-        throughput,
+        throughput: rows,
         reference,
     }
 }
@@ -121,6 +113,9 @@ mod tests {
         let last = panel.snr_db.len() - 1;
         let most = panel.throughput[PROTECTED_BITS.len() - 1][last];
         let least = panel.throughput[0][last];
-        assert!(most >= least - 0.35, "most-protected {most} vs unprotected {least}");
+        assert!(
+            most >= least - 0.35,
+            "most-protected {most} vs unprotected {least}"
+        );
     }
 }

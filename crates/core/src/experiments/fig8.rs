@@ -16,7 +16,8 @@ use silicon::fault_map::FaultKind;
 use silicon::ProtectionPlan;
 
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_point_with, DefectSpec, StorageConfig};
+use crate::engine::PointSpec;
+use crate::montecarlo::{DefectSpec, StorageConfig};
 use crate::report::render_table;
 use crate::simulator::LinkSimulator;
 
@@ -56,28 +57,40 @@ pub struct Fig8Result {
 /// for the scaled link).
 pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> Fig8Result {
     let sim = LinkSimulator::new(*cfg);
-    let reference = run_point_with(
-        &sim,
-        &StorageConfig::Quantized,
+    let ecc = Secded::new(cfg.llr_bits);
+
+    // One engine batch: reference point, every protection level, ECC.
+    let mut specs = vec![PointSpec {
+        storage: StorageConfig::Quantized,
         snr_db,
-        budget.packets_per_point,
-        budget.seed,
-    )
-    .normalized_throughput()
-    .max(1e-9);
+        n_packets: budget.packets_per_point,
+        seed: budget.seed,
+    }];
+    for (i, protected) in (0..=cfg.llr_bits).enumerate() {
+        specs.push(PointSpec {
+            storage: StorageConfig::msb_protected(protected, DEFECT_FRACTION, cfg.llr_bits),
+            snr_db,
+            n_packets: budget.packets_per_point,
+            seed: budget.seed.wrapping_add(31 * i as u64),
+        });
+    }
+    specs.push(PointSpec {
+        storage: StorageConfig::Ecc {
+            defects: DefectSpec::Fraction(DEFECT_FRACTION),
+            fault_kind: FaultKind::Flip,
+        },
+        snr_db,
+        n_packets: budget.packets_per_point,
+        seed: budget.seed.wrapping_add(4242),
+    });
+
+    let stats = budget.engine().run_batch(&sim, &specs);
+    let reference = stats[0].normalized_throughput().max(1e-9);
 
     let mut rows = Vec::new();
     for (i, protected) in (0..=cfg.llr_bits).enumerate() {
         let plan = ProtectionPlan::msb_protected(cfg.llr_bits, protected);
-        let storage = StorageConfig::msb_protected(protected, DEFECT_FRACTION, cfg.llr_bits);
-        let thr = run_point_with(
-            &sim,
-            &storage,
-            snr_db,
-            budget.packets_per_point,
-            budget.seed.wrapping_add(31 * i as u64),
-        )
-        .normalized_throughput();
+        let thr = stats[1 + i].normalized_throughput();
         let overhead = plan.area_overhead_vs_6t();
         let gain = thr / reference;
         rows.push(EfficiencyRow {
@@ -92,19 +105,10 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> Fig8Res
 
     // ECC baseline: SECDED over the full word on 6T cells with the same
     // per-cell defect fraction (more cells → more faults).
-    let ecc = Secded::new(cfg.llr_bits);
-    let storage = StorageConfig::Ecc {
-        defects: DefectSpec::Fraction(DEFECT_FRACTION),
-        fault_kind: FaultKind::Flip,
-    };
-    let thr = run_point_with(
-        &sim,
-        &storage,
-        snr_db,
-        budget.packets_per_point,
-        budget.seed.wrapping_add(4242),
-    )
-    .normalized_throughput();
+    let thr = stats
+        .last()
+        .expect("ECC point present")
+        .normalized_throughput();
     let overhead = ecc.storage_overhead();
     let gain = thr / reference;
     rows.push(EfficiencyRow {

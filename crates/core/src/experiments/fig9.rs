@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_sweep, StorageConfig};
+use crate::montecarlo::StorageConfig;
 use crate::report::{render_series_table, Series};
 use crate::simulator::LinkSimulator;
 
@@ -38,13 +38,16 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig9Result {
     let snrs = snr_grid();
     let mut throughput = Vec::new();
     let mut storage_cells = Vec::new();
+    // Each bit width changes the link configuration, so each sweep needs
+    // its own simulator; the engine still shards every sweep's points.
+    let engine = budget.engine();
     for (i, &bits) in BIT_WIDTHS.iter().enumerate() {
         let mut wcfg = *cfg;
         wcfg.llr_bits = bits;
         storage_cells.push(wcfg.storage_cells());
         let sim = LinkSimulator::new(wcfg);
         let storage = StorageConfig::unprotected(DEFECT_FRACTION, bits);
-        let stats = run_sweep(
+        let stats = engine.run_sweep(
             &sim,
             &storage,
             &snrs,

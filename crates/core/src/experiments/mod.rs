@@ -19,6 +19,8 @@ pub mod soft_errors;
 
 use serde::{Deserialize, Serialize};
 
+use crate::engine::SimulationEngine;
+
 /// Monte-Carlo effort knobs shared by all link-simulation experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExperimentBudget {
@@ -26,6 +28,10 @@ pub struct ExperimentBudget {
     pub packets_per_point: usize,
     /// Master seed; every point derives its own stream.
     pub seed: u64,
+    /// Worker threads for the Monte-Carlo engine (`0` = one per CPU).
+    /// Results are bit-identical for any value — this only trades
+    /// wall-clock for cores.
+    pub threads: usize,
 }
 
 impl ExperimentBudget {
@@ -34,6 +40,7 @@ impl ExperimentBudget {
         Self {
             packets_per_point: 60,
             seed: 0xdac1_2012,
+            threads: 0,
         }
     }
 
@@ -42,7 +49,13 @@ impl ExperimentBudget {
         Self {
             packets_per_point: 6,
             seed: 0xdac1_2012,
+            threads: 0,
         }
+    }
+
+    /// The sharded Monte-Carlo engine this budget asks for.
+    pub fn engine(&self) -> SimulationEngine {
+        SimulationEngine::with_threads(self.threads)
     }
 }
 
@@ -67,7 +80,10 @@ mod tests {
 
     #[test]
     fn budgets_ordered() {
-        assert!(ExperimentBudget::full().packets_per_point > ExperimentBudget::smoke().packets_per_point);
+        assert!(
+            ExperimentBudget::full().packets_per_point
+                > ExperimentBudget::smoke().packets_per_point
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@ use silicon::cell::{BitCellKind, CellFailureModel};
 use silicon::ProtectionPlan;
 
 use crate::config::SystemConfig;
-use crate::montecarlo::{run_point_with, StorageConfig};
+use crate::engine::PointSpec;
+use crate::montecarlo::StorageConfig;
 use crate::report::render_table;
 use crate::simulator::LinkSimulator;
 
@@ -90,17 +91,22 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> PowerRe
         ),
     ];
 
+    let specs: Vec<PointSpec> = points
+        .iter()
+        .enumerate()
+        .map(|(i, (_, _, _, storage))| PointSpec {
+            storage: storage.clone(),
+            snr_db,
+            n_packets: budget.packets_per_point,
+            seed: budget.seed.wrapping_add(555 * i as u64),
+        })
+        .collect();
+    let stats = budget.engine().run_batch(&sim, &specs);
+
     let rows = points
         .into_iter()
-        .enumerate()
-        .map(|(i, (scheme, plan, vdd, storage))| {
-            let stats = run_point_with(
-                &sim,
-                &storage,
-                snr_db,
-                budget.packets_per_point,
-                budget.seed.wrapping_add(555 * i as u64),
-            );
+        .zip(stats)
+        .map(|((scheme, plan, vdd, _), point_stats)| {
             let power = pm.cell_power(plan.relative_area(), vdd) * cfg.llr_bits as f64;
             PowerRow {
                 scheme,
@@ -109,8 +115,8 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> PowerRe
                 defect_fraction: plan.expected_defect_fraction(&model, vdd),
                 relative_power: power / p_ref,
                 saving: 1.0 - power / p_ref,
-                throughput: stats.normalized_throughput(),
-                avg_transmissions: stats.avg_transmissions(),
+                throughput: point_stats.normalized_throughput(),
+                avg_transmissions: point_stats.avg_transmissions(),
             }
         })
         .collect();

@@ -14,6 +14,7 @@ use silicon::cell::SoftErrorModel;
 
 use crate::buffer::{QuantizedLlrBuffer, TransientLlrBuffer};
 use crate::config::SystemConfig;
+use crate::engine::CustomPoint;
 use crate::report::{render_table, Series};
 use crate::simulator::LinkSimulator;
 
@@ -39,24 +40,29 @@ pub struct SoftErrorResult {
 pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> SoftErrorResult {
     let sim = LinkSimulator::new(*cfg);
     let quantizer = cfg.quantizer();
-    let mut throughput = Vec::new();
-    for (i, &p) in UPSET_RATES.iter().enumerate() {
-        let inner = QuantizedLlrBuffer::new(cfg.coded_len(), quantizer);
-        let mut buffer = TransientLlrBuffer::new(
-            inner,
-            quantizer,
-            p,
-            budget.seed.wrapping_add(7 * i as u64),
-        );
-        let mut stats =
-            hspa_phy::harq::HarqStats::new(cfg.max_transmissions, cfg.payload_bits);
-        let mut rng = dsp::rng::seeded(budget.seed.wrapping_add(1 + i as u64));
-        for _ in 0..budget.packets_per_point {
-            let out = sim.simulate_packet(snr_db, &mut buffer, &mut rng);
-            stats.record(out.success_after, cfg.max_transmissions);
-        }
-        throughput.push(stats.normalized_throughput());
-    }
+    // The transient buffer is outside StorageConfig, so the engine's
+    // buffer-factory escape hatch supplies it: one upset rate per point,
+    // reseeded per packet (begin_packet) so sharding cannot shift draws.
+    let specs: Vec<CustomPoint> = UPSET_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, _)| CustomPoint {
+            snr_db,
+            n_packets: budget.packets_per_point,
+            seed: budget.seed.wrapping_add(1 + i as u64),
+        })
+        .collect();
+    let stats = budget
+        .engine()
+        .run_batch_with_buffers(&sim, &specs, |point, fault_seed| {
+            Box::new(TransientLlrBuffer::new(
+                QuantizedLlrBuffer::new(cfg.coded_len(), quantizer),
+                quantizer,
+                UPSET_RATES[point],
+                fault_seed,
+            ))
+        });
+    let throughput = stats.iter().map(|s| s.normalized_throughput()).collect();
     SoftErrorResult {
         snr_db,
         p_upset: UPSET_RATES.to_vec(),

@@ -16,7 +16,10 @@
 //! * [`simulator`] — one-packet link simulation: encode → rate-match →
 //!   interleave → modulate → fade+noise → MMSE equalize → demap →
 //!   *store in the (faulty) LLR memory* → combine → turbo decode → CRC.
-//! * [`montecarlo`] — seeded multi-packet Monte-Carlo runs.
+//! * [`montecarlo`] — seeded multi-packet Monte-Carlo runs (serial API).
+//! * [`engine`] — the parallel Monte-Carlo engine: shards packets and
+//!   whole operating points across worker threads with per-packet RNG
+//!   streams, so results are bit-identical for any thread count.
 //! * [`experiments`] — one module per paper figure (Figs. 2–9), each
 //!   producing serializable series plus formatted tables.
 //! * [`report`] — plain-text table rendering shared by binaries.
@@ -34,6 +37,7 @@
 
 pub mod buffer;
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod montecarlo;
 pub mod report;
@@ -41,4 +45,5 @@ pub mod simulator;
 
 pub use buffer::{EccLlrBuffer, FaultyLlrBuffer, QuantizedLlrBuffer, TransientLlrBuffer};
 pub use config::SystemConfig;
+pub use engine::{CustomPoint, GridResult, PointSpec, SimulationEngine};
 pub use montecarlo::{run_point, DefectSpec, StorageConfig};

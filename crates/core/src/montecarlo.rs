@@ -4,13 +4,14 @@
 //! point over many packets, reproducing the paper's worst-case
 //! methodology: the fault map is drawn once per run (one die with exactly
 //! `N_f` defects) and all packets of the run share that die.
+//!
+//! These functions are thin serial wrappers over
+//! [`crate::engine::SimulationEngine`] and produce statistics that are
+//! bit-identical to the engine at any thread count — the per-packet seed
+//! tree is the single source of randomness on both paths.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
-
-use dsp::rng::derive_seed;
 use hspa_phy::harq::{HarqStats, LlrBuffer, PerfectLlrBuffer};
+use serde::{Deserialize, Serialize};
 use silicon::cell::CellFailureModel;
 use silicon::ecc::Secded;
 use silicon::fault_map::{FaultKind, FaultMap};
@@ -18,6 +19,7 @@ use silicon::ProtectionPlan;
 
 use crate::buffer::{EccLlrBuffer, FaultyLlrBuffer, QuantizedLlrBuffer};
 use crate::config::SystemConfig;
+use crate::engine::SimulationEngine;
 use crate::simulator::LinkSimulator;
 
 /// How many cells of the LLR array are defective.
@@ -132,9 +134,7 @@ pub fn build_buffer(
     let quantizer = cfg.quantizer();
     match storage {
         StorageConfig::Perfect => Box::new(PerfectLlrBuffer::new(cfg.coded_len())),
-        StorageConfig::Quantized => {
-            Box::new(QuantizedLlrBuffer::new(cfg.coded_len(), quantizer))
-        }
+        StorageConfig::Quantized => Box::new(QuantizedLlrBuffer::new(cfg.coded_len(), quantizer)),
         StorageConfig::Faulty {
             plan,
             defects,
@@ -198,8 +198,9 @@ pub fn build_buffer(
 
 /// Runs `n_packets` transport blocks at one `(storage, SNR)` point.
 ///
-/// Fully deterministic in `seed`: the fault map uses one derived stream,
-/// the packet noise/data another.
+/// Fully deterministic in `seed`: the fault map uses one derived stream
+/// ([`STREAM_FAULT_MAP`]) and every packet its own derived stream, so the
+/// result equals the parallel engine's for the same seed.
 pub fn run_point(
     cfg: &SystemConfig,
     storage: &StorageConfig,
@@ -220,18 +221,11 @@ pub fn run_point_with(
     n_packets: usize,
     seed: u64,
 ) -> HarqStats {
-    let cfg = sim.config();
-    let mut buffer = build_buffer(cfg, storage, derive_seed(seed, 0xfau64));
-    let mut stats = HarqStats::new(cfg.max_transmissions, cfg.payload_bits);
-    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 1));
-    for _ in 0..n_packets {
-        let outcome = sim.simulate_packet(snr_db, &mut buffer, &mut rng);
-        stats.record(outcome.success_after, cfg.max_transmissions);
-    }
-    stats
+    SimulationEngine::serial().run_point(sim, storage, snr_db, n_packets, seed)
 }
 
-/// Runs a full SNR sweep for one storage configuration.
+/// Runs a full SNR sweep for one storage configuration (serially; use
+/// [`SimulationEngine::run_sweep`] directly for the parallel version).
 pub fn run_sweep(
     sim: &LinkSimulator,
     storage: &StorageConfig,
@@ -239,11 +233,7 @@ pub fn run_sweep(
     n_packets: usize,
     seed: u64,
 ) -> Vec<HarqStats> {
-    snrs_db
-        .iter()
-        .enumerate()
-        .map(|(i, &snr)| run_point_with(sim, storage, snr, n_packets, derive_seed(seed, i as u64)))
-        .collect()
+    SimulationEngine::serial().run_sweep(sim, storage, snrs_db, n_packets, seed)
 }
 
 #[cfg(test)]
@@ -274,8 +264,20 @@ mod tests {
         let snr = 14.0;
         let n = 12;
         let clean = run_point(&cfg, &StorageConfig::Quantized, snr, n, 21);
-        let light = run_point(&cfg, &StorageConfig::unprotected(0.001, cfg.llr_bits), snr, n, 21);
-        let heavy = run_point(&cfg, &StorageConfig::unprotected(0.25, cfg.llr_bits), snr, n, 21);
+        let light = run_point(
+            &cfg,
+            &StorageConfig::unprotected(0.001, cfg.llr_bits),
+            snr,
+            n,
+            21,
+        );
+        let heavy = run_point(
+            &cfg,
+            &StorageConfig::unprotected(0.25, cfg.llr_bits),
+            snr,
+            n,
+            21,
+        );
         assert_eq!(
             clean.delivered, light.delivered,
             "0.1% defects must be transparent"
@@ -294,7 +296,13 @@ mod tests {
         let snr = 12.0;
         let n = 12;
         let frac = 0.15;
-        let unprot = run_point(&cfg, &StorageConfig::unprotected(frac, cfg.llr_bits), snr, n, 33);
+        let unprot = run_point(
+            &cfg,
+            &StorageConfig::unprotected(frac, cfg.llr_bits),
+            snr,
+            n,
+            33,
+        );
         let prot = run_point(
             &cfg,
             &StorageConfig::msb_protected(4, frac, cfg.llr_bits),
@@ -318,7 +326,10 @@ mod tests {
             fault_kind: FaultKind::Flip,
         };
         let stats = run_point(&cfg, &storage, 25.0, 6, 5);
-        assert_eq!(stats.delivered, stats.packets, "sparse faults fully corrected");
+        assert_eq!(
+            stats.delivered, stats.packets,
+            "sparse faults fully corrected"
+        );
     }
 
     #[test]
@@ -373,7 +384,11 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         assert_eq!(StorageConfig::Perfect.label(), "ideal");
-        assert!(StorageConfig::unprotected(0.1, 10).label().contains("10.00%"));
-        assert!(StorageConfig::msb_protected(4, 0.1, 10).label().contains("4MSB"));
+        assert!(StorageConfig::unprotected(0.1, 10)
+            .label()
+            .contains("10.00%"));
+        assert!(StorageConfig::msb_protected(4, 0.1, 10)
+            .label()
+            .contains("4MSB"));
     }
 }

@@ -151,7 +151,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["snr".into(), "thr".into()],
-            &[vec!["1".into(), "0.5".into()], vec!["10".into(), "0.9".into()]],
+            &[
+                vec!["1".into(), "0.5".into()],
+                vec!["10".into(), "0.9".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -12,10 +12,24 @@
 //! The LLR memory is any [`LlrBuffer`]; swapping in a
 //! [`crate::FaultyLlrBuffer`] realizes the paper's fault-injection
 //! methodology with zero changes to the protocol code.
+//!
+//! # Parallel execution
+//!
+//! The simulator is split for the Monte-Carlo engine
+//! ([`crate::engine::SimulationEngine`]): all codec state — CRC, turbo
+//! code, rate matcher (with its cached RV index maps), channel
+//! interleaver, channel model — lives behind one shared [`Arc`], so
+//! cloning a `LinkSimulator` hands a worker thread a cheap handle instead
+//! of rebuilding interleaver tables. All per-packet mutable state lives
+//! in the caller-owned [`PacketScratch`], whose vectors are reused across
+//! packets to keep the encode → modulate → demap path allocation-free.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
 use dsp::rng::random_bits;
+use dsp::Complex64;
 use hspa_phy::channel::{AwgnChannel, ChannelModel, CorrelatedFadingChannel, MultipathChannel};
 use hspa_phy::crc::Crc;
 use hspa_phy::equalizer::MmseEqualizer;
@@ -35,8 +49,8 @@ pub struct PacketOutcome {
     pub transmissions_used: usize,
 }
 
-/// The standing link simulator for one [`SystemConfig`].
-pub struct LinkSimulator {
+/// The immutable components of the link, shared between worker handles.
+struct LinkCore {
     config: SystemConfig,
     crc: Crc,
     code: TurboCode,
@@ -45,11 +59,45 @@ pub struct LinkSimulator {
     channel: Box<dyn ChannelModel + Send + Sync>,
 }
 
+/// Reusable per-packet work buffers (one per worker thread).
+///
+/// Every vector is cleared and refilled in place each transmission, so
+/// after the first packet the steady state performs no heap allocation in
+/// the encode → modulate → demap path.
+#[derive(Default)]
+pub struct PacketScratch {
+    tx_bits: Vec<u8>,
+    tx_interleaved: Vec<u8>,
+    symbols: Vec<Complex64>,
+    received: Vec<Complex64>,
+    equalized: Vec<Complex64>,
+    llrs: Vec<f64>,
+    llrs_deinterleaved: Vec<f64>,
+    combined: Vec<f64>,
+}
+
+impl PacketScratch {
+    /// Fresh scratch space; buffers grow to steady-state size on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The standing link simulator for one [`SystemConfig`].
+///
+/// Cloning is cheap (an [`Arc`] bump): clones share the codecs and
+/// channel model, which are immutable after construction.
+#[derive(Clone)]
+pub struct LinkSimulator {
+    core: Arc<LinkCore>,
+}
+
 impl std::fmt::Debug for LinkSimulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LinkSimulator")
-            .field("config", &self.config)
-            .field("channel", &self.channel.name())
+            .field("config", &self.core.config)
+            .field("channel", &self.core.channel.name())
             .finish()
     }
 }
@@ -76,75 +124,109 @@ impl LinkSimulator {
             }
         };
         Self {
-            config,
-            crc: Crc::gcrc24(),
-            code,
-            rate_matcher,
-            interleaver,
-            channel,
+            core: Arc::new(LinkCore {
+                config,
+                crc: Crc::gcrc24(),
+                code,
+                rate_matcher,
+                interleaver,
+                channel,
+            }),
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &SystemConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Simulates one transport block at `snr_db` through `buffer`.
     ///
-    /// The buffer is reset at block start (new HARQ process) and carries
-    /// the combined LLRs across retransmissions — through whatever
-    /// corruption the backend applies.
+    /// Convenience wrapper over [`LinkSimulator::simulate_packet_with`]
+    /// that allocates throwaway scratch space. Loops should hold a
+    /// [`PacketScratch`] and call the `_with` variant instead.
     pub fn simulate_packet<B: LlrBuffer>(
         &self,
         snr_db: f64,
         buffer: &mut B,
         rng: &mut StdRng,
     ) -> PacketOutcome {
-        let cfg = &self.config;
-        let payload = random_bits(rng, cfg.payload_bits);
-        let block = self.crc.attach(&payload);
-        let coded = self.code.encode(&block);
+        let mut scratch = PacketScratch::new();
+        self.simulate_packet_with(snr_db, buffer, rng, &mut scratch)
+    }
 
-        let mut harq = HarqProcess::new(
-            self.rate_matcher.clone(),
-            cfg.combining,
-            &mut *buffer,
-        );
+    /// Simulates one transport block at `snr_db` through `buffer`, using
+    /// caller-owned scratch buffers.
+    ///
+    /// The buffer is reset at block start (new HARQ process) and carries
+    /// the combined LLRs across retransmissions — through whatever
+    /// corruption the backend applies.
+    pub fn simulate_packet_with<B: LlrBuffer>(
+        &self,
+        snr_db: f64,
+        buffer: &mut B,
+        rng: &mut StdRng,
+        scratch: &mut PacketScratch,
+    ) -> PacketOutcome {
+        let core = &*self.core;
+        let cfg = &core.config;
+        let payload = random_bits(rng, cfg.payload_bits);
+        let block = core.crc.attach(&payload);
+        let coded = core.code.encode(&block);
+
+        let mut harq = HarqProcess::new(&core.rate_matcher, cfg.combining, &mut *buffer);
         harq.start_block();
+        // Time-correlated channels anchor the whole block's fades here;
+        // memoryless channels consume nothing.
+        let block_phase = core.channel.block_phase(rng);
 
         for attempt in 0..cfg.max_transmissions {
             let rv = cfg.combining.rv(attempt);
-            let tx_bits = self.rate_matcher.rate_match(&coded, rv);
-            let tx_il = self.interleaver.interleave(&tx_bits);
-            let symbols = cfg.modulation.modulate(&tx_il);
+            core.rate_matcher
+                .rate_match_into(&coded, rv, &mut scratch.tx_bits);
+            core.interleaver
+                .interleave_into(&scratch.tx_bits, &mut scratch.tx_interleaved);
+            cfg.modulation
+                .modulate_into(&scratch.tx_interleaved, &mut scratch.symbols);
 
-            // Fresh block-fading realization per (re)transmission: HARQ
-            // round trips exceed the channel coherence time.
-            let realization = self.channel.realize(snr_db, rng);
-            let rx = realization.apply(&symbols, rng);
+            // Per-(re)transmission realization: independent block fading
+            // for memoryless channels, correlated along `block_phase` for
+            // the slow-fading model.
+            let realization = core
+                .channel
+                .realize_attempt(snr_db, block_phase, attempt, rng);
+            realization.apply_into(&scratch.symbols, rng, &mut scratch.received);
 
-            let (eq_symbols, eff_noise) = if realization.taps.len() == 1 {
+            let mmse_out;
+            let (equalized, eff_noise): (&[Complex64], f64) = if realization.taps.len() == 1 {
                 // Flat channel: scalar MMSE (derotate + bias-correct).
                 let h = realization.taps[0];
                 let g = h.norm_sqr();
                 let inv = h.conj() / (g.max(1e-12));
-                let eq: Vec<_> = rx.iter().map(|&y| y * inv).collect();
-                (eq, realization.noise_var / g.max(1e-12))
+                scratch.equalized.clear();
+                scratch
+                    .equalized
+                    .extend(scratch.received.iter().map(|&y| y * inv));
+                (&scratch.equalized, realization.noise_var / g.max(1e-12))
             } else {
                 let eq = MmseEqualizer::design(&realization, cfg.equalizer_taps)
                     .expect("MMSE design is PD for positive noise");
-                let out = eq.equalize(&rx);
-                let nv = out.noise_var;
-                (out.symbols, nv)
+                mmse_out = eq.equalize(&scratch.received);
+                (&mmse_out.symbols, mmse_out.noise_var)
             };
 
-            let llrs = cfg.modulation.demodulate_soft(&eq_symbols, eff_noise.max(1e-9));
-            let llrs_deil = self.interleaver.deinterleave(&llrs);
-            let combined = harq.combine_transmission(attempt, &llrs_deil);
+            cfg.modulation
+                .demodulate_soft_into(equalized, eff_noise.max(1e-9), &mut scratch.llrs);
+            core.interleaver
+                .deinterleave_into(&scratch.llrs, &mut scratch.llrs_deinterleaved);
+            harq.combine_transmission_into(
+                attempt,
+                &scratch.llrs_deinterleaved,
+                &mut scratch.combined,
+            );
 
-            let decoded = self.code.decode(&combined, cfg.decoder_iterations);
-            if self.crc.check(&decoded.bits) {
+            let decoded = core.code.decode(&scratch.combined, cfg.decoder_iterations);
+            if core.crc.check(&decoded.bits) {
                 return PacketOutcome {
                     success_after: Some(attempt + 1),
                     transmissions_used: attempt + 1,
@@ -212,8 +294,14 @@ mod tests {
                 }
             }
         }
-        assert!(delivered >= 9, "HARQ should deliver most packets, got {delivered}");
-        assert!(needed_retx >= 1, "expected at least one packet needing HARQ");
+        assert!(
+            delivered >= 9,
+            "HARQ should deliver most packets, got {delivered}"
+        );
+        assert!(
+            needed_retx >= 1,
+            "expected at least one packet needing HARQ"
+        );
     }
 
     #[test]
@@ -224,7 +312,11 @@ mod tests {
         let mut rng = seeded(4);
         for _ in 0..5 {
             let out = sim.simulate_packet(25.0, &mut qbuf, &mut rng);
-            assert_eq!(out.success_after, Some(1), "10-bit quantization must be transparent");
+            assert_eq!(
+                out.success_after,
+                Some(1),
+                "10-bit quantization must be transparent"
+            );
         }
     }
 
@@ -277,7 +369,10 @@ mod tests {
                 delivered += 1;
             }
         }
-        assert!(delivered >= 5, "30 dB slow fading should deliver most packets");
+        assert!(
+            delivered >= 5,
+            "30 dB slow fading should deliver most packets"
+        );
     }
 
     #[test]
@@ -288,9 +383,53 @@ mod tests {
             let mut buffer = PerfectLlrBuffer::new(cfg.coded_len());
             let mut rng = seeded(seed);
             (0..4)
-                .map(|_| sim.simulate_packet(4.0, &mut buffer, &mut rng).success_after)
+                .map(|_| {
+                    sim.simulate_packet(4.0, &mut buffer, &mut rng)
+                        .success_after
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One scratch reused across packets must not change results
+        // versus a fresh scratch per packet (stale-state check).
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let reused: Vec<_> = {
+            let mut buffer = PerfectLlrBuffer::new(cfg.coded_len());
+            let mut rng = seeded(8);
+            let mut scratch = PacketScratch::new();
+            (0..4)
+                .map(|_| {
+                    sim.simulate_packet_with(4.0, &mut buffer, &mut rng, &mut scratch)
+                        .success_after
+                })
+                .collect()
+        };
+        let fresh: Vec<_> = {
+            let mut buffer = PerfectLlrBuffer::new(cfg.coded_len());
+            let mut rng = seeded(8);
+            (0..4)
+                .map(|_| {
+                    sim.simulate_packet(4.0, &mut buffer, &mut rng)
+                        .success_after
+                })
+                .collect()
+        };
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn clones_share_the_core() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let clone = sim.clone();
+        assert!(
+            Arc::ptr_eq(&sim.core, &clone.core),
+            "clone must be a handle"
+        );
     }
 }

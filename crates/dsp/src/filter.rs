@@ -193,7 +193,12 @@ pub fn upsample(signal: &[Complex64], factor: usize) -> Vec<Complex64> {
 /// Panics if `factor` is zero.
 pub fn downsample(signal: &[Complex64], factor: usize, offset: usize) -> Vec<Complex64> {
     assert!(factor > 0, "downsampling factor must be positive");
-    signal.iter().skip(offset).step_by(factor).copied().collect()
+    signal
+        .iter()
+        .skip(offset)
+        .step_by(factor)
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]
@@ -218,7 +223,9 @@ mod tests {
         let taps = vec![0.25; 4];
         let mut chunked = FirFilter::new(taps.clone());
         let mut whole = FirFilter::new(taps);
-        let sig: Vec<Complex64> = (0..16).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let sig: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let mut a = chunked.process(&sig[..7]);
         a.extend(chunked.process(&sig[7..]));
         let b = whole.process(&sig);
@@ -261,7 +268,10 @@ mod tests {
         let taps = rrc_taps(0.22, 8, 4);
         let n = taps.len();
         for i in 0..n / 2 {
-            assert!((taps[i] - taps[n - 1 - i]).abs() < 1e-12, "tap {i} asymmetric");
+            assert!(
+                (taps[i] - taps[n - 1 - i]).abs() < 1e-12,
+                "tap {i} asymmetric"
+            );
         }
         let e: f64 = taps.iter().map(|t| t * t).sum();
         assert!((e - 1.0).abs() < 1e-9);

@@ -144,7 +144,11 @@ impl LlrQuantizer {
         match self.format {
             LlrFormat::TwosComplement => (level as u32) & self.word_mask(),
             LlrFormat::SignMagnitude => {
-                let sign = if level < 0 { 1u32 << (self.bits - 1) } else { 0 };
+                let sign = if level < 0 {
+                    1u32 << (self.bits - 1)
+                } else {
+                    0
+                };
                 sign | (level.unsigned_abs() & (self.word_mask() >> 1))
             }
         }

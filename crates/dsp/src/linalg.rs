@@ -170,7 +170,10 @@ impl CMatrix {
     ///
     /// Panics if the matrix is not square.
     pub fn add_diagonal(&mut self, sigma: f64) {
-        assert_eq!(self.rows, self.cols, "diagonal loading needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "diagonal loading needs a square matrix"
+        );
         for i in 0..self.rows {
             self[(i, i)] += Complex64::from_re(sigma);
         }
@@ -372,7 +375,9 @@ mod tests {
         let a = CMatrix::from_rows(
             2,
             3,
-            (0..6).map(|i| Complex64::new(i as f64, -(i as f64))).collect(),
+            (0..6)
+                .map(|i| Complex64::new(i as f64, -(i as f64)))
+                .collect(),
         );
         let back = a.hermitian().hermitian();
         assert_eq!(a, back);

@@ -26,11 +26,38 @@ pub fn seeded(seed: u64) -> StdRng {
 /// Used to give independent, reproducible streams to parallel Monte-Carlo
 /// workers (SplitMix64 finalizer — good avalanche, cheap).
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Derives a child seed along a path of stream indices:
+/// `derive_seed_path(s, &[a, b])` ≡ `derive_seed(derive_seed(s, a), b)`.
+///
+/// This is the hierarchical form of [`derive_seed`] used by the parallel
+/// Monte-Carlo engine: master → operating point → packet. Because every
+/// leaf seed depends only on its *position* in the tree — never on which
+/// worker thread computes it — aggregate results are identical for any
+/// thread count.
+pub fn derive_seed_path(parent: u64, path: &[u64]) -> u64 {
+    path.iter().fold(parent, |seed, &s| derive_seed(seed, s))
+}
+
+/// Stream index reserved for per-packet seeds under an operating point.
+pub const STREAM_PACKETS: u64 = 1;
+
+/// Stream index reserved for the fault-map (die) draw of a run.
+pub const STREAM_FAULT_MAP: u64 = 0xfa;
+
+/// The deterministic RNG seed for packet number `packet` of the
+/// operating point seeded by `point_seed`.
+///
+/// Every packet gets its own independent stream, so a Monte-Carlo run
+/// can be sharded at packet granularity across worker threads while
+/// producing bit-identical statistics to a serial sweep.
+pub fn packet_seed(point_seed: u64, packet: u64) -> u64 {
+    derive_seed_path(point_seed, &[STREAM_PACKETS, packet])
 }
 
 /// Samples a standard normal variate via Box–Muller.
@@ -52,7 +79,11 @@ pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Complex6
 
 /// Fills a vector with `n` iid complex Gaussian samples of total variance
 /// `variance`.
-pub fn complex_gaussian_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, variance: f64) -> Vec<Complex64> {
+pub fn complex_gaussian_vec<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    variance: f64,
+) -> Vec<Complex64> {
     (0..n).map(|_| complex_gaussian(rng, variance)).collect()
 }
 
@@ -76,6 +107,36 @@ mod tests {
             (0..8).map(|_| r.next_u64()).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derive_seed_path_composes() {
+        assert_eq!(
+            derive_seed_path(9, &[2, 5]),
+            derive_seed(derive_seed(9, 2), 5)
+        );
+        assert_eq!(derive_seed_path(9, &[]), 9);
+    }
+
+    #[test]
+    fn packet_seeds_are_distinct_per_packet_and_point() {
+        let mut seeds: Vec<u64> = (0..8)
+            .flat_map(|point| (0..64).map(move |p| packet_seed(point, p)))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8 * 64, "packet streams must not collide");
+    }
+
+    #[test]
+    fn packet_stream_avoids_fault_stream() {
+        // The die draw and packet streams live in different subtrees.
+        for point in 0..32u64 {
+            let fault = derive_seed(point, STREAM_FAULT_MAP);
+            for p in 0..32 {
+                assert_ne!(packet_seed(point, p), fault);
+            }
+        }
     }
 
     #[test]

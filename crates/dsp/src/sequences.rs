@@ -143,7 +143,11 @@ mod tests {
         }
         states.sort_unstable();
         states.dedup();
-        assert_eq!(states.len(), 7, "degree-3 m-sequence must visit all 7 states");
+        assert_eq!(
+            states.len(),
+            7,
+            "degree-3 m-sequence must visit all 7 states"
+        );
         l.next_bit();
         assert_eq!(l.state(), 0b001, "period must be 7");
     }
@@ -176,7 +180,10 @@ mod tests {
 
     #[test]
     fn gold_sequence_is_deterministic() {
-        assert_eq!(GoldSequence::new(3).chips(128), GoldSequence::new(3).chips(128));
+        assert_eq!(
+            GoldSequence::new(3).chips(128),
+            GoldSequence::new(3).chips(128)
+        );
     }
 
     #[test]

@@ -49,10 +49,7 @@ pub fn pack_msb_first(bits: &[u8]) -> u32 {
 /// Unpacks `n` bits (MSB first) from a `u32`.
 pub fn unpack_msb_first(value: u32, n: usize) -> Vec<u8> {
     assert!(n <= 32, "cannot unpack more than 32 bits");
-    (0..n)
-        .rev()
-        .map(|i| ((value >> i) & 1) as u8)
-        .collect()
+    (0..n).rev().map(|i| ((value >> i) & 1) as u8).collect()
 }
 
 /// Maps a bit to the BPSK-style antipodal value: bit 0 → `+1.0`,

@@ -5,11 +5,17 @@
 //! coherence time. At low terminal speeds consecutive retransmissions
 //! see *correlated* fades, which weakens HARQ's time diversity. This
 //! module provides a Jakes-spectrum tap process so that effect can be
-//! studied: the `quickstart`-level API matches [`super::ChannelModel`],
-//! but successive `realize` calls advance an internal clock instead of
-//! redrawing.
-
-use std::sync::Mutex;
+//! studied.
+//!
+//! The process itself is immutable: a realization is a pure function of
+//! the (randomly drawn, per-transport-block) time origin and the
+//! transmission attempt, exposed through
+//! [`ChannelModel::block_phase`] / [`ChannelModel::realize_attempt`].
+//! Earlier revisions kept a shared advancing clock behind a mutex; that
+//! made fades depend on global call order, which breaks the Monte-Carlo
+//! engine's bit-identical-across-threads guarantee, so the clock is
+//! gone: each packet draws its own time origin from its own RNG stream
+//! and attempts advance deterministically from there.
 
 use dsp::stats::db_to_linear;
 use dsp::Complex64;
@@ -57,9 +63,11 @@ impl JakesProcess {
     }
 }
 
-/// A time-correlated multipath channel: each `realize` advances time by
-/// one HARQ round trip, so successive transmissions of the same packet
-/// see correlated (not independent) fades.
+/// A time-correlated multipath channel: within one transport block,
+/// transmission `attempt` samples the Jakes process at
+/// `block_phase + attempt · doppler_step`, so retransmissions see
+/// correlated (not independent) fades, while different blocks draw
+/// independent random time origins.
 ///
 /// # Example
 ///
@@ -69,9 +77,10 @@ impl JakesProcess {
 ///
 /// let ch = CorrelatedFadingChannel::new(&[1.0], 0.01, 6);
 /// let mut rng = seeded(1);
-/// let a = ch.realize(10.0, &mut rng);
-/// let b = ch.realize(10.0, &mut rng);
-/// // Slow fading: consecutive realizations are similar.
+/// let phase = ch.block_phase(&mut rng);
+/// let a = ch.realize_attempt(10.0, phase, 0, &mut rng);
+/// let b = ch.realize_attempt(10.0, phase, 1, &mut rng);
+/// // Slow fading: consecutive transmissions are similar.
 /// assert!((a.taps[0] - b.taps[0]).norm() < 0.5);
 /// ```
 #[derive(Debug)]
@@ -79,8 +88,12 @@ pub struct CorrelatedFadingChannel {
     taps: Vec<JakesProcess>,
     /// Normalized Doppler per HARQ round trip (f_d · T_rtt).
     step: f64,
-    clock: Mutex<f64>,
 }
+
+/// Spread of random block time origins (in round-trip units): large
+/// versus the coherence time at any studied Doppler, so distinct blocks
+/// are effectively independent drops.
+const PHASE_SPREAD: f64 = 4096.0;
 
 impl CorrelatedFadingChannel {
     /// Creates the channel from a power profile (will be normalized),
@@ -107,21 +120,29 @@ impl CorrelatedFadingChannel {
         Self {
             taps,
             step: doppler_step,
-            clock: Mutex::new(0.0),
         }
-    }
-
-    /// Resets the fading clock to time zero (new drop).
-    pub fn reset(&self) {
-        *self.clock.lock().expect("clock lock") = 0.0;
     }
 }
 
 impl ChannelModel for CorrelatedFadingChannel {
-    fn realize(&self, snr_db: f64, _rng: &mut StdRng) -> ChannelRealization {
-        let mut clock = self.clock.lock().expect("clock lock");
-        let t = *clock;
-        *clock += self.step;
+    /// Independent drop: a fresh random time origin per call.
+    fn realize(&self, snr_db: f64, rng: &mut StdRng) -> ChannelRealization {
+        let phase = self.block_phase(rng);
+        self.realize_attempt(snr_db, phase, 0, rng)
+    }
+
+    fn block_phase(&self, rng: &mut StdRng) -> f64 {
+        rng.gen::<f64>() * PHASE_SPREAD
+    }
+
+    fn realize_attempt(
+        &self,
+        snr_db: f64,
+        block_phase: f64,
+        attempt: usize,
+        _rng: &mut StdRng,
+    ) -> ChannelRealization {
+        let t = block_phase + attempt as f64 * self.step;
         ChannelRealization {
             taps: self.taps.iter().map(|p| p.sample(t)).collect(),
             noise_var: 1.0 / db_to_linear(snr_db),
@@ -155,13 +176,12 @@ mod tests {
         let measure = |step: f64| -> f64 {
             let ch = CorrelatedFadingChannel::new(&[1.0], step, 7);
             let mut rng = seeded(0);
-            let samples: Vec<Complex64> =
-                (0..600).map(|_| ch.realize(10.0, &mut rng).taps[0]).collect();
+            let phase = ch.block_phase(&mut rng);
+            let samples: Vec<Complex64> = (0..600)
+                .map(|k| ch.realize_attempt(10.0, phase, k, &mut rng).taps[0])
+                .collect();
             // Lag-1 autocorrelation magnitude.
-            let num: Complex64 = samples
-                .windows(2)
-                .map(|w| w[1] * w[0].conj())
-                .sum();
+            let num: Complex64 = samples.windows(2).map(|w| w[1] * w[0].conj()).sum();
             let den: f64 = samples.iter().map(|s| s.norm_sqr()).sum();
             (num.norm() / den).min(1.0)
         };
@@ -172,13 +192,26 @@ mod tests {
     }
 
     #[test]
-    fn reset_restarts_the_process() {
+    fn realizations_are_pure_in_phase_and_attempt() {
+        // No hidden clock: the same (phase, attempt) always yields the
+        // same realization, regardless of interleaved calls.
         let ch = CorrelatedFadingChannel::new(&[1.0], 0.1, 5);
         let mut rng = seeded(0);
-        let a = ch.realize(10.0, &mut rng);
-        ch.reset();
-        let b = ch.realize(10.0, &mut rng);
-        assert_eq!(a, b, "same clock, same deterministic sample");
+        let phase = ch.block_phase(&mut rng);
+        let a = ch.realize_attempt(10.0, phase, 2, &mut rng);
+        let _interleaved = ch.realize_attempt(10.0, phase + 7.0, 1, &mut rng);
+        let b = ch.realize_attempt(10.0, phase, 2, &mut rng);
+        assert_eq!(a, b, "same phase and attempt, same sample");
+    }
+
+    #[test]
+    fn blocks_draw_distinct_phases() {
+        let ch = CorrelatedFadingChannel::new(&[1.0], 0.1, 5);
+        let mut rng = seeded(9);
+        let a = ch.block_phase(&mut rng);
+        let b = ch.block_phase(&mut rng);
+        assert_ne!(a, b, "independent drops must differ");
+        assert!((0.0..PHASE_SPREAD).contains(&a));
     }
 
     #[test]

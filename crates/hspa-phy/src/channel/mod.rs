@@ -39,6 +39,31 @@ impl ChannelRealization {
         out
     }
 
+    /// Allocation-free [`ChannelRealization::apply`]: clears `out` and
+    /// fills it with the received samples, convolving directly into the
+    /// reused buffer (truncated to the input length) before adding noise.
+    pub fn apply_into(&self, symbols: &[Complex64], rng: &mut StdRng, out: &mut Vec<Complex64>) {
+        out.clear();
+        if let [h] = self.taps[..] {
+            out.reserve(symbols.len());
+            for &s in symbols {
+                out.push(s * h + complex_gaussian(rng, self.noise_var));
+            }
+            return;
+        }
+        // Same accumulation order as `convolve_complex` so both paths
+        // are bit-identical, not merely close.
+        out.resize(symbols.len(), Complex64::ZERO);
+        for (i, &s) in symbols.iter().enumerate() {
+            for (y, &h) in out[i..].iter_mut().zip(&self.taps) {
+                *y += s * h;
+            }
+        }
+        for y in out.iter_mut() {
+            *y += complex_gaussian(rng, self.noise_var);
+        }
+    }
+
     /// Total tap energy `Σ|h|²`.
     pub fn energy(&self) -> f64 {
         self.taps.iter().map(|t| t.norm_sqr()).sum()
@@ -46,10 +71,39 @@ impl ChannelRealization {
 }
 
 /// A channel model that can draw independent block realizations.
+///
+/// Models must be stateless: a realization may depend only on the
+/// arguments (including the caller's RNG), never on interior mutable
+/// state, so that the Monte-Carlo engine's per-packet RNG streams fully
+/// determine results regardless of thread interleaving.
 pub trait ChannelModel {
     /// Draws a channel realization for one block at the given SNR (dB,
     /// signal power over noise power at the receiver input).
     fn realize(&self, snr_db: f64, rng: &mut StdRng) -> ChannelRealization;
+
+    /// Draws the per-transport-block fading time origin. Memoryless
+    /// channels ignore it (default `0.0`, consuming no randomness);
+    /// time-correlated channels draw a random drop time here, once per
+    /// block.
+    fn block_phase(&self, rng: &mut StdRng) -> f64 {
+        let _ = rng;
+        0.0
+    }
+
+    /// Realization for transmission `attempt` (0-based) of the block
+    /// whose time origin is `block_phase`. The default ignores both and
+    /// draws an independent realization — correct for channels where
+    /// HARQ round trips exceed the coherence time.
+    fn realize_attempt(
+        &self,
+        snr_db: f64,
+        block_phase: f64,
+        attempt: usize,
+        rng: &mut StdRng,
+    ) -> ChannelRealization {
+        let _ = (block_phase, attempt);
+        self.realize(snr_db, rng)
+    }
 
     /// Human-readable model name (for reports).
     fn name(&self) -> &str;
@@ -86,12 +140,7 @@ impl ItuProfile {
     /// `(delay_ns, power_db)` pairs of the profile.
     pub fn taps(self) -> &'static [(f64, f64)] {
         match self {
-            ItuProfile::PedestrianA => &[
-                (0.0, 0.0),
-                (110.0, -9.7),
-                (190.0, -19.2),
-                (410.0, -22.8),
-            ],
+            ItuProfile::PedestrianA => &[(0.0, 0.0), (110.0, -9.7), (190.0, -19.2), (410.0, -22.8)],
             ItuProfile::VehicularA => &[
                 (0.0, 0.0),
                 (310.0, -1.0),
@@ -176,10 +225,7 @@ impl MultipathChannel {
 impl ChannelModel for MultipathChannel {
     fn realize(&self, snr_db: f64, rng: &mut StdRng) -> ChannelRealization {
         let profile = self.power_profile();
-        let taps: Vec<Complex64> = profile
-            .iter()
-            .map(|&p| complex_gaussian(rng, p))
-            .collect();
+        let taps: Vec<Complex64> = profile.iter().map(|&p| complex_gaussian(rng, p)).collect();
         ChannelRealization {
             taps,
             noise_var: 1.0 / db_to_linear(snr_db),
@@ -286,7 +332,11 @@ mod tests {
     fn veha_chip_rate_is_dispersive() {
         let ch = MultipathChannel::vehicular_a_chip_rate();
         let p = ch.power_profile();
-        assert!(p.len() >= 9, "VehA at chip rate spans ~10 chips, got {}", p.len());
+        assert!(
+            p.len() >= 9,
+            "VehA at chip rate spans ~10 chips, got {}",
+            p.len()
+        );
         let significant = p.iter().filter(|&&x| x > 0.01).count();
         assert!(significant >= 4, "expected several significant taps");
     }
@@ -317,6 +367,26 @@ mod tests {
         let a = ch.realize(10.0, &mut rng);
         let b = ch.realize(10.0, &mut rng);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        // Same RNG state in, same received samples out — for both the
+        // flat fast path and the dispersive convolution path.
+        for ch in [
+            MultipathChannel::pedestrian_a_symbol_rate(),
+            MultipathChannel::vehicular_a_chip_rate(),
+        ] {
+            let mut rng = seeded(77);
+            let real = ch.realize(12.0, &mut rng);
+            let tx = dsp::rng::complex_gaussian_vec(&mut rng, 64, 1.0);
+            let mut rng_a = seeded(5);
+            let mut rng_b = seeded(5);
+            let a = real.apply(&tx, &mut rng_a);
+            let mut b = Vec::new();
+            real.apply_into(&tx, &mut rng_b, &mut b);
+            assert_eq!(a, b, "{}", ch.name());
+        }
     }
 
     #[test]

@@ -122,7 +122,10 @@ impl MmseEqualizer {
         csi_error_var: f64,
         rng: &mut rand::rngs::StdRng,
     ) -> Result<Self, LinalgError> {
-        assert!(csi_error_var >= 0.0, "estimation-error variance must be >= 0");
+        assert!(
+            csi_error_var >= 0.0,
+            "estimation-error variance must be >= 0"
+        );
         let estimate = ChannelRealization {
             taps: channel
                 .taps
@@ -413,8 +416,14 @@ mod tests {
                 .sinr();
         }
         // Tiny estimation error is nearly free; gross error costs dBs.
-        assert!(noisy_sum > 0.9 * perfect_sum, "{noisy_sum} vs {perfect_sum}");
-        assert!(awful_sum < 0.7 * perfect_sum, "{awful_sum} vs {perfect_sum}");
+        assert!(
+            noisy_sum > 0.9 * perfect_sum,
+            "{noisy_sum} vs {perfect_sum}"
+        );
+        assert!(
+            awful_sum < 0.7 * perfect_sum,
+            "{awful_sum} vs {perfect_sum}"
+        );
     }
 
     #[test]

@@ -28,8 +28,26 @@ pub trait LlrBuffer {
     /// Reads all stored LLRs back (possibly corrupted/quantized).
     fn load(&self) -> Vec<f64>;
 
+    /// Allocation-free [`LlrBuffer::load`]: clears `out` and fills it
+    /// with the stored LLRs, reusing capacity. Implementations should
+    /// override the default (which goes through `load`) when they can
+    /// write in place.
+    fn load_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.load());
+    }
+
     /// Clears the buffer to zeros (new transport block).
     fn reset(&mut self);
+
+    /// Hook called once per simulated packet with that packet's
+    /// deterministic seed, *before* the HARQ process touches the buffer.
+    ///
+    /// Stateless backends ignore it (the default). Backends with
+    /// per-read randomness (e.g. transient soft-error injection) reseed
+    /// their internal generator here, which makes results independent of
+    /// how packets are sharded across Monte-Carlo worker threads.
+    fn begin_packet(&mut self, _packet_seed: u64) {}
 }
 
 impl<B: LlrBuffer + ?Sized> LlrBuffer for Box<B> {
@@ -45,8 +63,16 @@ impl<B: LlrBuffer + ?Sized> LlrBuffer for Box<B> {
         (**self).load()
     }
 
+    fn load_into(&self, out: &mut Vec<f64>) {
+        (**self).load_into(out);
+    }
+
     fn reset(&mut self) {
         (**self).reset();
+    }
+
+    fn begin_packet(&mut self, packet_seed: u64) {
+        (**self).begin_packet(packet_seed);
     }
 }
 
@@ -63,8 +89,16 @@ impl<B: LlrBuffer + ?Sized> LlrBuffer for &mut B {
         (**self).load()
     }
 
+    fn load_into(&self, out: &mut Vec<f64>) {
+        (**self).load_into(out);
+    }
+
     fn reset(&mut self) {
         (**self).reset();
+    }
+
+    fn begin_packet(&mut self, packet_seed: u64) {
+        (**self).begin_packet(packet_seed);
     }
 }
 
@@ -97,6 +131,11 @@ impl LlrBuffer for PerfectLlrBuffer {
         self.data.clone()
     }
 
+    fn load_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.data);
+    }
+
     fn reset(&mut self) {
         self.data.fill(0.0);
     }
@@ -125,6 +164,11 @@ impl HarqCombining {
 /// One HARQ process: combines successive transmissions of one transport
 /// block through an [`LlrBuffer`].
 ///
+/// The process borrows its rate matcher — the matcher (with its cached
+/// redundancy-version index maps) is immutable shared state, so parallel
+/// Monte-Carlo workers create one `HarqProcess` per packet without
+/// cloning any codec tables.
+///
 /// # Example
 ///
 /// ```
@@ -133,25 +177,25 @@ impl HarqCombining {
 ///
 /// let rm = RateMatcher::new(100, 220);
 /// let buffer = PerfectLlrBuffer::new(rm.coded_len());
-/// let mut harq = HarqProcess::new(rm, HarqCombining::IncrementalRedundancy, buffer);
+/// let mut harq = HarqProcess::new(&rm, HarqCombining::IncrementalRedundancy, buffer);
 /// let rx_llrs = vec![0.5; 220];
 /// let combined = harq.combine_transmission(0, &rx_llrs);
 /// assert_eq!(combined.len(), 312);
 /// ```
 #[derive(Debug, Clone)]
-pub struct HarqProcess<B: LlrBuffer> {
-    rate_matcher: RateMatcher,
+pub struct HarqProcess<'a, B: LlrBuffer> {
+    rate_matcher: &'a RateMatcher,
     combining: HarqCombining,
     buffer: B,
 }
 
-impl<B: LlrBuffer> HarqProcess<B> {
+impl<'a, B: LlrBuffer> HarqProcess<'a, B> {
     /// Creates a process over the given buffer.
     ///
     /// # Panics
     ///
     /// Panics if the buffer capacity differs from the codeword length.
-    pub fn new(rate_matcher: RateMatcher, combining: HarqCombining, buffer: B) -> Self {
+    pub fn new(rate_matcher: &'a RateMatcher, combining: HarqCombining, buffer: B) -> Self {
         assert_eq!(
             buffer.capacity(),
             rate_matcher.coded_len(),
@@ -166,7 +210,7 @@ impl<B: LlrBuffer> HarqProcess<B> {
 
     /// The rate matcher in use.
     pub fn rate_matcher(&self) -> &RateMatcher {
-        &self.rate_matcher
+        self.rate_matcher
     }
 
     /// The combining strategy.
@@ -195,15 +239,34 @@ impl<B: LlrBuffer> HarqProcess<B> {
     ///
     /// Panics if `rx_llrs.len()` differs from the per-transmission length.
     pub fn combine_transmission(&mut self, attempt: usize, rx_llrs: &[f64]) -> Vec<f64> {
+        let mut combined = Vec::new();
+        self.combine_transmission_into(attempt, rx_llrs, &mut combined);
+        combined
+    }
+
+    /// Allocation-free [`HarqProcess::combine_transmission`]: `out` is
+    /// used as the working buffer and ends up holding the combined
+    /// codeword LLRs as read back from storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rx_llrs.len()` differs from the per-transmission length.
+    pub fn combine_transmission_into(
+        &mut self,
+        attempt: usize,
+        rx_llrs: &[f64],
+        out: &mut Vec<f64>,
+    ) {
         let rv = self.combining.rv(attempt);
-        let mut combined = if attempt == 0 {
-            vec![0.0; self.rate_matcher.coded_len()]
+        if attempt == 0 {
+            out.clear();
+            out.resize(self.rate_matcher.coded_len(), 0.0);
         } else {
-            self.buffer.load()
-        };
-        self.rate_matcher.accumulate(rx_llrs, rv, &mut combined);
-        self.buffer.store(&combined);
-        self.buffer.load()
+            self.buffer.load_into(out);
+        }
+        self.rate_matcher.accumulate(rx_llrs, rv, out);
+        self.buffer.store(out);
+        self.buffer.load_into(out);
     }
 }
 
@@ -326,7 +389,7 @@ mod tests {
         let k = 100;
         let rm = RateMatcher::new(k, 312); // no puncturing
         let buffer = PerfectLlrBuffer::new(rm.coded_len());
-        let mut harq = HarqProcess::new(rm, HarqCombining::Chase, buffer);
+        let mut harq = HarqProcess::new(&rm, HarqCombining::Chase, buffer);
         let rx = vec![1.5; 312];
         let c1 = harq.combine_transmission(0, &rx);
         let c2 = harq.combine_transmission(1, &rx);
@@ -340,7 +403,7 @@ mod tests {
         let k = 100;
         let rm = RateMatcher::new(k, 180);
         let buffer = PerfectLlrBuffer::new(rm.coded_len());
-        let mut harq = HarqProcess::new(rm, HarqCombining::IncrementalRedundancy, buffer);
+        let mut harq = HarqProcess::new(&rm, HarqCombining::IncrementalRedundancy, buffer);
         let rx = vec![1.0; 180];
         let mut nonzero_prev = 0usize;
         for attempt in 0..4 {
@@ -356,7 +419,7 @@ mod tests {
     fn start_block_clears() {
         let rm = RateMatcher::new(100, 312);
         let buffer = PerfectLlrBuffer::new(rm.coded_len());
-        let mut harq = HarqProcess::new(rm, HarqCombining::Chase, buffer);
+        let mut harq = HarqProcess::new(&rm, HarqCombining::Chase, buffer);
         harq.combine_transmission(0, &vec![2.0; 312]);
         harq.start_block();
         assert!(harq.buffer().load().iter().all(|&v| v == 0.0));
@@ -370,7 +433,7 @@ mod tests {
         let code = TurboCode::new(k).unwrap();
         let rm = RateMatcher::new(k, code.coded_len());
         let buffer = PerfectLlrBuffer::new(rm.coded_len());
-        let mut harq = HarqProcess::new(rm, HarqCombining::Chase, buffer);
+        let mut harq = HarqProcess::new(&rm, HarqCombining::Chase, buffer);
         let mut rng = seeded(12);
         let bits = random_bits(&mut rng, k);
         let coded = code.encode(&bits);

@@ -135,10 +135,7 @@ mod tests {
         let back = fe.receive(&wave, 16);
         for (k, (orig, rec)) in streams.iter().zip(&back).enumerate() {
             for (i, (a, b)) in orig.iter().zip(rec).enumerate() {
-                assert!(
-                    (*a - *b).norm() < 0.08,
-                    "code {k} symbol {i}: {a} vs {b}"
-                );
+                assert!((*a - *b).norm() < 0.08, "code {k} symbol {i}: {a} vs {b}");
             }
         }
     }
@@ -158,8 +155,9 @@ mod tests {
     fn noise_degrades_gracefully() {
         let fe = HsdpaFrontend::new(2, 1, 4);
         let mut rng = seeded(2);
-        let streams: Vec<Vec<Complex64>> =
-            (0..2).map(|_| complex_gaussian_vec(&mut rng, 12, 1.0)).collect();
+        let streams: Vec<Vec<Complex64>> = (0..2)
+            .map(|_| complex_gaussian_vec(&mut rng, 12, 1.0))
+            .collect();
         let mut wave = fe.transmit(&streams);
         for w in wave.iter_mut() {
             *w += complex_gaussian(&mut rng, 0.01);

@@ -7,8 +7,8 @@
 
 /// The standard inter-column permutation for the 30-column interleaver.
 pub const COLUMN_PERMUTATION: [usize; 30] = [
-    0, 20, 10, 5, 15, 25, 3, 13, 23, 8, 18, 28, 1, 11, 21, 6, 16, 26, 4, 14, 24, 19, 9, 29,
-    12, 2, 7, 22, 27, 17,
+    0, 20, 10, 5, 15, 25, 3, 13, 23, 8, 18, 28, 1, 11, 21, 6, 16, 26, 4, 14, 24, 19, 9, 29, 12, 2,
+    7, 22, 27, 17,
 ];
 
 /// The 30-column channel interleaver for a given block length.
@@ -78,8 +78,21 @@ impl ChannelInterleaver {
     ///
     /// Panics if `input.len()` differs from the block length.
     pub fn interleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.interleave_into(input, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ChannelInterleaver::interleave`]: clears `out`
+    /// and fills it, reusing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the block length.
+    pub fn interleave_into<T: Copy>(&self, input: &[T], out: &mut Vec<T>) {
         assert_eq!(input.len(), self.len, "interleaver length mismatch");
-        self.perm.iter().map(|&i| input[i]).collect()
+        out.clear();
+        out.extend(self.perm.iter().map(|&i| input[i]));
     }
 
     /// Applies the inverse permutation.
@@ -88,8 +101,21 @@ impl ChannelInterleaver {
     ///
     /// Panics if `input.len()` differs from the block length.
     pub fn deinterleave<T: Copy>(&self, input: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.deinterleave_into(input, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ChannelInterleaver::deinterleave`]: clears `out`
+    /// and fills it, reusing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the block length.
+    pub fn deinterleave_into<T: Copy>(&self, input: &[T], out: &mut Vec<T>) {
         assert_eq!(input.len(), self.len, "deinterleaver length mismatch");
-        self.inv.iter().map(|&i| input[i]).collect()
+        out.clear();
+        out.extend(self.inv.iter().map(|&i| input[i]));
     }
 }
 
@@ -130,7 +156,10 @@ mod tests {
         let len = 900;
         let il = ChannelInterleaver::new(len);
         let burst: Vec<usize> = il.perm[100..130].to_vec();
-        let mut diffs: Vec<i64> = burst.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let mut diffs: Vec<i64> = burst
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         diffs.dedup();
         // Consecutive outputs within a column differ by 30 (row stride);
         // across a column boundary they jump. Either way no two adjacent

@@ -59,18 +59,30 @@ impl Modulation {
     /// Panics if `bits.len()` is not a multiple of
     /// [`Modulation::bits_per_symbol`] or contains non-binary values.
     pub fn modulate(self, bits: &[u8]) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.modulate_into(bits, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Modulation::modulate`]: clears `out` and fills
+    /// it, reusing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of
+    /// [`Modulation::bits_per_symbol`] or contains non-binary values.
+    pub fn modulate_into(self, bits: &[u8], out: &mut Vec<Complex64>) {
         let bps = self.bits_per_symbol();
         assert_eq!(bits.len() % bps, 0, "bit count must be a symbol multiple");
         crate::bits::assert_binary(bits);
         let half = self.bits_per_axis();
         let norm = self.norm();
-        bits.chunks(bps)
-            .map(|chunk| {
-                let i = pam_level(&chunk[..half]) / norm;
-                let q = pam_level(&chunk[half..]) / norm;
-                Complex64::new(i, q)
-            })
-            .collect()
+        out.clear();
+        out.extend(bits.chunks(bps).map(|chunk| {
+            let i = pam_level(&chunk[..half]) / norm;
+            let q = pam_level(&chunk[half..]) / norm;
+            Complex64::new(i, q)
+        }));
     }
 
     /// Max-log soft demapping: produces one LLR per bit
@@ -81,15 +93,27 @@ impl Modulation {
     ///
     /// Panics if `noise_var` is not positive.
     pub fn demodulate_soft(self, symbols: &[Complex64], noise_var: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        self.demodulate_soft_into(symbols, noise_var, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Modulation::demodulate_soft`]: clears `out` and
+    /// fills it with one LLR per bit, reusing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var` is not positive.
+    pub fn demodulate_soft_into(self, symbols: &[Complex64], noise_var: f64, out: &mut Vec<f64>) {
         assert!(noise_var > 0.0, "noise variance must be positive");
         let half = self.bits_per_axis();
         let norm = self.norm();
-        let mut out = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        out.clear();
+        out.reserve(symbols.len() * self.bits_per_symbol());
         for &s in symbols {
-            axis_llrs(s.re * norm, half, noise_var * norm * norm, &mut out);
-            axis_llrs(s.im * norm, half, noise_var * norm * norm, &mut out);
+            axis_llrs(s.re * norm, half, noise_var * norm * norm, out);
+            axis_llrs(s.im * norm, half, noise_var * norm * norm, out);
         }
-        out
     }
 
     /// Hard-decision demapping (minimum distance).
@@ -184,13 +208,15 @@ mod tests {
             }
             let symbols = m.modulate(&bits);
             assert_eq!(symbols.len(), n_sym);
-            let energy: f64 =
-                symbols.iter().map(|s| s.norm_sqr()).sum::<f64>() / n_sym as f64;
+            let energy: f64 = symbols.iter().map(|s| s.norm_sqr()).sum::<f64>() / n_sym as f64;
             assert!((energy - 1.0).abs() < 1e-12, "{m}: energy {energy}");
             // All points distinct.
             for a in 0..n_sym {
                 for b in a + 1..n_sym {
-                    assert!((symbols[a] - symbols[b]).norm() > 1e-9, "{m}: duplicate point");
+                    assert!(
+                        (symbols[a] - symbols[b]).norm() > 1e-9,
+                        "{m}: duplicate point"
+                    );
                 }
             }
         }
@@ -261,7 +287,11 @@ mod tests {
         let llrs = m.demodulate_soft(&[y], nv);
         let expect_i = 2.0 * y.re * std::f64::consts::SQRT_2 / nv;
         let expect_q = 2.0 * y.im * std::f64::consts::SQRT_2 / nv;
-        assert!((llrs[0] - expect_i).abs() < 1e-9, "{} vs {expect_i}", llrs[0]);
+        assert!(
+            (llrs[0] - expect_i).abs() < 1e-9,
+            "{} vs {expect_i}",
+            llrs[0]
+        );
         assert!((llrs[1] - expect_q).abs() < 1e-9);
     }
 
@@ -295,7 +325,12 @@ mod tests {
             let hard = m.demodulate_hard(&rx);
             ber[j] = crate::bits::hamming_distance(&hard, &bits) as f64 / bits.len() as f64;
         }
-        assert!(ber[1] > ber[0], "64QAM BER {} should exceed QPSK {}", ber[1], ber[0]);
+        assert!(
+            ber[1] > ber[0],
+            "64QAM BER {} should exceed QPSK {}",
+            ber[1],
+            ber[0]
+        );
     }
 
     proptest! {

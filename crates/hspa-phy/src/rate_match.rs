@@ -15,6 +15,7 @@
 //! which makes the receiver's LLR de-rate-matching (accumulation) exact.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A redundancy version: `s` selects systematic priority, `r` rotates the
 /// puncturing phase.
@@ -67,12 +68,28 @@ impl Default for RedundancyVersion {
 /// assert_eq!(map.len(), 240);
 /// assert!(map.iter().all(|&i| i < 312));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RateMatcher {
     k: usize,
     coded_len: usize,
     target_len: usize,
+    /// Lazily-built index maps, one slot per `(r, s)` redundancy version.
+    /// Rate matching and LLR accumulation run once per transmission of
+    /// every simulated packet, so rebuilding the map each call dominated
+    /// the hot path; the cache makes those calls allocation-free.
+    cache: [OnceLock<Vec<usize>>; RateMatcher::CACHE_SLOTS],
 }
+
+impl PartialEq for RateMatcher {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state; identity is the configuration.
+        self.k == other.k
+            && self.coded_len == other.coded_len
+            && self.target_len == other.target_len
+    }
+}
+
+impl Eq for RateMatcher {}
 
 impl RateMatcher {
     /// Creates a rate matcher for information length `k` (codeword
@@ -94,7 +111,16 @@ impl RateMatcher {
             k,
             coded_len,
             target_len,
+            cache: Default::default(),
         }
+    }
+
+    const CACHE_SLOTS: usize = 2 * RedundancyVersion::R_MAX as usize;
+
+    /// The cached index map for `rv`, built on first use.
+    fn cached_map(&self, rv: RedundancyVersion) -> &[usize] {
+        let slot = (rv.r as usize % RedundancyVersion::R_MAX as usize) * 2 + rv.s as usize;
+        self.cache[slot].get_or_init(|| self.index_map(rv))
     }
 
     /// Information block length.
@@ -162,9 +188,9 @@ impl RateMatcher {
             // to make room, but never below half (keeps iterative decoding
             // alive when combined with an s=1 transmission).
             let want_par = n_p.min(target);
-            let keep_sys = target.saturating_sub(want_par).max(
-                target.saturating_sub(n_p).max(n_sys / 2.min(n_sys)),
-            );
+            let keep_sys = target
+                .saturating_sub(want_par)
+                .max(target.saturating_sub(n_p).max(n_sys / 2.min(n_sys)));
             (keep_sys.min(n_sys), target - keep_sys.min(n_sys))
         };
 
@@ -191,8 +217,22 @@ impl RateMatcher {
     ///
     /// Panics if `coded.len() != coded_len()`.
     pub fn rate_match(&self, coded: &[u8], rv: RedundancyVersion) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.rate_match_into(coded, rv, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RateMatcher::rate_match`]: clears
+    /// `out` and fills it with the transmission bits, reusing its
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coded.len() != coded_len()`.
+    pub fn rate_match_into(&self, coded: &[u8], rv: RedundancyVersion, out: &mut Vec<u8>) {
         assert_eq!(coded.len(), self.coded_len, "codeword length mismatch");
-        self.index_map(rv).iter().map(|&i| coded[i]).collect()
+        out.clear();
+        out.extend(self.cached_map(rv).iter().map(|&i| coded[i]));
     }
 
     /// De-rate-matching: accumulates received LLRs into a codeword-sized
@@ -206,7 +246,7 @@ impl RateMatcher {
     pub fn accumulate(&self, llrs: &[f64], rv: RedundancyVersion, buffer: &mut [f64]) {
         assert_eq!(llrs.len(), self.target_len, "received length mismatch");
         assert_eq!(buffer.len(), self.coded_len, "buffer length mismatch");
-        for (j, &idx) in self.index_map(rv).iter().enumerate() {
+        for (j, &idx) in self.cached_map(rv).iter().enumerate() {
             buffer[idx] += llrs[j];
         }
     }
@@ -309,7 +349,10 @@ mod tests {
         for &i in &map {
             seen[i] = true;
         }
-        assert!(seen.iter().all(|&s| s), "repetition must cover the codeword");
+        assert!(
+            seen.iter().all(|&s| s),
+            "repetition must cover the codeword"
+        );
     }
 
     #[test]
@@ -322,7 +365,10 @@ mod tests {
         let coded = code.encode(&bits);
         let rv = RedundancyVersion::chase();
         let tx = rm.rate_match(&coded, rv);
-        let llrs: Vec<f64> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let llrs: Vec<f64> = tx
+            .iter()
+            .map(|&b| if b == 0 { 4.0 } else { -4.0 })
+            .collect();
         let mut buf = vec![0.0; rm.coded_len()];
         rm.accumulate(&llrs, rv, &mut buf);
         // Every transmitted position carries the right sign; punctured are 0.
@@ -359,7 +405,10 @@ mod tests {
     fn ir_cycle_alternates_s() {
         assert!(RedundancyVersion::ir_cycle(0).s);
         assert!(!RedundancyVersion::ir_cycle(1).s);
-        assert_eq!(RedundancyVersion::ir_cycle(4), RedundancyVersion::ir_cycle(0));
+        assert_eq!(
+            RedundancyVersion::ir_cycle(4),
+            RedundancyVersion::ir_cycle(0)
+        );
     }
 
     #[test]

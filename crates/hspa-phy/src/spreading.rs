@@ -35,8 +35,7 @@ pub fn ovsf_code(sf: usize, index: usize) -> Vec<i8> {
     // Walk down the OVSF tree: each level doubles; bit of `index` picks
     // the child (0 → [c, c], 1 → [c, -c]).
     while len < sf {
-        let bit = (index >> (sf.trailing_zeros() as usize - 1 - len.trailing_zeros() as usize))
-            & 1;
+        let bit = (index >> (sf.trailing_zeros() as usize - 1 - len.trailing_zeros() as usize)) & 1;
         let mut nxt = Vec::with_capacity(len * 2);
         nxt.extend_from_slice(&code);
         if bit == 0 {
@@ -105,7 +104,10 @@ pub fn spread(symbols: &[Complex64], code: &[i8], scrambling: &[Complex64]) -> V
 pub fn despread(chips: &[Complex64], code: &[i8], scrambling: &[Complex64]) -> Vec<Complex64> {
     let sf = code.len();
     assert_eq!(chips.len() % sf, 0, "chip count must be a symbol multiple");
-    assert!(scrambling.len() >= chips.len(), "scrambling sequence too short");
+    assert!(
+        scrambling.len() >= chips.len(),
+        "scrambling sequence too short"
+    );
     let norm = 1.0 / (sf as f64).sqrt();
     chips
         .chunks(sf)

@@ -328,7 +328,10 @@ mod tests {
         let dec = MaxLogMapDecoder::new(k, &il).with_extrinsic_scale(1.0);
         let bits = vec![0u8; k];
         let coded = code.encode(&bits);
-        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 3.0 } else { -3.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 3.0 } else { -3.0 })
+            .collect();
         let out = dec.decode(&llrs, 4);
         assert_eq!(out.bits, bits);
     }

@@ -297,8 +297,8 @@ mod tests {
         // Covers R=5, R=10 (both bands), the p=53 special case, C=p-1,
         // C=p, C=p+1, and the alternate 20-row patterns.
         for k in [
-            40, 41, 100, 159, 160, 200, 201, 320, 481, 530, 531, 1000, 2281, 2480, 3161,
-            3210, 4000, 5114,
+            40, 41, 100, 159, 160, 200, 201, 320, 481, 530, 531, 1000, 2281, 2480, 3161, 3210,
+            4000, 5114,
         ] {
             let il = TurboInterleaver::new(k).unwrap();
             assert_is_permutation(il.permutation(), k);

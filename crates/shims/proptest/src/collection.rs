@@ -1,0 +1,26 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+/// Generates vectors with lengths drawn from `len` and elements from
+/// `elem`.
+pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rand::Rng::gen_range(rng, self.len.clone());
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}

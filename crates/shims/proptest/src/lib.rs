@@ -1,0 +1,284 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `arg in strategy` bindings and an optional
+//! `#![proptest_config(...)]` header, range strategies over the numeric
+//! primitives, [`collection::vec`], and the `prop_assert!` family.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! regression files: each test runs a fixed number of cases with inputs
+//! drawn from a generator seeded by the test name and case index, so
+//! failures are exactly reproducible from the printed case number.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+pub mod collection;
+
+/// Boolean strategies (mirrors `proptest::bool`).
+pub mod bool {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            rand::Rng::gen::<::core::primitive::bool>(rng)
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Per-block configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 32 keeps the single-core CI
+        // budget sane while still exercising the input space.
+        Self { cases: 32 }
+    }
+}
+
+/// Failure raised by the `prop_assert!` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a generator from the test name and case index so each case
+    /// is reproducible without any persisted state.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest);
+    }
+}
+
+/// A value generator (mirrors `proptest::strategy::Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Runs one property test: `cases` samples of `args`, failing fast with
+/// the case number on the first violated assertion.
+///
+/// This is the engine behind [`proptest!`]; not part of the public
+/// proptest API but harmless to expose.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case_fn: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case as u64);
+        if let Err(e) = case_fn(&mut rng) {
+            panic!("proptest {test_name}, case {case}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Declares property tests (mirrors `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0.25f64..0.75, z in 1u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u8..2, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::{Strategy, TestRng};
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..8)
+            .map(|c| s.sample(&mut TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| s.sample(&mut TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_report_case() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its result types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for a real
+//! serializer, but nothing in-tree performs serialization yet (reports
+//! are plain text and the bench JSON is hand-formatted). This shim keeps
+//! those annotations compiling without registry access: the derive
+//! macros expand to nothing and the traits are satisfied by blanket
+//! impls.
+//!
+//! Swapping in the real `serde` later is a one-line Cargo.toml change —
+//! no source edits needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -59,7 +59,10 @@ impl PowerModel {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn cell_power(&self, area: f64, vdd: f64) -> f64 {
-        assert!(vdd.is_finite() && vdd > 0.0, "supply voltage must be positive");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "supply voltage must be positive"
+        );
         let vr = vdd / self.v_nominal;
         area * (self.dynamic_fraction * vr * vr + self.leakage_fraction * vr)
     }

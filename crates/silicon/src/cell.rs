@@ -128,10 +128,12 @@ impl CellFailureModel {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn p_cell(&self, kind: BitCellKind, vdd: f64) -> f64 {
-        assert!(vdd.is_finite() && vdd > 0.0, "supply voltage must be positive");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "supply voltage must be positive"
+        );
         let effective_v = vdd + kind.voltage_margin();
-        let log10p =
-            self.log10_p_nominal + self.decades_per_volt * (self.v_nominal - effective_v);
+        let log10p = self.log10_p_nominal + self.decades_per_volt * (self.v_nominal - effective_v);
         10f64.powf(log10p).clamp(self.floor, self.ceil)
     }
 
@@ -148,7 +150,8 @@ impl CellFailureModel {
             "target probability must be in (0, 1)"
         );
         let log10p = p_target.log10();
-        self.v_nominal - (log10p - self.log10_p_nominal) / self.decades_per_volt
+        self.v_nominal
+            - (log10p - self.log10_p_nominal) / self.decades_per_volt
             - kind.voltage_margin()
     }
 }
@@ -186,7 +189,10 @@ impl SoftErrorModel {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn p_upset(&self, vdd: f64) -> f64 {
-        assert!(vdd.is_finite() && vdd > 0.0, "supply voltage must be positive");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "supply voltage must be positive"
+        );
         self.p_nominal * 3f64.powf((self.v_nominal - vdd) / 0.5)
     }
 }
@@ -233,7 +239,10 @@ mod tests {
     fn paper_anchor_06v_severe() {
         let m = CellFailureModel::dac12();
         let p = m.p_cell(BitCellKind::Sram6T, 0.6);
-        assert!(p > 0.01, "6T at 0.6 V must be in the 1-10%+ regime, got {p}");
+        assert!(
+            p > 0.01,
+            "6T at 0.6 V must be in the 1-10%+ regime, got {p}"
+        );
     }
 
     #[test]

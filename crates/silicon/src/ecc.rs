@@ -51,7 +51,10 @@ impl Secded {
     /// Panics if `data_bits` is not in `1..=26` (codeword must fit in
     /// `u32`).
     pub fn new(data_bits: u8) -> Self {
-        assert!((1..=26).contains(&data_bits), "data width must be in 1..=26");
+        assert!(
+            (1..=26).contains(&data_bits),
+            "data width must be in 1..=26"
+        );
         let mut r = 0u8;
         while (1u32 << r) < data_bits as u32 + r as u32 + 1 {
             r += 1;
@@ -92,7 +95,7 @@ impl Secded {
     pub fn encode(&self, data: u32) -> u32 {
         let n = (self.data_bits + self.parity_bits) as u32;
         let mut cw = 0u32; // 1-indexed Hamming positions stored at bit p
-        // Place data bits at non-power-of-two positions.
+                           // Place data bits at non-power-of-two positions.
         let mut d = 0u8;
         for pos in 1..=n {
             if !pos.is_power_of_two() {

@@ -62,7 +62,10 @@ impl FaultMap {
     ///
     /// Panics if either dimension is zero.
     pub fn defect_free(words: u32, bits_per_word: u8) -> Self {
-        assert!(words > 0 && bits_per_word > 0, "array dimensions must be positive");
+        assert!(
+            words > 0 && bits_per_word > 0,
+            "array dimensions must be positive"
+        );
         Self {
             words,
             bits_per_word,
@@ -126,7 +129,10 @@ impl FaultMap {
         kind: FaultKind,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_cell),
+            "p_cell must be a probability"
+        );
         let mut map = Self::defect_free(words, bits_per_word);
         let mut rng = seeded(seed);
         for word in 0..words {

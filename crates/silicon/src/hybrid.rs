@@ -56,7 +56,10 @@ impl ProtectionPlan {
     /// Panics if `bits` is zero or `protected > bits`.
     pub fn msb_protected(bits: u8, protected: u8) -> Self {
         assert!(bits > 0, "word width must be positive");
-        assert!(protected <= bits, "cannot protect more bits than the word has");
+        assert!(
+            protected <= bits,
+            "cannot protect more bits than the word has"
+        );
         let mut cells = vec![BitCellKind::Sram6T; bits as usize];
         for b in (bits - protected)..bits {
             cells[b as usize] = BitCellKind::Sram8T;
@@ -288,7 +291,10 @@ mod tests {
         let map = plan.fault_map_at_vdd(3000, &model, vdd, FaultKind::Flip, 21);
         let p6 = model.p_cell(BitCellKind::Sram6T, vdd);
         let unprot = map.faults_in_bits(0..6) as f64 / (3000.0 * 6.0);
-        assert!((unprot - p6).abs() < 0.25 * p6 + 1e-3, "unprotected rate {unprot} vs {p6}");
+        assert!(
+            (unprot - p6).abs() < 0.25 * p6 + 1e-3,
+            "unprotected rate {unprot} vs {p6}"
+        );
         let prot = map.faults_in_bits(6..10);
         assert!(
             (prot as f64) < 0.01 * map.fault_count() as f64 + 3.0,
@@ -299,10 +305,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "MSB-protection plan")]
     fn exact_unprotected_requires_msb_plan() {
-        let plan = ProtectionPlan::custom(vec![
-            BitCellKind::Sram8T,
-            BitCellKind::Sram6T,
-        ]);
+        let plan = ProtectionPlan::custom(vec![BitCellKind::Sram8T, BitCellKind::Sram6T]);
         let _ = plan.fault_map_exact_unprotected(10, 1, FaultKind::Flip, 0);
     }
 

@@ -92,8 +92,14 @@ pub fn repair_covers(faults: &[(u32, u32)], budget: SpareBudget) -> bool {
         if spare_rows == 0 && spare_cols == 0 {
             return false;
         }
-        let best_row = by_row.iter().max_by_key(|&(_, &n)| n).map(|(&r, &n)| (r, n));
-        let best_col = by_col.iter().max_by_key(|&(_, &n)| n).map(|(&c, &n)| (c, n));
+        let best_row = by_row
+            .iter()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(&r, &n)| (r, n));
+        let best_col = by_col
+            .iter()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(&c, &n)| (c, n));
         let use_row = match (best_row, best_col) {
             (Some((_, nr)), Some((_, nc))) => {
                 if spare_cols == 0 {
@@ -134,7 +140,10 @@ pub fn yield_with_repair(
     trials: u32,
     seed: u64,
 ) -> f64 {
-    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_cell),
+        "p_cell must be a probability"
+    );
     assert!(trials > 0, "need at least one trial");
     let mut rng = seeded(seed);
     let mut pass = 0u32;
@@ -179,7 +188,6 @@ mod tests {
     use super::*;
     use crate::yield_model::yield_accepting;
     use proptest::prelude::*;
-    use rand::Rng as _;
 
     #[test]
     fn no_faults_always_repairable() {
@@ -220,7 +228,10 @@ mod tests {
 
     #[test]
     fn repair_yield_beats_zero_defect_at_low_p() {
-        let g = ArrayGeometry { rows: 128, cols: 128 };
+        let g = ArrayGeometry {
+            rows: 128,
+            cols: 128,
+        };
         let p = 1e-4; // ~1.6 expected faults
         let budget = SpareBudget { rows: 2, cols: 2 };
         let y_repair = yield_with_repair(g, p, budget, 300, 1);
@@ -237,11 +248,14 @@ mod tests {
         // The paper's §3 argument: at high defect rates spares run out
         // while Eq. 2 acceptance (with system-level tolerance) still
         // yields.
-        let g = ArrayGeometry { rows: 128, cols: 128 };
+        let g = ArrayGeometry {
+            rows: 128,
+            cols: 128,
+        };
         let p = 3e-3; // ~49 expected faults
         let budget = SpareBudget { rows: 4, cols: 4 };
         let y_repair = yield_with_repair(g, p, budget, 200, 2);
-        let y_accept = yield_accepting(g.cells(), p, (g.cells() / 100) as u64); // tolerate 1 %
+        let y_accept = yield_accepting(g.cells(), p, g.cells() / 100); // tolerate 1 %
         assert!(y_repair < 0.05, "spares must be exhausted: {y_repair}");
         assert!(y_accept > 0.999, "1% tolerance still yields: {y_accept}");
     }

@@ -66,7 +66,10 @@ impl VthMismatchModel {
     ///
     /// Panics if `vdd` is not positive and finite.
     pub fn p_fail(&self, vdd: f64) -> f64 {
-        assert!(vdd.is_finite() && vdd > 0.0, "supply voltage must be positive");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "supply voltage must be positive"
+        );
         let margin = self.margin_slope * (vdd - self.v_min);
         q_function(margin / self.sigma_vth)
     }
@@ -79,7 +82,10 @@ impl VthMismatchModel {
     /// Panics if `trials` is zero or `vdd` invalid.
     pub fn p_fail_monte_carlo(&self, vdd: f64, trials: u32, seed: u64) -> f64 {
         assert!(trials > 0, "need at least one trial");
-        assert!(vdd.is_finite() && vdd > 0.0, "supply voltage must be positive");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "supply voltage must be positive"
+        );
         let margin = self.margin_slope * (vdd - self.v_min);
         let mut rng = seeded(seed);
         let mut fails = 0u32;

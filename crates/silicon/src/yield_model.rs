@@ -18,7 +18,10 @@
 ///
 /// Panics if `p_cell` is outside `[0, 1]`.
 pub fn yield_zero_defect(cells: u64, p_cell: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_cell),
+        "p_cell must be a probability"
+    );
     if p_cell == 1.0 {
         return if cells == 0 { 1.0 } else { 0.0 };
     }
@@ -47,7 +50,10 @@ pub fn yield_zero_defect(cells: u64, p_cell: f64) -> f64 {
 /// assert!(yield_accepting(m, 1e-4, (m as f64 * 0.001) as u64) > 0.999);
 /// ```
 pub fn yield_accepting(cells: u64, p_cell: f64, n_accept: u64) -> f64 {
-    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_cell),
+        "p_cell must be a probability"
+    );
     if p_cell == 0.0 {
         return 1.0;
     }
@@ -92,8 +98,14 @@ pub fn yield_accepting(cells: u64, p_cell: f64, n_accept: u64) -> f64 {
 ///
 /// Panics if `p_cell` is outside `[0, 1]` or `target` outside `(0, 1]`.
 pub fn min_accepted_faults(cells: u64, p_cell: f64, target: f64) -> Option<u64> {
-    assert!((0.0..=1.0).contains(&p_cell), "p_cell must be a probability");
-    assert!(target > 0.0 && target <= 1.0, "target yield must be in (0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p_cell),
+        "p_cell must be a probability"
+    );
+    assert!(
+        target > 0.0 && target <= 1.0,
+        "target yield must be in (0, 1]"
+    );
     // Binary search over the monotone CDF.
     let (mut lo, mut hi) = (0u64, cells);
     if yield_accepting(cells, p_cell, hi) < target {

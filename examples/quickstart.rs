@@ -16,10 +16,24 @@ use resilience_core::simulator::LinkSimulator;
 fn main() {
     // The paper's evaluation mode: 64QAM, 10-bit LLRs, <=4 transmissions.
     let cfg = SystemConfig::paper_64qam();
-    println!("HSPA+ link: {} info bits + CRC24 -> {} coded bits,", cfg.payload_bits, cfg.coded_len());
-    println!("            {} channel bits/tx ({} {} symbols), rate {:.2}", cfg.channel_bits_per_tx,
-             cfg.symbols_per_tx(), cfg.modulation, cfg.initial_rate());
-    println!("LLR memory: {} words x {} bits = {} cells\n", cfg.coded_len(), cfg.llr_bits, cfg.storage_cells());
+    println!(
+        "HSPA+ link: {} info bits + CRC24 -> {} coded bits,",
+        cfg.payload_bits,
+        cfg.coded_len()
+    );
+    println!(
+        "            {} channel bits/tx ({} {} symbols), rate {:.2}",
+        cfg.channel_bits_per_tx,
+        cfg.symbols_per_tx(),
+        cfg.modulation,
+        cfg.initial_rate()
+    );
+    println!(
+        "LLR memory: {} words x {} bits = {} cells\n",
+        cfg.coded_len(),
+        cfg.llr_bits,
+        cfg.storage_cells()
+    );
 
     // A die that passed inspection with 1% defective cells.
     let storage = StorageConfig::unprotected(0.01, cfg.llr_bits);
@@ -27,12 +41,18 @@ fn main() {
     let mut buffer = build_buffer(&cfg, &storage, 42);
     let mut rng = dsp::rng::seeded(7);
 
-    println!("--- single packets at 12 dB on the defective die ({})", storage.label());
+    println!(
+        "--- single packets at 12 dB on the defective die ({})",
+        storage.label()
+    );
     for p in 0..5 {
         let out = sim.simulate_packet(12.0, &mut buffer, &mut rng);
         match out.success_after {
             Some(t) => println!("packet {p}: delivered after {t} transmission(s)"),
-            None => println!("packet {p}: FAILED after {} transmissions", out.transmissions_used),
+            None => println!(
+                "packet {p}: FAILED after {} transmissions",
+                out.transmissions_used
+            ),
         }
     }
 

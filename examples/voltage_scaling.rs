@@ -29,15 +29,27 @@ fn main() {
     let requirement = 0.53;
 
     let plans = [
-        ("plain 6T", ProtectionPlan::uniform(cfg.llr_bits, BitCellKind::Sram6T)),
-        ("hybrid 4MSB/8T", ProtectionPlan::msb_protected(cfg.llr_bits, 4)),
+        (
+            "plain 6T",
+            ProtectionPlan::uniform(cfg.llr_bits, BitCellKind::Sram6T),
+        ),
+        (
+            "hybrid 4MSB/8T",
+            ProtectionPlan::msb_protected(cfg.llr_bits, 4),
+        ),
     ];
 
     println!("throughput @ {snr} dB vs supply voltage ({packets} packets/point)");
     println!("3GPP requirement for this mode: {requirement}\n");
     for (name, plan) in &plans {
-        println!("--- {name} (area overhead {:.0}%)", plan.area_overhead_vs_6t() * 100.0);
-        println!("{:>6} {:>12} {:>11} {:>11} {:>8}", "Vdd", "E[defect %]", "throughput", "rel power", "meets?");
+        println!(
+            "--- {name} (area overhead {:.0}%)",
+            plan.area_overhead_vs_6t() * 100.0
+        );
+        println!(
+            "{:>6} {:>12} {:>11} {:>11} {:>8}",
+            "Vdd", "E[defect %]", "throughput", "rel power", "meets?"
+        );
         let mut min_ok_vdd = f64::NAN;
         for i in 0..=8 {
             let vdd = 1.0 - 0.05 * i as f64;
@@ -49,8 +61,7 @@ fn main() {
             let stats = run_point_with(&sim, &storage, snr, packets, 42 + i);
             let thr = stats.normalized_throughput();
             let frac = plan.expected_defect_fraction(&model, vdd);
-            let power = pm.cell_power(plan.relative_area(), vdd)
-                / pm.cell_power(1.0, 1.0);
+            let power = pm.cell_power(plan.relative_area(), vdd) / pm.cell_power(1.0, 1.0);
             let ok = thr >= requirement;
             if ok {
                 min_ok_vdd = vdd;

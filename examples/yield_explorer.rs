@@ -14,13 +14,21 @@ use silicon::yield_model::{min_accepted_faults, yield_accepting, yield_zero_defe
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cells: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(200 * 1024);
+    let cells: u64 = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200 * 1024);
     let target: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.95);
     let model = CellFailureModel::dac12();
 
-    println!("array: {cells} cells, yield target {:.0}%\n", target * 100.0);
-    println!("{:>6} {:>10} {:>14} {:>12} {:>12} {:>10}",
-             "Vdd", "Pcell(6T)", "Y(zero-defect)", "Nf@target", "defect %", "verdict");
+    println!(
+        "array: {cells} cells, yield target {:.0}%\n",
+        target * 100.0
+    );
+    println!(
+        "{:>6} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "Vdd", "Pcell(6T)", "Y(zero-defect)", "Nf@target", "defect %", "verdict"
+    );
     println!("{}", "-".repeat(70));
     for i in 0..=10 {
         let vdd = 1.0 - 0.04 * i as f64;
@@ -48,7 +56,13 @@ fn main() {
     let p = 1e-4;
     let nf_01pct = (cells as f64 * 0.001) as u64;
     println!("\nFig. 5 anchor: Pcell = 1e-4 on this array:");
-    println!("  zero-defect yield      = {:.2e}", yield_zero_defect(cells, p));
-    println!("  accepting 0.1% defects = {:.4}", yield_accepting(cells, p, nf_01pct));
+    println!(
+        "  zero-defect yield      = {:.2e}",
+        yield_zero_defect(cells, p)
+    );
+    println!(
+        "  accepting 0.1% defects = {:.4}",
+        yield_accepting(cells, p, nf_01pct)
+    );
     println!("  -> accepting a tiny defect count converts scrap into sellable dies.");
 }

@@ -29,7 +29,7 @@ fn manual_chain_delivers_over_awgn() {
     let rm = RateMatcher::new(block.len(), target);
     let il = ChannelInterleaver::new(target);
     let mut harq = HarqProcess::new(
-        rm.clone(),
+        &rm,
         HarqCombining::IncrementalRedundancy,
         PerfectLlrBuffer::new(rm.coded_len()),
     );
@@ -53,7 +53,10 @@ fn manual_chain_delivers_over_awgn() {
             break;
         }
     }
-    assert!(delivered, "packet must decode within the HARQ budget at 10 dB");
+    assert!(
+        delivered,
+        "packet must decode within the HARQ budget at 10 dB"
+    );
 }
 
 /// Uncoded QAM BER over AWGN tracks within a factor of the analytic
@@ -106,5 +109,8 @@ fn whole_stack_is_reproducible() {
     let b = run_point(&cfg, &s, 8.0, 8, 1234);
     assert_eq!(a, b);
     let c = run_point(&cfg, &s, 8.0, 8, 1235);
-    assert!(a != c || a.delivered == c.delivered, "different seed may differ");
+    assert!(
+        a != c || a.delivered == c.delivered,
+        "different seed may differ"
+    );
 }

@@ -2,7 +2,9 @@
 //! the same code paths the `bench` binaries use for full regeneration.
 
 use resilience_core::config::SystemConfig;
-use resilience_core::experiments::{fig2, fig3, fig5, fig6, fig7, fig8, fig9, power, ExperimentBudget};
+use resilience_core::experiments::{
+    fig2, fig3, fig5, fig6, fig7, fig8, fig9, power, ExperimentBudget,
+};
 
 fn cfg() -> SystemConfig {
     SystemConfig::fast_test()
@@ -41,10 +43,10 @@ fn fig6_smoke() {
     let res = fig6::run_with_fractions(&cfg(), ExperimentBudget::smoke(), &[0.0, 0.05]);
     assert_eq!(res.curves.len(), 2);
     assert!(res.table_throughput().contains("SNR"));
-    assert!(res
-        .curves
+    assert!(res.curves.iter().all(|c| c
+        .avg_transmissions
         .iter()
-        .all(|c| c.avg_transmissions.iter().all(|&t| (1.0..=4.0).contains(&t))));
+        .all(|&t| (1.0..=4.0).contains(&t))));
 }
 
 #[test]
@@ -60,7 +62,10 @@ fn fig8_smoke() {
     // 0..=10 protected bits plus the ECC row.
     assert_eq!(res.rows.len(), 12);
     // Efficiency is finite and positive everywhere.
-    assert!(res.rows.iter().all(|r| r.efficiency.is_finite() && r.efficiency >= 0.0));
+    assert!(res
+        .rows
+        .iter()
+        .all(|r| r.efficiency.is_finite() && r.efficiency >= 0.0));
 }
 
 #[test]

@@ -14,8 +14,20 @@ const SEED: u64 = 2012;
 fn defect_tolerance_ordering() {
     let cfg = SystemConfig::fast_test();
     let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
-    let tiny = run_point(&cfg, &StorageConfig::unprotected(0.001, cfg.llr_bits), SNR, PACKETS, SEED);
-    let huge = run_point(&cfg, &StorageConfig::unprotected(0.25, cfg.llr_bits), SNR, PACKETS, SEED);
+    let tiny = run_point(
+        &cfg,
+        &StorageConfig::unprotected(0.001, cfg.llr_bits),
+        SNR,
+        PACKETS,
+        SEED,
+    );
+    let huge = run_point(
+        &cfg,
+        &StorageConfig::unprotected(0.25, cfg.llr_bits),
+        SNR,
+        PACKETS,
+        SEED,
+    );
     assert_eq!(clean.delivered, tiny.delivered, "0.1% must be transparent");
     assert!(
         huge.normalized_throughput() < clean.normalized_throughput(),
@@ -35,8 +47,20 @@ fn defect_tolerance_ordering() {
 fn msb_protection_recovers() {
     let cfg = SystemConfig::fast_test();
     let frac = 0.20;
-    let none = run_point(&cfg, &StorageConfig::msb_protected(0, frac, cfg.llr_bits), SNR, PACKETS, SEED);
-    let four = run_point(&cfg, &StorageConfig::msb_protected(4, frac, cfg.llr_bits), SNR, PACKETS, SEED);
+    let none = run_point(
+        &cfg,
+        &StorageConfig::msb_protected(0, frac, cfg.llr_bits),
+        SNR,
+        PACKETS,
+        SEED,
+    );
+    let four = run_point(
+        &cfg,
+        &StorageConfig::msb_protected(4, frac, cfg.llr_bits),
+        SNR,
+        PACKETS,
+        SEED,
+    );
     let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
     assert!(
         four.normalized_throughput() >= none.normalized_throughput(),
@@ -69,7 +93,10 @@ fn ecc_restores_at_sparse_rates() {
         PACKETS,
         SEED,
     );
-    assert_eq!(clean.delivered, ecc.delivered, "sparse faults fully corrected by SECDED");
+    assert_eq!(
+        clean.delivered, ecc.delivered,
+        "sparse faults fully corrected by SECDED"
+    );
 }
 
 /// Claim 4 (Fig. 9): at a fixed high defect rate, wider LLR words do not
@@ -81,8 +108,20 @@ fn wider_words_do_not_help_under_defects() {
     let mut cfg12 = SystemConfig::fast_test();
     cfg12.llr_bits = 12;
     let frac = 0.15;
-    let t10 = run_point(&cfg10, &StorageConfig::unprotected(frac, 10), SNR, PACKETS, SEED);
-    let t12 = run_point(&cfg12, &StorageConfig::unprotected(frac, 12), SNR, PACKETS, SEED);
+    let t10 = run_point(
+        &cfg10,
+        &StorageConfig::unprotected(frac, 10),
+        SNR,
+        PACKETS,
+        SEED,
+    );
+    let t12 = run_point(
+        &cfg12,
+        &StorageConfig::unprotected(frac, 12),
+        SNR,
+        PACKETS,
+        SEED,
+    );
     assert!(
         t12.normalized_throughput() <= t10.normalized_throughput() + 0.15,
         "12-bit {} should not beat 10-bit {} under defects",
@@ -126,7 +165,10 @@ fn yield_and_throughput_compose() {
     let p = model.p_cell(BitCellKind::Sram6T, 0.8);
     let nf = min_accepted_faults(cells, p, 0.95).expect("target reachable");
     let frac = nf as f64 / cells as f64;
-    assert!(frac < 0.01, "0.8 V should need well under 1% acceptance, got {frac}");
+    assert!(
+        frac < 0.01,
+        "0.8 V should need well under 1% acceptance, got {frac}"
+    );
     let clean = run_point(&cfg, &StorageConfig::Quantized, SNR, PACKETS, SEED);
     let scaled = run_point(
         &cfg,
