@@ -1,13 +1,16 @@
 //! Benchmark of the end-to-end link simulation and the Monte-Carlo
 //! engine — the unit of work behind every figure of the paper.
 //!
-//! Two parts:
+//! Three parts:
 //!
 //! 1. Per-packet wall-clock of `simulate_packet_with` across storage
 //!    backends and SNRs (the kernel every Monte-Carlo point repeats).
 //! 2. Engine throughput (packets/sec) at 1 worker vs all CPUs over a
 //!    realistic operating grid, written to `BENCH_engine.json` so future
 //!    changes have a machine-readable perf trajectory.
+//! 3. Campaign adaptivity on the fig6a (defect × SNR) grid: how many
+//!    packets the Wilson-CI controller needs versus the fixed budget at
+//!    the default precision target (also recorded in the JSON).
 //!
 //! Run with `cargo bench --bench link_simulation`. The JSON lands in the
 //! working directory.
@@ -16,8 +19,10 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use resilience_core::campaign::{Campaign, CampaignSettings, ManifestTotals};
 use resilience_core::config::SystemConfig;
 use resilience_core::engine::SimulationEngine;
+use resilience_core::experiments::{fig6, snr_grid};
 use resilience_core::montecarlo::{build_buffer, StorageConfig};
 use resilience_core::simulator::{LinkSimulator, PacketScratch};
 
@@ -98,6 +103,30 @@ fn measure_engine(threads: usize, packets_per_point: usize) -> EngineSample {
     }
 }
 
+/// Runs the fig6a grid through an adaptive campaign at the default
+/// precision target and reports the controller's packet saving versus
+/// the fixed `max_packets`-per-point budget.
+fn measure_campaign(max_packets: usize) -> (ManifestTotals, f64) {
+    let cfg = SystemConfig::paper_64qam();
+    let sim = LinkSimulator::new(cfg);
+    let storages = fig6::storages(&fig6::DEFECT_FRACTIONS, cfg.llr_bits);
+    // A scratch store: this measures simulation, not disk replay.
+    let dir = std::env::temp_dir().join(format!("bench-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::new(
+        "bench-fig6a",
+        CampaignSettings::default(),
+        SimulationEngine::auto(),
+    )
+    .with_store_dir(&dir);
+    let t = Instant::now();
+    let _ = campaign.run_grid(&sim, &storages, &snr_grid(), max_packets, 0xbe_c41);
+    let seconds = t.elapsed().as_secs_f64();
+    let totals = campaign.manifest().totals();
+    let _ = std::fs::remove_dir_all(&dir);
+    (totals, seconds)
+}
+
 fn main() {
     bench_single_packet();
 
@@ -124,6 +153,19 @@ fn main() {
         parallel.threads
     );
 
+    println!("--- campaign adaptivity (fig6a grid, default precision)");
+    let campaign_max = 60;
+    let (totals, campaign_secs) = measure_campaign(campaign_max);
+    println!(
+        "bench campaign/fig6a {} of {} budgeted packets ({:.1}% saved, {}/{} points converged, {:.2}s)",
+        totals.realized_packets,
+        totals.budget_packets,
+        totals.saved_vs_fixed() * 100.0,
+        totals.points_converged,
+        totals.points_total,
+        campaign_secs
+    );
+
     // Machine-readable trajectory for future PRs. Hand-formatted JSON:
     // the offline serde shim intentionally has no serializer.
     let mut json = String::from("{\n");
@@ -141,7 +183,16 @@ fn main() {
         parallel.threads,
         parallel.packets_per_sec()
     );
-    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"campaign_fig6a\": {{\"max_packets\": {campaign_max}, \"grid_points\": {}, \"packets_fixed\": {}, \"packets_adaptive\": {}, \"saved_fraction\": {:.4}, \"points_converged\": {}}}",
+        totals.points_total,
+        totals.budget_packets,
+        totals.realized_packets,
+        totals.saved_vs_fixed(),
+        totals.points_converged
+    );
     json.push('}');
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json");

@@ -25,7 +25,10 @@ use silicon::ProtectionPlan;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let budget = budget_from_args(&args);
+    let mut budget = budget_from_args(&args);
+    // Ablations compare design arms at equal sample counts; adaptive
+    // stopping would vary the per-arm CI width, so stay one-shot.
+    budget.campaign = None;
     let engine = budget.engine();
     let snr = 12.0;
     let frac = 0.05;

@@ -18,5 +18,6 @@ fn main() {
         println!("{}", res.table());
     }
     println!("expected: modest spread (fault count, not location, dominates) -");
-    println!("supporting the paper's 'bin dies by Nf' selection criterion.");
+    println!("supporting the paper's 'bin dies by Nf' selection criterion.\n");
+    bench::print_campaign_summary(&budget, &["die-variation"]);
 }

@@ -26,5 +26,6 @@ fn main() {
         }
     }
     println!("\nexpected shape: <=0.1% defects coincide with defect-free; degradation");
-    println!("grows beyond that; even 10% defects still cross the 0.53 requirement.");
+    println!("grows beyond that; even 10% defects still cross the 0.53 requirement.\n");
+    bench::print_campaign_summary(&budget, &["fig6"]);
 }

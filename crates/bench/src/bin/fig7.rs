@@ -23,5 +23,6 @@ fn main() {
         res.panel_b.table()
     );
     println!("expected shape: protecting 3-4 MSBs recovers (almost) the defect-free");
-    println!("curve even under 10% defects in the remaining bits.");
+    println!("curve even under 10% defects in the remaining bits.\n");
+    bench::print_campaign_summary(&budget, &["fig7"]);
 }

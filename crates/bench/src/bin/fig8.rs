@@ -19,5 +19,6 @@ fn main() {
     println!("{}", res.table());
     println!("best gain/area protection: {} MSBs", res.best_protection());
     println!("\nexpected shape: gain saturates at 3-4 protected bits (~12-13% area);");
-    println!("full-word SECDED pays >=35-50% area for no additional throughput.");
+    println!("full-word SECDED pays >=35-50% area for no additional throughput.\n");
+    bench::print_campaign_summary(&budget, &["fig8"]);
 }

@@ -1,0 +1,257 @@
+//! Shared command-line handling for every figure binary.
+//!
+//! Historically each binary re-parsed `--packets/--seed/--threads` by
+//! hand; this module is now the single place that turns `argv` into an
+//! [`ExperimentBudget`], including the campaign-layer flags:
+//!
+//! * `--packets N` / `--max-packets N` — per-point packet budget (the
+//!   escalation **cap** under a campaign);
+//! * `--seed S`, `--threads T` — as before;
+//! * `--precision P` — target relative half-width of the per-point BLER
+//!   confidence interval (default 0.25);
+//! * `--bler-floor F` — BLER below which a point counts as resolved;
+//! * `--chunk N` — packets of the first adaptive chunk;
+//! * `--resume` / `--no-resume` — reuse or truncate the persistent
+//!   result store under `target/campaign/`;
+//! * `--one-shot` — bypass the campaign layer entirely (classic fixed
+//!   budget on the bare engine).
+//!
+//! Campaigns are the default execution path: unless `--one-shot` is
+//! given, every binary runs adaptive budgets against the store.
+
+use std::path::Path;
+
+use resilience_core::campaign::{manifest, Campaign, CampaignSettings};
+use resilience_core::experiments::ExperimentBudget;
+
+/// Parses command-line arguments into a budget. Unknown arguments are
+/// ignored so binaries can add their own flags.
+pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
+    let mut budget = ExperimentBudget::full().with_campaign(CampaignSettings::default());
+    // Flags with a value: parse it strictly (wrong type/sign keeps the
+    // default, exactly like an unknown flag) or leave the default.
+    fn next_parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<String>) -> Option<T> {
+        it.next().and_then(|s| s.parse().ok())
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--packets" | "--max-packets" => {
+                if let Some(v) = next_parsed::<usize>(&mut it) {
+                    budget.packets_per_point = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = next_parsed::<u64>(&mut it) {
+                    budget.seed = v;
+                }
+            }
+            "--threads" => {
+                if let Some(v) = next_parsed::<usize>(&mut it) {
+                    budget.threads = v;
+                }
+            }
+            "--precision" => {
+                if let (Some(v), Some(c)) = (next_parsed::<f64>(&mut it), budget.campaign.as_mut())
+                {
+                    c.precision = v;
+                }
+            }
+            "--bler-floor" => {
+                if let (Some(v), Some(c)) = (next_parsed::<f64>(&mut it), budget.campaign.as_mut())
+                {
+                    c.bler_floor = v;
+                }
+            }
+            "--chunk" => {
+                if let (Some(v), Some(c)) =
+                    (next_parsed::<usize>(&mut it), budget.campaign.as_mut())
+                {
+                    if v >= 1 {
+                        c.initial_chunk = v;
+                    }
+                }
+            }
+            "--resume" => {
+                if let Some(c) = budget.campaign.as_mut() {
+                    c.resume = true;
+                }
+            }
+            "--no-resume" => {
+                if let Some(c) = budget.campaign.as_mut() {
+                    c.resume = false;
+                }
+            }
+            "--one-shot" => budget.campaign = None,
+            _ => {}
+        }
+    }
+    budget
+}
+
+/// Standard banner for figure binaries.
+pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
+    let mode = match budget.campaign {
+        Some(c) => format!(
+            "campaign: precision {:.2}, floor {:.2}, {}",
+            c.precision,
+            c.bler_floor,
+            if c.resume { "resume" } else { "no-resume" }
+        ),
+        None => "one-shot".into(),
+    };
+    format!(
+        "=== DAC'12 reproduction — {figure}: {what}\n=== packets/point <= {}, seed = {:#x}, {mode}\n",
+        budget.packets_per_point, budget.seed
+    )
+}
+
+/// Prints the campaign summaries (store-hit rate, packets saved versus
+/// the fixed budget, convergence tally) for the given campaign names.
+/// No-op in `--one-shot` mode or when a manifest is missing.
+pub fn print_campaign_summary(budget: &ExperimentBudget, names: &[&str]) {
+    if budget.campaign.is_none() {
+        return;
+    }
+    for name in names {
+        let path = Campaign::default_manifest_path(name);
+        match manifest::read_summary(&path) {
+            Some(s) => println!("{}", summary_line(&s)),
+            None => println!("campaign {name}: no manifest at {}", path.display()),
+        }
+    }
+}
+
+/// One human- and grep-friendly line per campaign (the CI resume-smoke
+/// job parses the `store-hit rate` figure).
+pub fn summary_line(s: &manifest::ManifestSummary) -> String {
+    let t = s.totals;
+    format!(
+        "campaign {}: {} points ({} converged), store-hit rate: {:.1}% ({}/{} chunks), \
+         packets {}/{} (saved {:.1}% vs fixed budget)",
+        s.name,
+        t.points_total,
+        t.points_converged,
+        t.store_hit_rate() * 100.0,
+        t.store_chunks,
+        t.total_chunks,
+        t.realized_packets,
+        t.budget_packets,
+        t.saved_vs_fixed() * 100.0,
+    )
+}
+
+/// Reads a manifest summary from an explicit path (benches and tests).
+pub fn summary_at(path: &Path) -> Option<manifest::ManifestSummary> {
+    manifest::read_summary(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_packets_and_seed() {
+        let b = budget_from_args(&args(&["--packets", "12", "--seed", "99"]));
+        assert_eq!(b.packets_per_point, 12);
+        assert_eq!(b.seed, 99);
+        assert_eq!(
+            budget_from_args(&args(&["--max-packets", "7"])).packets_per_point,
+            7
+        );
+    }
+
+    #[test]
+    fn ignores_unknown_args() {
+        let b = budget_from_args(&args(&["--whatever", "--packets", "3"]));
+        assert_eq!(b.packets_per_point, 3);
+    }
+
+    #[test]
+    fn malformed_values_keep_defaults() {
+        // Negative or fractional integer flags must not collapse to 0 —
+        // they are ignored like any unparsable value.
+        let d = budget_from_args(&[]);
+        for bad in [
+            &["--packets", "-5"][..],
+            &["--packets", "3.7"],
+            &["--threads", "-1"],
+            &["--chunk", "0"],
+        ] {
+            let b = budget_from_args(&args(bad));
+            assert_eq!(b.packets_per_point, d.packets_per_point, "{bad:?}");
+            assert_eq!(b.threads, d.threads, "{bad:?}");
+            assert_eq!(b.campaign, d.campaign, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_threads() {
+        assert_eq!(budget_from_args(&args(&["--threads", "4"])).threads, 4);
+        assert_eq!(budget_from_args(&[]).threads, 0, "default is auto");
+    }
+
+    #[test]
+    fn campaign_is_the_default_path() {
+        let b = budget_from_args(&[]);
+        let c = b.campaign.expect("campaign on by default");
+        assert_eq!(c, CampaignSettings::default());
+        assert!(c.resume);
+    }
+
+    #[test]
+    fn campaign_flags() {
+        let b = budget_from_args(&args(&[
+            "--precision",
+            "0.1",
+            "--bler-floor",
+            "0.05",
+            "--chunk",
+            "16",
+            "--no-resume",
+        ]));
+        let c = b.campaign.unwrap();
+        assert_eq!(c.precision, 0.1);
+        assert_eq!(c.bler_floor, 0.05);
+        assert_eq!(c.initial_chunk, 16);
+        assert!(!c.resume);
+    }
+
+    #[test]
+    fn one_shot_disables_the_campaign() {
+        let b = budget_from_args(&args(&["--one-shot", "--packets", "5"]));
+        assert!(b.campaign.is_none());
+        assert_eq!(b.packets_per_point, 5);
+        assert!(banner("figX", "test", b).contains("one-shot"));
+    }
+
+    #[test]
+    fn banner_mentions_figure_and_mode() {
+        let b = budget_from_args(&[]);
+        let text = banner("fig6", "throughput", b);
+        assert!(text.contains("fig6"));
+        assert!(text.contains("campaign: precision"));
+    }
+
+    #[test]
+    fn summary_line_is_grepable() {
+        let s = manifest::ManifestSummary {
+            name: "fig6".into(),
+            totals: manifest::ManifestTotals {
+                points_total: 10,
+                points_converged: 8,
+                total_chunks: 20,
+                store_chunks: 20,
+                realized_packets: 400,
+                budget_packets: 600,
+            },
+        };
+        let line = summary_line(&s);
+        assert!(line.contains("store-hit rate: 100.0%"), "{line}");
+        assert!(line.contains("saved 33.3%"), "{line}");
+    }
+}

@@ -5,85 +5,13 @@
 //! computational kernels and ablation studies on the design choices
 //! called out in `DESIGN.md`.
 //!
-//! Every binary accepts an optional `--packets N` argument to trade
-//! fidelity for runtime, `--seed S` for independent replications, and
-//! `--threads T` to pin the Monte-Carlo engine's worker count
-//! (`0` = one per CPU; the default). Thread count never changes results.
+//! All Monte-Carlo binaries share the [`cli`] argument parser: `--packets
+//! N` caps the per-point budget, `--seed S` replicates independently,
+//! `--threads T` pins the engine's worker count (`0` = one per CPU;
+//! thread count never changes results), and the campaign flags
+//! (`--precision`, `--resume`/`--no-resume`, `--one-shot`, …) control the
+//! adaptive execution path every figure routes through by default.
 
-use resilience_core::experiments::ExperimentBudget;
+pub mod cli;
 
-/// Parses `--packets N`, `--seed S` and `--threads T` from command-line
-/// arguments into a budget, starting from [`ExperimentBudget::full`].
-///
-/// Unknown arguments are ignored so binaries can add their own flags.
-pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
-    let mut budget = ExperimentBudget::full();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--packets" => {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    budget.packets_per_point = v;
-                }
-            }
-            "--seed" => {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    budget.seed = v;
-                }
-            }
-            "--threads" => {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    budget.threads = v;
-                }
-            }
-            _ => {}
-        }
-    }
-    budget
-}
-
-/// Standard banner for figure binaries.
-pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
-    format!(
-        "=== DAC'12 reproduction — {figure}: {what}\n=== packets/point = {}, seed = {:#x}\n",
-        budget.packets_per_point, budget.seed
-    )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_packets_and_seed() {
-        let args: Vec<String> = ["--packets", "12", "--seed", "99"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let b = budget_from_args(&args);
-        assert_eq!(b.packets_per_point, 12);
-        assert_eq!(b.seed, 99);
-    }
-
-    #[test]
-    fn ignores_unknown_args() {
-        let args: Vec<String> = ["--whatever", "--packets", "3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(budget_from_args(&args).packets_per_point, 3);
-    }
-
-    #[test]
-    fn parses_threads() {
-        let args: Vec<String> = ["--threads", "4"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(budget_from_args(&args).threads, 4);
-        assert_eq!(budget_from_args(&[]).threads, 0, "default is auto");
-    }
-
-    #[test]
-    fn banner_mentions_figure() {
-        let b = ExperimentBudget::smoke();
-        assert!(banner("fig6", "throughput", b).contains("fig6"));
-    }
-}
+pub use cli::{banner, budget_from_args, print_campaign_summary};

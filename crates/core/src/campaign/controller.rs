@@ -1,0 +1,231 @@
+//! Adaptive packet-budget control: deterministic chunk schedules and a
+//! Wilson-score stopping rule on BLER.
+//!
+//! Fixed per-point budgets spend most of their packets on easy operating
+//! points (high SNR, BLER ≈ 0) while under-resolving the waterfall
+//! region. The controller instead runs every point in growing chunks and
+//! stops as soon as a 95 % Wilson confidence interval on the point's
+//! block-error rate is tight enough:
+//!
+//! * **resolved-low**: the whole interval sits below
+//!   [`CampaignSettings::bler_floor`] — the point is "easy"; more packets
+//!   would only sharpen a value the figures render as ≈ 0;
+//! * **relative precision**: the interval half-width is within
+//!   [`CampaignSettings::precision`] of the BLER estimate;
+//! * **budget cap**: the point reaches its maximum packet budget (hard
+//!   waterfall points escalate here).
+//!
+//! The schedule is a pure function of `(initial_chunk, max_packets)` and
+//! the stopping decision a pure function of the merged statistics, so an
+//! adaptive run is bit-reproducible and store-resumable: neither thread
+//! count nor which chunks came from disk can change when a point stops.
+
+use dsp::stats::wilson_interval;
+use hspa_phy::harq::HarqStats;
+
+/// z-score of the controller's confidence level (95 %).
+pub const WILSON_Z: f64 = 1.96;
+
+/// Knobs of the adaptive budget controller (engine-independent, `Copy`
+/// so [`crate::experiments::ExperimentBudget`] can embed it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignSettings {
+    /// Target relative half-width of the BLER confidence interval.
+    pub precision: f64,
+    /// BLER below which a point counts as resolved: once the interval's
+    /// upper bound drops under this floor, no more packets are spent.
+    pub bler_floor: f64,
+    /// Packets of the first chunk (and the minimum evidence before any
+    /// stopping decision).
+    pub initial_chunk: usize,
+    /// Reuse stored chunks from a previous run (`--resume`, the
+    /// default); `false` truncates the store first (`--no-resume`).
+    pub resume: bool,
+}
+
+impl Default for CampaignSettings {
+    fn default() -> Self {
+        Self {
+            precision: 0.25,
+            bler_floor: 0.15,
+            initial_chunk: 32,
+            resume: true,
+        }
+    }
+}
+
+impl CampaignSettings {
+    /// Settings that never stop early: every point realizes its full
+    /// budget, which makes an adaptive run bit-identical to a fixed one
+    /// (used by equivalence tests).
+    pub fn exhaustive() -> Self {
+        Self {
+            precision: 0.0,
+            bler_floor: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// The packet range of chunk `index` of a point with the given
+    /// maximum budget, or `None` past the end of the schedule.
+    ///
+    /// Chunks double the cumulative packet count (`initial`, then totals
+    /// `2·initial`, `4·initial`, …) and clamp to `max_packets`, so even a
+    /// fully escalated point runs only O(log) rounds.
+    pub fn chunk(&self, index: usize, max_packets: usize) -> Option<(usize, usize)> {
+        assert!(self.initial_chunk > 0, "initial chunk must be positive");
+        let mut start = 0usize;
+        let mut total = self.initial_chunk.min(max_packets);
+        for _ in 0..index {
+            if total >= max_packets {
+                return None;
+            }
+            start = total;
+            total = (total * 2).min(max_packets);
+        }
+        (total > start).then_some((start, total - start))
+    }
+
+    /// Whether the merged statistics of a point satisfy the stopping
+    /// rule ([`module docs`](self) for the three clauses).
+    pub fn converged(&self, stats: &HarqStats) -> bool {
+        if stats.packets == 0 {
+            return false;
+        }
+        let check = PrecisionCheck::of(stats, self);
+        check.resolved_low || check.rel_half_width <= self.precision
+    }
+}
+
+/// The achieved confidence-interval quality of one point — computed once
+/// and reused by the stopping rule, the manifest and the reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionCheck {
+    /// BLER point estimate (failed packets / packets).
+    pub bler: f64,
+    /// 95 % Wilson interval on the BLER.
+    pub ci: (f64, f64),
+    /// Interval half-width relative to `max(bler, bler_floor)`.
+    pub rel_half_width: f64,
+    /// Whole interval below the floor (the "easy point" clause).
+    pub resolved_low: bool,
+}
+
+impl PrecisionCheck {
+    /// Evaluates the interval quality of merged point statistics. With
+    /// no packets yet the interval is vacuous (`(0, 1)`, infinite
+    /// relative half-width).
+    pub fn of(stats: &HarqStats, settings: &CampaignSettings) -> Self {
+        if stats.packets == 0 {
+            return Self {
+                bler: 0.0,
+                ci: (0.0, 1.0),
+                rel_half_width: f64::INFINITY,
+                resolved_low: false,
+            };
+        }
+        let failures = stats.packets - stats.delivered;
+        let ci = wilson_interval(failures, stats.packets, WILSON_Z);
+        let bler = failures as f64 / stats.packets as f64;
+        let half = (ci.1 - ci.0) / 2.0;
+        Self {
+            bler,
+            ci,
+            rel_half_width: half / bler.max(settings.bler_floor).max(f64::MIN_POSITIVE),
+            resolved_low: ci.1 <= settings.bler_floor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(packets: u64, delivered: u64) -> HarqStats {
+        let mut s = HarqStats::new(4, 100);
+        s.packets = packets;
+        s.delivered = delivered;
+        s.transmissions = packets;
+        s
+    }
+
+    #[test]
+    fn schedule_doubles_and_clamps() {
+        let s = CampaignSettings {
+            initial_chunk: 32,
+            ..Default::default()
+        };
+        assert_eq!(s.chunk(0, 60), Some((0, 32)));
+        assert_eq!(s.chunk(1, 60), Some((32, 28)));
+        assert_eq!(s.chunk(2, 60), None);
+        assert_eq!(s.chunk(0, 240), Some((0, 32)));
+        assert_eq!(s.chunk(1, 240), Some((32, 32)));
+        assert_eq!(s.chunk(2, 240), Some((64, 64)));
+        assert_eq!(s.chunk(3, 240), Some((128, 112)));
+        assert_eq!(s.chunk(4, 240), None);
+        // Tiny budget: one clamped chunk.
+        assert_eq!(s.chunk(0, 6), Some((0, 6)));
+        assert_eq!(s.chunk(1, 6), None);
+    }
+
+    #[test]
+    fn schedule_partitions_the_budget() {
+        let s = CampaignSettings {
+            initial_chunk: 7,
+            ..Default::default()
+        };
+        for max in [1usize, 7, 8, 13, 100] {
+            let mut expected_start = 0;
+            let mut idx = 0;
+            while let Some((start, len)) = s.chunk(idx, max) {
+                assert_eq!(start, expected_start, "max={max} idx={idx}");
+                assert!(len > 0);
+                expected_start += len;
+                idx += 1;
+            }
+            assert_eq!(expected_start, max, "chunks must cover 0..max");
+        }
+    }
+
+    #[test]
+    fn easy_points_resolve_low() {
+        let s = CampaignSettings::default();
+        // 32/32 delivered: Wilson upper bound ≈ 0.107 < 0.15 → stop.
+        assert!(s.converged(&stats_with(32, 32)));
+        // 16/16 delivered: upper bound ≈ 0.194 → keep going.
+        assert!(!s.converged(&stats_with(16, 16)));
+    }
+
+    #[test]
+    fn hard_points_need_relative_precision() {
+        let s = CampaignSettings::default();
+        // BLER 0.5 at n=32: half-width ≈ 0.16 rel 0.33 → not converged.
+        assert!(!s.converged(&stats_with(32, 16)));
+        // BLER 0.5 at n=256: half-width ≈ 0.061 rel 0.12 → converged.
+        assert!(s.converged(&stats_with(256, 128)));
+    }
+
+    #[test]
+    fn exhaustive_settings_never_stop() {
+        let s = CampaignSettings::exhaustive();
+        assert!(!s.converged(&stats_with(32, 32)));
+        assert!(!s.converged(&stats_with(100_000, 50_000)));
+    }
+
+    #[test]
+    fn precision_check_matches_wilson() {
+        let s = CampaignSettings::default();
+        let stats = stats_with(100, 90);
+        let check = PrecisionCheck::of(&stats, &s);
+        assert!((check.bler - 0.10).abs() < 1e-12);
+        let (lo, hi) = wilson_interval(10, 100, WILSON_Z);
+        assert_eq!(check.ci, (lo, hi));
+        assert!(check.ci.0 < 0.10 && 0.10 < check.ci.1);
+        assert!(!check.resolved_low);
+    }
+
+    #[test]
+    fn no_evidence_is_never_converged() {
+        assert!(!CampaignSettings::default().converged(&HarqStats::new(4, 100)));
+    }
+}

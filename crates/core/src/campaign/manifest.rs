@@ -1,0 +1,295 @@
+//! Campaign manifest: a machine-readable summary of what a campaign ran.
+//!
+//! Every [`super::Campaign`] rewrites `<store_dir>/<name>.manifest.json`
+//! after each run call with cumulative totals (chunks simulated vs served
+//! from the store, packets realized vs the fixed budget) plus one record
+//! per operating point with its achieved confidence interval. The bench
+//! binaries print their summary from this file, the CI resume-smoke job
+//! asserts on its store-hit rate, and future multi-host sharding work is
+//! expected to partition points by walking this manifest.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use super::controller::CampaignSettings;
+use super::store::{json_f64_field, json_str_field, json_u64_field};
+use super::PointOutcome;
+
+/// One point entry of the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Human-readable point label (storage + SNR).
+    pub label: String,
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Realized packet count.
+    pub packets: usize,
+    /// The point's maximum budget.
+    pub max_packets: usize,
+    /// Final BLER estimate.
+    pub bler: f64,
+    /// 95 % Wilson interval on the BLER.
+    pub ci: (f64, f64),
+    /// Achieved relative half-width (the `--precision` metric).
+    pub rel_half_width: f64,
+    /// Whether the stopping rule was met before the budget cap.
+    pub converged: bool,
+    /// Chunks executed for this point.
+    pub chunks: usize,
+    /// Of those, chunks served from the result store.
+    pub chunks_from_store: usize,
+}
+
+impl PointRecord {
+    /// Builds a record from a finished point outcome.
+    pub fn from_outcome(o: &PointOutcome) -> Self {
+        Self {
+            label: o.label.clone(),
+            snr_db: o.snr_db,
+            packets: o.packets(),
+            max_packets: o.max_packets,
+            bler: o.check.bler,
+            ci: o.check.ci,
+            rel_half_width: o.check.rel_half_width,
+            converged: o.converged,
+            chunks: o.chunks,
+            chunks_from_store: o.chunks_from_store,
+        }
+    }
+}
+
+/// Cumulative manifest of one campaign (possibly several run calls).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name (also the store/manifest file stem).
+    pub name: String,
+    /// Controller settings of the campaign.
+    pub settings: CampaignSettings,
+    /// Every point run so far.
+    pub points: Vec<PointRecord>,
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new(name: impl Into<String>, settings: CampaignSettings) -> Self {
+        Self {
+            name: name.into(),
+            settings,
+            points: Vec::new(),
+        }
+    }
+
+    /// Aggregated totals over all points.
+    pub fn totals(&self) -> ManifestTotals {
+        let mut t = ManifestTotals {
+            points_total: self.points.len() as u64,
+            ..ManifestTotals::default()
+        };
+        for p in &self.points {
+            t.points_converged += u64::from(p.converged);
+            t.total_chunks += p.chunks as u64;
+            t.store_chunks += p.chunks_from_store as u64;
+            t.realized_packets += p.packets as u64;
+            t.budget_packets += p.max_packets as u64;
+        }
+        t
+    }
+
+    /// Renders the manifest as pretty-printed JSON (hand-formatted; the
+    /// offline serde shim has no serializer).
+    pub fn render_json(&self) -> String {
+        let t = self.totals();
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"campaign\": \"{}\",\n", self.name));
+        out.push_str(&format!(
+            "  \"settings\": {{\"precision\": {}, \"bler_floor\": {}, \"initial_chunk\": {}}},\n",
+            self.settings.precision, self.settings.bler_floor, self.settings.initial_chunk
+        ));
+        out.push_str(&format!("  \"points_total\": {},\n", t.points_total));
+        out.push_str(&format!(
+            "  \"points_converged\": {},\n",
+            t.points_converged
+        ));
+        out.push_str(&format!("  \"total_chunks\": {},\n", t.total_chunks));
+        out.push_str(&format!("  \"store_chunks\": {},\n", t.store_chunks));
+        out.push_str(&format!(
+            "  \"realized_packets\": {},\n",
+            t.realized_packets
+        ));
+        out.push_str(&format!("  \"budget_packets\": {},\n", t.budget_packets));
+        out.push_str(&format!(
+            "  \"saved_vs_fixed\": {:.4},\n",
+            t.saved_vs_fixed()
+        ));
+        out.push_str(&format!(
+            "  \"store_hit_rate\": {:.4},\n",
+            t.store_hit_rate()
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}}}{}\n",
+                p.label.replace('"', "'"),
+                p.snr_db,
+                p.packets,
+                p.max_packets,
+                p.bler,
+                p.ci.0,
+                p.ci.1,
+                p.rel_half_width,
+                p.converged,
+                p.chunks,
+                p.chunks_from_store,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the manifest to `path` (atomically enough for a summary:
+    /// write then rename is overkill here — a torn manifest only affects
+    /// human-facing reporting, never simulation results).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut f = fs::File::create(path)?;
+        f.write_all(self.render_json().as_bytes())
+    }
+}
+
+/// Totals block of a manifest (also what
+/// [`read_summary`] recovers from disk).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ManifestTotals {
+    /// Points run.
+    pub points_total: u64,
+    /// Points whose stopping rule fired before the budget cap.
+    pub points_converged: u64,
+    /// Chunk executions (simulated + from store).
+    pub total_chunks: u64,
+    /// Chunks served from the result store.
+    pub store_chunks: u64,
+    /// Packets realized by the adaptive controller.
+    pub realized_packets: u64,
+    /// Packets a fixed budget would have spent (`Σ max_packets`).
+    pub budget_packets: u64,
+}
+
+impl ManifestTotals {
+    /// Fraction of the fixed budget the controller did not need.
+    pub fn saved_vs_fixed(&self) -> f64 {
+        if self.budget_packets == 0 {
+            return 0.0;
+        }
+        1.0 - self.realized_packets as f64 / self.budget_packets as f64
+    }
+
+    /// Fraction of chunk executions served from the store.
+    pub fn store_hit_rate(&self) -> f64 {
+        if self.total_chunks == 0 {
+            return 0.0;
+        }
+        self.store_chunks as f64 / self.total_chunks as f64
+    }
+}
+
+/// Summary parsed back from a manifest file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestSummary {
+    /// Campaign name.
+    pub name: String,
+    /// Aggregated totals.
+    pub totals: ManifestTotals,
+}
+
+/// Reads the totals block of a manifest file; `None` when the file is
+/// missing or malformed.
+pub fn read_summary(path: &Path) -> Option<ManifestSummary> {
+    let json = fs::read_to_string(path).ok()?;
+    // The totals field names occur exactly once, before the points
+    // array, so the flat field scanners from the store module apply.
+    Some(ManifestSummary {
+        name: json_str_field(&json, "campaign")?,
+        totals: ManifestTotals {
+            points_total: json_u64_field(&json, "points_total")?,
+            points_converged: json_u64_field(&json, "points_converged")?,
+            total_chunks: json_u64_field(&json, "total_chunks")?,
+            store_chunks: json_u64_field(&json, "store_chunks")?,
+            realized_packets: json_u64_field(&json, "realized_packets")?,
+            budget_packets: json_u64_field(&json, "budget_packets")?,
+        },
+    })
+    .filter(|_| json_f64_field(&json, "saved_vs_fixed").is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        let mut m = Manifest::new("test", CampaignSettings::default());
+        m.points.push(PointRecord {
+            label: "quantized @ 18dB".into(),
+            snr_db: 18.0,
+            packets: 32,
+            max_packets: 60,
+            bler: 0.0,
+            ci: (0.0, 0.107),
+            rel_half_width: 0.36,
+            converged: true,
+            chunks: 1,
+            chunks_from_store: 1,
+        });
+        m.points.push(PointRecord {
+            label: "6T, Nf=10.00% @ 9dB".into(),
+            snr_db: 9.0,
+            packets: 60,
+            max_packets: 60,
+            bler: 0.4,
+            ci: (0.29, 0.53),
+            rel_half_width: 0.3,
+            converged: false,
+            chunks: 2,
+            chunks_from_store: 0,
+        });
+        m
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let t = sample_manifest().totals();
+        assert_eq!(t.points_total, 2);
+        assert_eq!(t.points_converged, 1);
+        assert_eq!(t.total_chunks, 3);
+        assert_eq!(t.store_chunks, 1);
+        assert_eq!(t.realized_packets, 92);
+        assert_eq!(t.budget_packets, 120);
+        assert!((t.saved_vs_fixed() - (1.0 - 92.0 / 120.0)).abs() < 1e-12);
+        assert!((t.store_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_via_summary() {
+        let m = sample_manifest();
+        let path = std::env::temp_dir().join(format!(
+            "campaign-manifest-test-{}.json",
+            std::process::id()
+        ));
+        m.write(&path).unwrap();
+        let summary = read_summary(&path).expect("parses back");
+        assert_eq!(summary.name, "test");
+        assert_eq!(summary.totals, m.totals());
+        let _ = fs::remove_file(&path);
+        assert!(read_summary(&path).is_none(), "missing file is None");
+    }
+
+    #[test]
+    fn empty_manifest_has_zero_rates() {
+        let t = Manifest::new("empty", CampaignSettings::default()).totals();
+        assert_eq!(t.saved_vs_fixed(), 0.0);
+        assert_eq!(t.store_hit_rate(), 0.0);
+    }
+}

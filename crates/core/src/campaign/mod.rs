@@ -1,0 +1,668 @@
+//! Adaptive-budget Monte-Carlo campaigns with a persistent result store.
+//!
+//! A *campaign* is the orchestration layer between the figure experiments
+//! and [`crate::engine::SimulationEngine`]. Where the engine answers
+//! "simulate exactly `n` packets of these points", a campaign answers the
+//! question the paper's figures actually ask — "estimate these points
+//! well enough" — and remembers everything it has simulated:
+//!
+//! * the **adaptive budget controller** ([`controller`]) runs each point
+//!   in deterministic, growing chunks and stops early once a Wilson-score
+//!   confidence interval on the point's BLER is tight enough, escalating
+//!   hard (waterfall) points up to their maximum budget;
+//! * the **persistent result store** ([`store`]) keeps every simulated
+//!   chunk in a JSONL file keyed by a stable hash of the full point
+//!   configuration ([`hash`]), so re-running a figure skips converged
+//!   points and interrupted campaigns resume where they stopped;
+//! * the **manifest** ([`manifest`]) summarizes realized budgets,
+//!   achieved confidence intervals and store-hit rates for the bench
+//!   binaries, CI assertions and future multi-host sharding.
+//!
+//! # Determinism contract
+//!
+//! Chunking never changes results: packet `p` of a point draws the same
+//! RNG stream regardless of which chunk (or thread, or process) simulates
+//! it, so an adaptive campaign that realizes `n` packets produces
+//! [`HarqStats`] bit-identical to a one-shot
+//! [`SimulationEngine::run_point`] over `n` packets — for any thread
+//! count, with or without store hits. Stopping decisions depend only on
+//! merged statistics, hence are equally reproducible.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use resilience_core::campaign::{Campaign, CampaignPoint, CampaignSettings};
+//! use resilience_core::config::SystemConfig;
+//! use resilience_core::engine::SimulationEngine;
+//! use resilience_core::montecarlo::StorageConfig;
+//! use resilience_core::simulator::LinkSimulator;
+//!
+//! let cfg = SystemConfig::fast_test();
+//! let sim = LinkSimulator::new(cfg);
+//! let campaign = Campaign::new("demo", CampaignSettings::default(), SimulationEngine::auto());
+//! let report = campaign.run(
+//!     &sim,
+//!     &[CampaignPoint {
+//!         label: "clean @ 18 dB".into(),
+//!         storage: StorageConfig::Quantized,
+//!         snr_db: 18.0,
+//!         max_packets: 240,
+//!         seed: 42,
+//!         fault_seed: None,
+//!     }],
+//! );
+//! println!("{}", report.table());
+//! ```
+
+pub mod controller;
+pub mod hash;
+pub mod manifest;
+pub mod store;
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+
+use hspa_phy::harq::{HarqStats, LlrBuffer};
+
+use crate::engine::{ChunkSpec, CustomChunk, GridResult, SimulationEngine};
+use crate::montecarlo::StorageConfig;
+use crate::report::render_table;
+use crate::simulator::LinkSimulator;
+
+use dsp::rng::{derive_seed, STREAM_FAULT_MAP};
+
+pub use controller::{CampaignSettings, PrecisionCheck};
+pub use manifest::{Manifest, ManifestSummary, ManifestTotals};
+pub use store::ResultStore;
+
+/// The default on-disk location of campaign stores and manifests.
+pub const DEFAULT_STORE_DIR: &str = "target/campaign";
+
+/// One operating point of a campaign over the standard storage backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPoint {
+    /// Human-readable label for manifests and tables.
+    pub label: String,
+    /// LLR-storage backend under test.
+    pub storage: StorageConfig,
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Maximum packet budget (the fixed-budget equivalent).
+    pub max_packets: usize,
+    /// Seed of this point's stream subtree.
+    pub seed: u64,
+    /// Explicit die seed (grids share one die per row); `None` derives
+    /// the point's own.
+    pub fault_seed: Option<u64>,
+}
+
+/// A campaign point whose LLR buffer comes from a caller factory. The
+/// `fingerprint` must describe the factory's output for this point — it
+/// replaces the storage field in the store key, so it has to cover every
+/// knob the factory closes over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomCampaignPoint {
+    /// Human-readable label for manifests and tables.
+    pub label: String,
+    /// Canonical description of the custom buffer configuration.
+    pub fingerprint: String,
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Maximum packet budget.
+    pub max_packets: usize,
+    /// Seed of this point's stream subtree.
+    pub seed: u64,
+}
+
+/// Final state of one campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Label copied from the input point.
+    pub label: String,
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Merged statistics over every realized chunk.
+    pub stats: HarqStats,
+    /// The point's maximum budget.
+    pub max_packets: usize,
+    /// Achieved confidence-interval quality.
+    pub check: PrecisionCheck,
+    /// Whether the stopping rule fired (false = budget cap).
+    pub converged: bool,
+    /// Chunks executed.
+    pub chunks: usize,
+    /// Of those, chunks served from the store.
+    pub chunks_from_store: usize,
+}
+
+impl PointOutcome {
+    /// Realized packet count.
+    pub fn packets(&self) -> usize {
+        self.stats.packets as usize
+    }
+}
+
+/// Result of one campaign run call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Outcomes in input-point order.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl CampaignReport {
+    /// The merged statistics, in input-point order.
+    pub fn stats(&self) -> Vec<HarqStats> {
+        self.outcomes.iter().map(|o| o.stats.clone()).collect()
+    }
+
+    /// Packets realized across all points.
+    pub fn packets_realized(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.stats.packets).sum()
+    }
+
+    /// Packets a fixed budget would have spent.
+    pub fn budget_packets(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.max_packets as u64).sum()
+    }
+
+    /// Chunk executions served from the store.
+    pub fn chunks_from_store(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.chunks_from_store as u64)
+            .sum()
+    }
+
+    /// Chunk executions in total.
+    pub fn chunks_total(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.chunks as u64).sum()
+    }
+
+    /// Per-point achieved-CI table (label, packets, BLER with its 95 %
+    /// interval, relative half-width, stop reason).
+    pub fn table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.label.clone(),
+                    format!("{}/{}", o.packets(), o.max_packets),
+                    format!(
+                        "{:.4} [{:.4}, {:.4}]",
+                        o.check.bler, o.check.ci.0, o.check.ci.1
+                    ),
+                    format!("{:.2}", o.check.rel_half_width),
+                    if o.converged {
+                        "converged"
+                    } else {
+                        "budget-cap"
+                    }
+                    .into(),
+                    format!("{}/{}", o.chunks_from_store, o.chunks),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "point".into(),
+                "packets".into(),
+                "BLER [95% CI]".into(),
+                "rel hw".into(),
+                "stop".into(),
+                "store".into(),
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Internal descriptor shared by the standard and custom run paths.
+struct PointDesc {
+    label: String,
+    snr_db: f64,
+    key: u64,
+    max_packets: usize,
+}
+
+/// An adaptive, store-backed campaign over one simulator configuration.
+///
+/// A single instance accumulates one manifest across all its run calls
+/// (experiments with several sweeps reuse one campaign), rewriting
+/// `<store_dir>/<name>.manifest.json` after each call.
+#[derive(Debug)]
+pub struct Campaign {
+    name: String,
+    settings: CampaignSettings,
+    engine: SimulationEngine,
+    store_dir: PathBuf,
+    manifest: RefCell<Manifest>,
+    /// `--no-resume` truncates the store only on the first open.
+    truncated: std::cell::Cell<bool>,
+}
+
+impl Campaign {
+    /// Creates a campaign storing under [`DEFAULT_STORE_DIR`].
+    pub fn new(
+        name: impl Into<String>,
+        settings: CampaignSettings,
+        engine: SimulationEngine,
+    ) -> Self {
+        let name = name.into();
+        Self {
+            manifest: RefCell::new(Manifest::new(name.clone(), settings)),
+            name,
+            settings,
+            engine,
+            store_dir: PathBuf::from(DEFAULT_STORE_DIR),
+            truncated: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Overrides the store directory (tests use a temp dir).
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = dir.into();
+        self
+    }
+
+    /// The campaign name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The controller settings.
+    pub fn settings(&self) -> &CampaignSettings {
+        &self.settings
+    }
+
+    /// Path of the JSONL result store.
+    pub fn store_path(&self) -> PathBuf {
+        self.store_dir.join(format!("{}.jsonl", self.name))
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.store_dir.join(format!("{}.manifest.json", self.name))
+    }
+
+    /// Default manifest path of a named campaign under the default store
+    /// directory — where the bench binaries look for their summaries.
+    pub fn default_manifest_path(name: &str) -> PathBuf {
+        Path::new(DEFAULT_STORE_DIR).join(format!("{name}.manifest.json"))
+    }
+
+    fn open_store(&self) -> ResultStore {
+        // `--no-resume` wipes once per campaign instance, not once per
+        // run call — later calls must still see this instance's records.
+        let resume = self.settings.resume || self.truncated.get();
+        self.truncated.set(true);
+        ResultStore::open(self.store_path(), resume)
+            .expect("campaign store must be creatable — is the store dir writable?")
+    }
+
+    /// Runs standard-storage points adaptively; outcomes keep input
+    /// order.
+    pub fn run(&self, sim: &LinkSimulator, points: &[CampaignPoint]) -> CampaignReport {
+        let cfg = *sim.config();
+        let descs: Vec<PointDesc> = points
+            .iter()
+            .map(|p| PointDesc {
+                label: p.label.clone(),
+                snr_db: p.snr_db,
+                key: hash::point_key(&hash::point_fingerprint(
+                    &cfg,
+                    &p.storage,
+                    p.snr_db,
+                    p.seed,
+                    p.fault_seed,
+                )),
+                max_packets: p.max_packets,
+            })
+            .collect();
+        self.run_adaptive(sim, &descs, |batch| {
+            let chunks: Vec<ChunkSpec> = batch
+                .iter()
+                .map(|&(i, first_packet, n_packets)| ChunkSpec {
+                    storage: points[i].storage.clone(),
+                    snr_db: points[i].snr_db,
+                    first_packet,
+                    n_packets,
+                    seed: points[i].seed,
+                    fault_seed: points[i].fault_seed,
+                })
+                .collect();
+            self.engine.run_chunks(sim, &chunks)
+        })
+    }
+
+    /// Runs custom-buffer points adaptively. The factory receives the
+    /// index of the point **in `points`** plus the point's fault-stream
+    /// seed, exactly like
+    /// [`SimulationEngine::run_batch_with_buffers`].
+    pub fn run_with_buffers<F>(
+        &self,
+        sim: &LinkSimulator,
+        points: &[CustomCampaignPoint],
+        make_buffer: F,
+    ) -> CampaignReport
+    where
+        F: Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync,
+    {
+        let cfg = *sim.config();
+        let descs: Vec<PointDesc> = points
+            .iter()
+            .map(|p| PointDesc {
+                label: p.label.clone(),
+                snr_db: p.snr_db,
+                key: hash::point_key(&hash::custom_fingerprint(
+                    &cfg,
+                    &p.fingerprint,
+                    p.snr_db,
+                    p.seed,
+                )),
+                max_packets: p.max_packets,
+            })
+            .collect();
+        self.run_adaptive(sim, &descs, |batch| {
+            let chunks: Vec<CustomChunk> = batch
+                .iter()
+                .map(|&(i, first_packet, n_packets)| CustomChunk {
+                    snr_db: points[i].snr_db,
+                    first_packet,
+                    n_packets,
+                    seed: points[i].seed,
+                })
+                .collect();
+            // Remap chunk indices back onto the caller's point indices.
+            let owners: Vec<usize> = batch.iter().map(|&(i, _, _)| i).collect();
+            self.engine
+                .run_chunks_with_buffers(sim, &chunks, |chunk_idx, fault_seed| {
+                    make_buffer(owners[chunk_idx], fault_seed)
+                })
+        })
+    }
+
+    /// Campaign equivalent of [`SimulationEngine::run_grid`]: identical
+    /// seed-tree semantics (row `r` draws its subtree from
+    /// `derive_seed(master_seed, r)` and shares **one die** across its
+    /// SNR sweep), with per-point adaptive budgets and store resume.
+    pub fn run_grid(
+        &self,
+        sim: &LinkSimulator,
+        storages: &[StorageConfig],
+        snrs_db: &[f64],
+        max_packets: usize,
+        master_seed: u64,
+    ) -> GridResult {
+        let mut points = Vec::with_capacity(storages.len() * snrs_db.len());
+        for (r, storage) in storages.iter().enumerate() {
+            let row_seed = derive_seed(master_seed, r as u64);
+            let die_seed = derive_seed(row_seed, STREAM_FAULT_MAP);
+            for (c, &snr_db) in snrs_db.iter().enumerate() {
+                points.push(CampaignPoint {
+                    label: format!("{} @ {snr_db} dB", storage.label()),
+                    storage: storage.clone(),
+                    snr_db,
+                    max_packets,
+                    seed: derive_seed(row_seed, 0x100 + c as u64),
+                    fault_seed: Some(die_seed),
+                });
+            }
+        }
+        let flat = self.run(sim, &points).stats();
+        let mut rows = Vec::with_capacity(storages.len());
+        let mut it = flat.into_iter();
+        for _ in 0..storages.len() {
+            rows.push(it.by_ref().take(snrs_db.len()).collect());
+        }
+        GridResult {
+            snr_db: snrs_db.to_vec(),
+            stats: rows,
+        }
+    }
+
+    /// Campaign equivalent of [`SimulationEngine::run_sweep`]: point `i`
+    /// draws its own die from `derive_seed(seed, i)`.
+    pub fn run_sweep(
+        &self,
+        sim: &LinkSimulator,
+        storage: &StorageConfig,
+        snrs_db: &[f64],
+        max_packets: usize,
+        seed: u64,
+    ) -> Vec<HarqStats> {
+        let points: Vec<CampaignPoint> = snrs_db
+            .iter()
+            .enumerate()
+            .map(|(i, &snr_db)| CampaignPoint {
+                label: format!("{} @ {snr_db} dB", storage.label()),
+                storage: storage.clone(),
+                snr_db,
+                max_packets,
+                seed: derive_seed(seed, i as u64),
+                fault_seed: None,
+            })
+            .collect();
+        self.run(sim, &points).stats()
+    }
+
+    /// The cumulative manifest over this instance's run calls.
+    pub fn manifest(&self) -> Manifest {
+        self.manifest.borrow().clone()
+    }
+
+    /// The adaptive loop shared by both run paths. `simulate` receives
+    /// `(point_index, first_packet, n_packets)` triples for the chunks
+    /// the store could not serve and returns their statistics in order.
+    fn run_adaptive<F>(
+        &self,
+        sim: &LinkSimulator,
+        descs: &[PointDesc],
+        simulate: F,
+    ) -> CampaignReport
+    where
+        F: Fn(&[(usize, usize, usize)]) -> Vec<HarqStats>,
+    {
+        let cfg = *sim.config();
+        let mut store = self.open_store();
+        let mut stats: Vec<HarqStats> = descs
+            .iter()
+            .map(|_| HarqStats::new(cfg.max_transmissions, cfg.payload_bits))
+            .collect();
+        let mut converged = vec![false; descs.len()];
+        let mut chunks_run = vec![0usize; descs.len()];
+        let mut chunks_hit = vec![0usize; descs.len()];
+
+        for chunk_idx in 0.. {
+            // Points still owed a chunk at this escalation level.
+            let mut due: Vec<(usize, usize, usize)> = Vec::new();
+            for (i, desc) in descs.iter().enumerate() {
+                if converged[i] {
+                    continue;
+                }
+                if let Some((first, len)) = self.settings.chunk(chunk_idx, desc.max_packets) {
+                    due.push((i, first, len));
+                }
+            }
+            if due.is_empty() {
+                break;
+            }
+
+            // Serve what the store already knows; simulate the rest as
+            // one sharded engine batch.
+            let mut misses: Vec<(usize, usize, usize)> = Vec::new();
+            for &(i, first, len) in &due {
+                let id = store::ChunkId {
+                    point: descs[i].key,
+                    first_packet: first,
+                    n_packets: len,
+                };
+                chunks_run[i] += 1;
+                if let Some(hit) = store.fetch(id) {
+                    chunks_hit[i] += 1;
+                    stats[i].merge(&hit);
+                } else {
+                    misses.push((i, first, len));
+                }
+            }
+            if !misses.is_empty() {
+                let fresh = simulate(&misses);
+                assert_eq!(fresh.len(), misses.len(), "one stats block per chunk");
+                for (&(i, first, len), chunk_stats) in misses.iter().zip(&fresh) {
+                    let id = store::ChunkId {
+                        point: descs[i].key,
+                        first_packet: first,
+                        n_packets: len,
+                    };
+                    // A failed write only loses resumability, never
+                    // correctness — warn and continue.
+                    if let Err(e) = store.put(id, chunk_stats) {
+                        eprintln!("campaign {}: store append failed: {e}", self.name);
+                    }
+                    stats[i].merge(chunk_stats);
+                }
+            }
+
+            // Stopping decisions depend only on merged statistics, so
+            // they are identical whether chunks were simulated or read
+            // back — the resume path cannot change results.
+            for &(i, _, _) in &due {
+                if self.settings.converged(&stats[i]) {
+                    converged[i] = true;
+                }
+            }
+        }
+
+        let outcomes: Vec<PointOutcome> = descs
+            .iter()
+            .enumerate()
+            .map(|(i, desc)| PointOutcome {
+                label: desc.label.clone(),
+                snr_db: desc.snr_db,
+                check: PrecisionCheck::of(&stats[i], &self.settings),
+                stats: stats[i].clone(),
+                max_packets: desc.max_packets,
+                converged: converged[i],
+                chunks: chunks_run[i],
+                chunks_from_store: chunks_hit[i],
+            })
+            .collect();
+
+        {
+            let mut manifest = self.manifest.borrow_mut();
+            for o in &outcomes {
+                manifest.points.push(manifest::PointRecord::from_outcome(o));
+            }
+            if let Err(e) = manifest.write(&self.manifest_path()) {
+                eprintln!("campaign {}: manifest write failed: {e}", self.name);
+            }
+        }
+
+        CampaignReport { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("campaign-mod-test-{}-{tag}", std::process::id()))
+    }
+
+    fn demo_points(cfg: &SystemConfig, max_packets: usize) -> Vec<CampaignPoint> {
+        vec![
+            CampaignPoint {
+                label: "clean high SNR".into(),
+                storage: StorageConfig::Quantized,
+                snr_db: 25.0,
+                max_packets,
+                seed: 11,
+                fault_seed: None,
+            },
+            CampaignPoint {
+                label: "faulty low SNR".into(),
+                storage: StorageConfig::unprotected(0.10, cfg.llr_bits),
+                snr_db: 4.0,
+                max_packets,
+                seed: 12,
+                fault_seed: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn campaign_realizes_within_budget_and_persists() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let dir = temp_dir("budget");
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = CampaignSettings {
+            initial_chunk: 8,
+            ..Default::default()
+        };
+        let campaign =
+            Campaign::new("t1", settings, SimulationEngine::serial()).with_store_dir(&dir);
+        let report = campaign.run(&sim, &demo_points(&cfg, 16));
+        for o in &report.outcomes {
+            assert!(o.packets() >= 8 && o.packets() <= 16, "{}", o.packets());
+            assert_eq!(o.chunks_from_store, 0, "first run has no hits");
+        }
+        assert!(campaign.store_path().exists());
+        assert!(campaign.manifest_path().exists());
+
+        // A second campaign over the same points is served from disk and
+        // produces bit-identical outcomes.
+        let campaign2 =
+            Campaign::new("t1", settings, SimulationEngine::serial()).with_store_dir(&dir);
+        let report2 = campaign2.run(&sim, &demo_points(&cfg, 16));
+        assert_eq!(report.stats(), report2.stats());
+        assert_eq!(report2.chunks_from_store(), report2.chunks_total());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_resume_truncates_once_per_instance() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let dir = temp_dir("noresume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = CampaignSettings {
+            initial_chunk: 4,
+            resume: false,
+            ..Default::default()
+        };
+        let points = demo_points(&cfg, 4);
+        let c1 = Campaign::new("t2", settings, SimulationEngine::serial()).with_store_dir(&dir);
+        c1.run(&sim, &points[..1]);
+        // Second call on the SAME instance must keep the first call's
+        // records (truncate-once semantics)...
+        let r = c1.run(&sim, &points[..1]);
+        assert_eq!(r.chunks_from_store(), r.chunks_total());
+        // ...while a fresh --no-resume instance wipes them again.
+        let c2 = Campaign::new("t2", settings, SimulationEngine::serial()).with_store_dir(&dir);
+        let r2 = c2.run(&sim, &points[..1]);
+        assert_eq!(r2.chunks_from_store(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_table_lists_every_point() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let dir = temp_dir("table");
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = CampaignSettings {
+            initial_chunk: 4,
+            ..Default::default()
+        };
+        let campaign =
+            Campaign::new("t3", settings, SimulationEngine::serial()).with_store_dir(&dir);
+        let table = campaign.run(&sim, &demo_points(&cfg, 4)).table();
+        assert!(table.contains("clean high SNR"));
+        assert!(table.contains("faulty low SNR"));
+        assert!(table.contains("BLER"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

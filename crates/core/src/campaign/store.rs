@@ -1,0 +1,295 @@
+//! Persistent, append-only result store for campaign chunks.
+//!
+//! One JSONL file per campaign (default `target/campaign/<name>.jsonl`):
+//! each line is the [`HarqStats`] of one simulated chunk, keyed by the
+//! FNV hash of the point's canonical fingerprint (see [`super::hash`])
+//! plus the chunk's packet range. Re-running a campaign loads the file
+//! once and skips every chunk already on disk, so interrupted campaigns
+//! resume and repeated figure regenerations are nearly free.
+//!
+//! The offline `serde` shim has no serializer, so records are written and
+//! parsed by hand; the format is flat, one record per line, and versioned
+//! through the fingerprint schema (a key mismatch is just a store miss,
+//! never corruption).
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use hspa_phy::harq::HarqStats;
+
+/// Identity of one stored chunk: point key + packet range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkId {
+    /// FNV-1a 64 of the point fingerprint.
+    pub point: u64,
+    /// First absolute packet index of the chunk.
+    pub first_packet: usize,
+    /// Packets in the chunk.
+    pub n_packets: usize,
+}
+
+/// Append-only JSONL store of per-chunk [`HarqStats`].
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    records: HashMap<ChunkId, HarqStats>,
+    /// Chunks served from disk since opening.
+    pub hits: u64,
+    /// Chunks that had to be simulated since opening.
+    pub misses: u64,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store file, loading every valid record.
+    /// With `resume == false` an existing file is truncated first — the
+    /// `--no-resume` path.
+    pub fn open(path: impl Into<PathBuf>, resume: bool) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        if !resume && path.exists() {
+            fs::remove_file(&path)?;
+        }
+        let mut records = HashMap::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                // Tolerate torn tails from interrupted runs: a line that
+                // does not parse is skipped, not fatal.
+                if let Some((id, stats)) = parse_record(&line) {
+                    records.insert(id, stats);
+                }
+            }
+        }
+        Ok(Self {
+            path,
+            records,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a chunk, counting the outcome toward the hit/miss tally.
+    pub fn fetch(&mut self, id: ChunkId) -> Option<HarqStats> {
+        match self.records.get(&id) {
+            Some(stats) => {
+                self.hits += 1;
+                Some(stats.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly simulated chunk and appends it to the file.
+    pub fn put(&mut self, id: ChunkId, stats: &HarqStats) -> std::io::Result<()> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{}", encode_record(id, stats))?;
+        self.records.insert(id, stats.clone());
+        Ok(())
+    }
+
+    /// Fraction of lookups served from disk since opening (0 when no
+    /// lookup happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Renders one chunk record as a single JSON line.
+fn encode_record(id: ChunkId, stats: &HarqStats) -> String {
+    let failures: Vec<String> = stats.failures_at.iter().map(|f| f.to_string()).collect();
+    format!(
+        "{{\"point\":\"{:016x}\",\"first\":{},\"len\":{},\"packets\":{},\"delivered\":{},\"transmissions\":{},\"info_bits\":{},\"failures_at\":[{}]}}",
+        id.point,
+        id.first_packet,
+        id.n_packets,
+        stats.packets,
+        stats.delivered,
+        stats.transmissions,
+        stats.info_bits,
+        failures.join(",")
+    )
+}
+
+/// Parses a record line; `None` on any malformed input.
+fn parse_record(line: &str) -> Option<(ChunkId, HarqStats)> {
+    let point = u64::from_str_radix(&json_str_field(line, "point")?, 16).ok()?;
+    let id = ChunkId {
+        point,
+        first_packet: json_u64_field(line, "first")? as usize,
+        n_packets: json_u64_field(line, "len")? as usize,
+    };
+    let stats = HarqStats {
+        packets: json_u64_field(line, "packets")?,
+        delivered: json_u64_field(line, "delivered")?,
+        transmissions: json_u64_field(line, "transmissions")?,
+        info_bits: json_u64_field(line, "info_bits")?,
+        failures_at: json_u64_array_field(line, "failures_at")?,
+    };
+    if stats.packets != id.n_packets as u64 || stats.delivered > stats.packets {
+        return None;
+    }
+    Some((id, stats))
+}
+
+/// The raw text following `"name":` up to the next `,`/`}`/`]`.
+///
+/// Only suitable for the flat records this module writes itself — no
+/// nesting, no escaped strings.
+fn json_raw_field<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = json.find(&tag)? + tag.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parses a numeric field of a flat JSON object.
+pub(crate) fn json_u64_field(json: &str, name: &str) -> Option<u64> {
+    json_raw_field(json, name)?.parse().ok()
+}
+
+/// Parses a float field of a flat JSON object.
+pub(crate) fn json_f64_field(json: &str, name: &str) -> Option<f64> {
+    json_raw_field(json, name)?.parse().ok()
+}
+
+/// Parses a quoted string field of a flat JSON object (no escapes).
+pub(crate) fn json_str_field(json: &str, name: &str) -> Option<String> {
+    let raw = json_raw_field(json, name)?;
+    Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+/// Parses a `[u64, …]` array field of a flat JSON object.
+pub(crate) fn json_u64_array_field(json: &str, name: &str) -> Option<Vec<u64>> {
+    let tag = format!("\"{name}\":[");
+    let start = json.find(&tag)? + tag.len();
+    let rest = &json[start..];
+    let end = rest.find(']')?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> HarqStats {
+        HarqStats {
+            packets: 8,
+            delivered: 6,
+            transmissions: 14,
+            info_bits: 120,
+            failures_at: vec![3, 2, 2, 2],
+        }
+    }
+
+    fn temp_store_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "campaign-store-test-{}-{tag}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let id = ChunkId {
+            point: 0xdead_beef_0123_4567,
+            first_packet: 32,
+            n_packets: 8,
+        };
+        let stats = sample_stats();
+        let line = encode_record(id, &stats);
+        let (rid, rstats) = parse_record(&line).expect("parses");
+        assert_eq!(rid, id);
+        assert_eq!(rstats, stats);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        assert!(parse_record("").is_none());
+        assert!(parse_record("{\"point\":\"zz\"}").is_none());
+        // Truncated tail (interrupted write).
+        let id = ChunkId {
+            point: 1,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        let full = encode_record(id, &sample_stats());
+        assert!(parse_record(&full[..full.len() / 2]).is_none());
+        // Packet-count mismatch is rejected.
+        let mut wrong = sample_stats();
+        wrong.packets = 9;
+        assert!(parse_record(&encode_record(id, &wrong)).is_none());
+    }
+
+    #[test]
+    fn store_persists_and_resumes() {
+        let path = temp_store_path("persist");
+        let _ = fs::remove_file(&path);
+        let id = ChunkId {
+            point: 42,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        {
+            let mut store = ResultStore::open(&path, true).unwrap();
+            assert!(store.fetch(id).is_none());
+            store.put(id, &sample_stats()).unwrap();
+        }
+        {
+            let mut store = ResultStore::open(&path, true).unwrap();
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.fetch(id).unwrap(), sample_stats());
+            assert_eq!(store.hits, 1);
+            assert!((store.hit_rate() - 1.0).abs() < 1e-12);
+        }
+        // --no-resume truncates.
+        let store = ResultStore::open(&path, false).unwrap();
+        assert!(store.is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_field_helpers() {
+        let j = "{\"a\":3,\"b\":\"0f\",\"c\":[1, 2,3],\"d\":2.5}";
+        assert_eq!(json_u64_field(j, "a"), Some(3));
+        assert_eq!(json_str_field(j, "b").as_deref(), Some("0f"));
+        assert_eq!(json_u64_array_field(j, "c"), Some(vec![1, 2, 3]));
+        assert_eq!(json_f64_field(j, "d"), Some(2.5));
+        assert_eq!(json_u64_field(j, "missing"), None);
+    }
+}

@@ -88,6 +88,46 @@ impl From<&PointSpec> for CustomPoint {
     }
 }
 
+/// A contiguous packet range of one operating point — the unit of work of
+/// resumable campaigns ([`crate::campaign`]).
+///
+/// Packet `p` of a chunk draws the *same* RNG stream
+/// (`packet_seed(seed, p)`) it would draw in a one-shot run of the whole
+/// point, so any partition of `0..n` into chunks merges
+/// ([`HarqStats::merge`]) to statistics bit-identical to a single
+/// [`SimulationEngine::run_point`] over `n` packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkSpec {
+    /// LLR-storage backend under test.
+    pub storage: StorageConfig,
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Absolute index of the first packet in the point's stream.
+    pub first_packet: usize,
+    /// Packets to simulate (`first_packet..first_packet + n_packets`).
+    pub n_packets: usize,
+    /// Seed of this point's stream subtree (shared by all its chunks).
+    pub seed: u64,
+    /// Explicit die seed; `None` derives the point's own
+    /// (`derive_seed(seed, STREAM_FAULT_MAP)`). Grids use an explicit
+    /// seed so every chunk of a row keeps sharing one die.
+    pub fault_seed: Option<u64>,
+}
+
+/// [`ChunkSpec`] minus the storage field, for chunked runs over caller
+/// buffer factories (mirrors [`CustomPoint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CustomChunk {
+    /// Operating SNR (dB).
+    pub snr_db: f64,
+    /// Absolute index of the first packet in the point's stream.
+    pub first_packet: usize,
+    /// Packets to simulate.
+    pub n_packets: usize,
+    /// Seed of this point's stream subtree (shared by all its chunks).
+    pub seed: u64,
+}
+
 /// A full (storage × SNR) evaluation produced by
 /// [`SimulationEngine::run_grid`].
 #[derive(Debug, Clone, PartialEq)]
@@ -181,6 +221,105 @@ impl SimulationEngine {
         .expect("one spec in, one stats out")
     }
 
+    /// Evaluates a later slice of an operating point's packet stream:
+    /// packets `first_packet..first_packet + n_packets` of the stream
+    /// rooted at `seed`.
+    ///
+    /// This is the resumable entry behind [`crate::campaign`]: a point
+    /// simulated as any sequence of chunks (`run_point_resumed` calls
+    /// whose ranges partition `0..n`) merges to statistics bit-identical
+    /// to one [`SimulationEngine::run_point`] over `n` packets, because
+    /// packet seeds depend only on the absolute packet index.
+    pub fn run_point_resumed(
+        &self,
+        sim: &LinkSimulator,
+        storage: &StorageConfig,
+        snr_db: f64,
+        first_packet: usize,
+        n_packets: usize,
+        seed: u64,
+    ) -> HarqStats {
+        self.run_chunks(
+            sim,
+            &[ChunkSpec {
+                storage: storage.clone(),
+                snr_db,
+                first_packet,
+                n_packets,
+                seed,
+                fault_seed: None,
+            }],
+        )
+        .pop()
+        .expect("one chunk in, one stats out")
+    }
+
+    /// Evaluates a batch of packet-range chunks (possibly of different
+    /// operating points) in one sharded run.
+    ///
+    /// Chunks with the same storage and the same resolved die seed build
+    /// identical buffers, so they share a buffer group — a campaign grid
+    /// row (one die swept over SNRs) builds its fault map once per
+    /// worker, matching [`SimulationEngine::run_grid`]'s behavior.
+    pub fn run_chunks(&self, sim: &LinkSimulator, chunks: &[ChunkSpec]) -> Vec<HarqStats> {
+        let cfg = *sim.config();
+        let points: Vec<CustomPoint> = chunks
+            .iter()
+            .map(|c| CustomPoint {
+                snr_db: c.snr_db,
+                n_packets: c.n_packets,
+                seed: c.seed,
+            })
+            .collect();
+        let offsets: Vec<usize> = chunks.iter().map(|c| c.first_packet).collect();
+        let fault_seeds: Vec<u64> = chunks
+            .iter()
+            .map(|c| {
+                c.fault_seed
+                    .unwrap_or_else(|| derive_seed(c.seed, STREAM_FAULT_MAP))
+            })
+            .collect();
+        let mut groups = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let group = (0..i)
+                .find(|&j| fault_seeds[j] == fault_seeds[i] && chunks[j].storage == chunk.storage)
+                .unwrap_or(i);
+            groups.push(group);
+        }
+        self.run_specs(
+            sim,
+            &points,
+            Some(&offsets),
+            Some(&groups),
+            &move |point, _derived| build_buffer(&cfg, &chunks[point].storage, fault_seeds[point]),
+        )
+    }
+
+    /// Chunked variant of [`SimulationEngine::run_batch_with_buffers`]:
+    /// packet ranges over caller-built buffers. The factory receives the
+    /// chunk index and the chunk's fault-stream seed and must be
+    /// deterministic in them.
+    pub fn run_chunks_with_buffers<F>(
+        &self,
+        sim: &LinkSimulator,
+        chunks: &[CustomChunk],
+        make_buffer: F,
+    ) -> Vec<HarqStats>
+    where
+        F: Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync,
+    {
+        let points: Vec<CustomPoint> = chunks
+            .iter()
+            .map(|c| CustomPoint {
+                snr_db: c.snr_db,
+                n_packets: c.n_packets,
+                seed: c.seed,
+            })
+            .collect();
+        let offsets: Vec<usize> = chunks.iter().map(|c| c.first_packet).collect();
+        self.run_specs(sim, &points, Some(&offsets), None, &make_buffer)
+    }
+
     /// Evaluates one storage configuration over an SNR sweep. Point `i`
     /// draws its own die from `derive_seed(seed, i)`, matching the
     /// historical serial sweep semantics.
@@ -241,7 +380,7 @@ impl SimulationEngine {
             }
         }
         let points: Vec<CustomPoint> = specs.iter().map(CustomPoint::from).collect();
-        let flat = self.run_specs(sim, &points, Some(&groups), &|point, _seed| {
+        let flat = self.run_specs(sim, &points, None, Some(&groups), &|point, _seed| {
             build_buffer(&cfg, &specs[point].storage, fault_seeds[point])
         });
         let mut rows = Vec::with_capacity(storages.len());
@@ -260,7 +399,7 @@ impl SimulationEngine {
     pub fn run_batch(&self, sim: &LinkSimulator, specs: &[PointSpec]) -> Vec<HarqStats> {
         let cfg = *sim.config();
         let points: Vec<CustomPoint> = specs.iter().map(CustomPoint::from).collect();
-        self.run_specs(sim, &points, None, &move |point, fault_seed| {
+        self.run_specs(sim, &points, None, None, &move |point, fault_seed| {
             build_buffer(&cfg, &specs[point].storage, fault_seed)
         })
     }
@@ -279,28 +418,33 @@ impl SimulationEngine {
     where
         F: Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync,
     {
-        self.run_specs(sim, points, None, &make_buffer)
+        self.run_specs(sim, points, None, None, &make_buffer)
     }
 
-    /// `groups`, when given, assigns each point a buffer-sharing group:
-    /// points in one group must deterministically build identical
-    /// buffers (same storage, same die seed), and each worker then
-    /// builds that buffer once per group instead of once per point.
-    /// `None` means every point is its own group.
+    /// `offsets`, when given, shifts each point's packet range to start
+    /// at an absolute packet index (`None`: every point starts at packet
+    /// 0) — the chunked-campaign path. `groups`, when given, assigns
+    /// each point a buffer-sharing group: points in one group must
+    /// deterministically build identical buffers (same storage, same die
+    /// seed), and each worker then builds that buffer once per group
+    /// instead of once per point. `None` means every point is its own
+    /// group.
     fn run_specs(
         &self,
         sim: &LinkSimulator,
         specs: &[CustomPoint],
+        offsets: Option<&[usize]>,
         groups: Option<&[usize]>,
         make_buffer: &(dyn Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync),
     ) -> Vec<HarqStats> {
         let cfg = *sim.config();
-        // Flatten every point into packet shards.
+        // Flatten every point into packet shards over absolute indices.
         let mut tasks: Vec<Shard> = Vec::new();
         for (point, spec) in specs.iter().enumerate() {
-            let mut start = 0;
-            while start < spec.n_packets {
-                let count = self.shard_packets.min(spec.n_packets - start);
+            let first = offsets.map_or(0, |o| o[point]);
+            let mut start = first;
+            while start < first + spec.n_packets {
+                let count = self.shard_packets.min(first + spec.n_packets - start);
                 tasks.push(Shard {
                     point,
                     start,
@@ -357,7 +501,9 @@ impl SimulationEngine {
     }
 }
 
-/// One contiguous range of packets of one operating point.
+/// One contiguous range of packets of one operating point; `start` is an
+/// absolute index into the point's packet stream (non-zero for resumed
+/// chunks).
 struct Shard {
     point: usize,
     start: usize,
@@ -506,6 +652,46 @@ mod tests {
                 })
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn chunks_partition_to_one_shot() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let storage = StorageConfig::unprotected(0.10, cfg.llr_bits);
+        let engine = SimulationEngine::with_threads(2).shard_packets(3);
+        let one_shot = engine.run_point(&sim, &storage, 12.0, 11, 77);
+        // 11 packets split 0..4, 4..9, 9..11.
+        let mut merged = HarqStats::new(cfg.max_transmissions, cfg.payload_bits);
+        for (first, n) in [(0, 4), (4, 5), (9, 2)] {
+            merged.merge(&engine.run_point_resumed(&sim, &storage, 12.0, first, n, 77));
+        }
+        assert_eq!(one_shot, merged);
+    }
+
+    #[test]
+    fn chunk_fault_seed_override_pins_the_die() {
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let storage = StorageConfig::unprotected(0.10, cfg.llr_bits);
+        let engine = SimulationEngine::serial();
+        let chunk = |fault_seed| {
+            engine.run_chunks(
+                &sim,
+                &[ChunkSpec {
+                    storage: storage.clone(),
+                    snr_db: 8.0,
+                    first_packet: 0,
+                    n_packets: 8,
+                    seed: 9,
+                    fault_seed,
+                }],
+            )
+        };
+        // `None` derives the point's own die — identical to run_point.
+        assert_eq!(chunk(None)[0], engine.run_point(&sim, &storage, 8.0, 8, 9));
+        // An explicit die seed is honored deterministically.
+        assert_eq!(chunk(Some(123)), chunk(Some(123)));
     }
 
     #[test]

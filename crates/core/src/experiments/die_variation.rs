@@ -60,8 +60,12 @@ pub fn run(
             seed: budget.seed.wrapping_add(0x10_0000 + die as u64),
         })
         .collect();
+    // A spread study needs equal per-die sample counts: adaptive early
+    // stopping would mix die-to-die variation with unequal estimation
+    // noise, so only the store/resume part of the campaign is used.
     let per_die: Vec<f64> = budget
-        .engine()
+        .equal_samples()
+        .runner("die-variation")
         .run_batch(&sim, &specs)
         .iter()
         .map(|s| s.normalized_throughput())

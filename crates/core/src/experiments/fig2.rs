@@ -7,8 +7,10 @@
 //! packets retransmitted at 3 dB, with HARQ combining steadily lowering the
 //! failure probability.
 
+use dsp::stats::wilson_interval;
 use serde::{Deserialize, Serialize};
 
+use crate::campaign::controller::WILSON_Z;
 use crate::config::SystemConfig;
 use crate::engine::PointSpec;
 use crate::montecarlo::StorageConfig;
@@ -34,6 +36,9 @@ pub struct BlerCurve {
     pub snr_db: f64,
     /// `bler[t]` = failure probability after transmission `t+1`.
     pub bler: Vec<f64>,
+    /// 95 % Wilson interval per transmission — the achieved precision of
+    /// the (possibly adaptive) packet budget.
+    pub ci: Vec<(f64, f64)>,
 }
 
 /// Runs the experiment.
@@ -50,7 +55,7 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig2Result {
         })
         .collect();
     let bler = budget
-        .engine()
+        .runner("fig2")
         .run_batch(&sim, &specs)
         .iter()
         .zip(&SNR_REGIMES)
@@ -58,6 +63,9 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig2Result {
             snr_db: snr,
             bler: (1..=cfg.max_transmissions)
                 .map(|t| stats.bler_after(t))
+                .collect(),
+            ci: (1..=cfg.max_transmissions)
+                .map(|t| wilson_interval(stats.failures_at[t - 1], stats.packets, WILSON_Z))
                 .collect(),
         })
         .collect();
@@ -72,7 +80,10 @@ impl Fig2Result {
         let series: Vec<Series> = self
             .bler
             .iter()
-            .map(|c| Series::new(format!("SNR={:.0}dB", c.snr_db), x.clone(), c.bler.clone()))
+            .map(|c| {
+                Series::new(format!("SNR={:.0}dB", c.snr_db), x.clone(), c.bler.clone())
+                    .with_ci(c.ci.clone())
+            })
             .collect();
         render_series_table("tx#", &series)
     }

@@ -44,6 +44,23 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig6Result {
     run_with_fractions(cfg, budget, &DEFECT_FRACTIONS)
 }
 
+/// The storage backend of each swept defect fraction: a fault-free
+/// quantized buffer for 0, an unprotected 6T array otherwise. Shared by
+/// the experiment and the campaign benchmark so both always measure the
+/// same grid.
+pub fn storages(fractions: &[f64], llr_bits: u8) -> Vec<StorageConfig> {
+    fractions
+        .iter()
+        .map(|&f| {
+            if f == 0.0 {
+                StorageConfig::Quantized
+            } else {
+                StorageConfig::unprotected(f, llr_bits)
+            }
+        })
+        .collect()
+}
+
 /// Runs with custom defect fractions (used by tests and ablations).
 pub fn run_with_fractions(
     cfg: &SystemConfig,
@@ -52,19 +69,12 @@ pub fn run_with_fractions(
 ) -> Fig6Result {
     let sim = LinkSimulator::new(*cfg);
     let snrs = snr_grid();
-    let storages: Vec<StorageConfig> = fractions
-        .iter()
-        .map(|&f| {
-            if f == 0.0 {
-                StorageConfig::Quantized
-            } else {
-                StorageConfig::unprotected(f, cfg.llr_bits)
-            }
-        })
-        .collect();
-    // One engine call for the whole (defect × SNR) matrix: every row is
-    // one die swept over SNR, and all points shard across the workers.
-    let grid = budget.engine().run_grid(
+    let storages = storages(fractions, cfg.llr_bits);
+    // One call for the whole (defect × SNR) matrix: every row is one die
+    // swept over SNR, and all points shard across the workers. Under a
+    // campaign budget, easy high-SNR points stop early and re-runs
+    // resume from the result store.
+    let grid = budget.runner("fig6").run_grid(
         &sim,
         &storages,
         &snrs,

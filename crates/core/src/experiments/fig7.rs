@@ -43,16 +43,27 @@ pub struct Fig7Result {
     pub panel_b: Fig7Panel,
 }
 
-/// Runs both panels.
+/// Runs both panels (one shared campaign manifest when adaptive).
 pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig7Result {
+    let runner = budget.runner("fig7");
     Fig7Result {
-        panel_a: run_panel(cfg, budget, 0.01),
-        panel_b: run_panel(cfg, budget, 0.10),
+        panel_a: run_panel_with(&runner, cfg, budget, 0.01),
+        panel_b: run_panel_with(&runner, cfg, budget, 0.10),
     }
 }
 
 /// Runs one panel at the given 6T-cell defect fraction.
 pub fn run_panel(cfg: &SystemConfig, budget: ExperimentBudget, defect_fraction: f64) -> Fig7Panel {
+    run_panel_with(&budget.runner("fig7"), cfg, budget, defect_fraction)
+}
+
+/// Runs one panel on an existing runner.
+fn run_panel_with(
+    runner: &super::Runner,
+    cfg: &SystemConfig,
+    budget: ExperimentBudget,
+    defect_fraction: f64,
+) -> Fig7Panel {
     let sim = LinkSimulator::new(*cfg);
     let snrs = snr_grid();
     // Rows: one per protected-bit count, defect-free reference last. The
@@ -63,9 +74,7 @@ pub fn run_panel(cfg: &SystemConfig, budget: ExperimentBudget, defect_fraction: 
         .collect();
     storages.push(StorageConfig::Quantized);
     let master = derive_seed(budget.seed, (defect_fraction * 1e4) as u64);
-    let grid = budget
-        .engine()
-        .run_grid(&sim, &storages, &snrs, budget.packets_per_point, master);
+    let grid = runner.run_grid(&sim, &storages, &snrs, budget.packets_per_point, master);
     let mut rows: Vec<Vec<f64>> = grid
         .stats
         .iter()

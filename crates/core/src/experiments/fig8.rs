@@ -84,7 +84,13 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> Fig8Res
         seed: budget.seed.wrapping_add(4242),
     });
 
-    let stats = budget.engine().run_batch(&sim, &specs);
+    // `best_protection` ranks the arms against each other, so every arm
+    // gets the same sample count (no adaptive early stop) — otherwise
+    // the argmax would ride on unequal CI widths.
+    let stats = budget
+        .equal_samples()
+        .runner("fig8")
+        .run_batch(&sim, &specs);
     let reference = stats[0].normalized_throughput().max(1e-9);
 
     let mut rows = Vec::new();

@@ -39,15 +39,16 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget) -> Fig9Result {
     let mut throughput = Vec::new();
     let mut storage_cells = Vec::new();
     // Each bit width changes the link configuration, so each sweep needs
-    // its own simulator; the engine still shards every sweep's points.
-    let engine = budget.engine();
+    // its own simulator; the runner still shards every sweep's points
+    // (and one campaign manifest covers all three widths).
+    let runner = budget.runner("fig9");
     for (i, &bits) in BIT_WIDTHS.iter().enumerate() {
         let mut wcfg = *cfg;
         wcfg.llr_bits = bits;
         storage_cells.push(wcfg.storage_cells());
         let sim = LinkSimulator::new(wcfg);
         let storage = StorageConfig::unprotected(DEFECT_FRACTION, bits);
-        let stats = engine.run_sweep(
+        let stats = runner.run_sweep(
             &sim,
             &storage,
             &snrs,

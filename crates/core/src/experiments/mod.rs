@@ -19,12 +19,18 @@ pub mod soft_errors;
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::SimulationEngine;
+use hspa_phy::harq::{HarqStats, LlrBuffer};
+
+use crate::campaign::{Campaign, CampaignPoint, CampaignSettings, CustomCampaignPoint};
+use crate::engine::{CustomPoint, GridResult, PointSpec, SimulationEngine};
+use crate::montecarlo::StorageConfig;
+use crate::simulator::LinkSimulator;
 
 /// Monte-Carlo effort knobs shared by all link-simulation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentBudget {
-    /// Packets simulated per (storage, SNR) operating point.
+    /// Packets simulated per (storage, SNR) operating point. Under a
+    /// campaign this is the **maximum** (escalation cap) per point.
     pub packets_per_point: usize,
     /// Master seed; every point derives its own stream.
     pub seed: u64,
@@ -32,6 +38,9 @@ pub struct ExperimentBudget {
     /// Results are bit-identical for any value — this only trades
     /// wall-clock for cores.
     pub threads: usize,
+    /// `Some`: route the experiment through an adaptive, store-backed
+    /// [`Campaign`]; `None`: classic fixed budget on the bare engine.
+    pub campaign: Option<CampaignSettings>,
 }
 
 impl ExperimentBudget {
@@ -41,6 +50,7 @@ impl ExperimentBudget {
             packets_per_point: 60,
             seed: 0xdac1_2012,
             threads: 0,
+            campaign: None,
         }
     }
 
@@ -50,18 +60,170 @@ impl ExperimentBudget {
             packets_per_point: 6,
             seed: 0xdac1_2012,
             threads: 0,
+            campaign: None,
         }
+    }
+
+    /// Builder: attach adaptive campaign settings.
+    pub fn with_campaign(mut self, settings: CampaignSettings) -> Self {
+        self.campaign = Some(settings);
+        self
+    }
+
+    /// Builder: disable early stopping while keeping the campaign's
+    /// store/resume machinery. Studies that compare arms against each
+    /// other (die-to-die spread, protection-scheme ranking) need equal
+    /// per-arm sample counts — adaptive budgets would conflate the
+    /// compared effect with unequal Monte-Carlo noise.
+    pub fn equal_samples(mut self) -> Self {
+        if let Some(c) = self.campaign.as_mut() {
+            c.precision = 0.0;
+            c.bler_floor = 0.0;
+        }
+        self
     }
 
     /// The sharded Monte-Carlo engine this budget asks for.
     pub fn engine(&self) -> SimulationEngine {
         SimulationEngine::with_threads(self.threads)
     }
+
+    /// The execution path this budget asks for: a fixed-budget engine
+    /// pass, or an adaptive campaign named `name` (its store and
+    /// manifest land under `target/campaign/<name>.*`).
+    pub fn runner(&self, name: &str) -> Runner {
+        match self.campaign {
+            None => Runner::OneShot(self.engine()),
+            Some(settings) => Runner::Adaptive(Campaign::new(name, settings, self.engine())),
+        }
+    }
 }
 
 impl Default for ExperimentBudget {
     fn default() -> Self {
         Self::full()
+    }
+}
+
+/// The execution path of an experiment: every figure calls the engine
+/// through this dispatcher, so `--precision`-style adaptive campaigns
+/// and classic fixed budgets share one code path per figure.
+#[derive(Debug)]
+pub enum Runner {
+    /// Fixed budget, straight on the engine (no store, no early stop).
+    OneShot(SimulationEngine),
+    /// Adaptive budgets with the persistent result store.
+    Adaptive(Campaign),
+}
+
+impl Runner {
+    /// The campaign behind this runner, when adaptive.
+    pub fn campaign(&self) -> Option<&Campaign> {
+        match self {
+            Runner::OneShot(_) => None,
+            Runner::Adaptive(c) => Some(c),
+        }
+    }
+
+    /// Batch of explicit operating points
+    /// (cf. [`SimulationEngine::run_batch`]). Under a campaign each
+    /// spec's `n_packets` becomes that point's maximum budget.
+    pub fn run_batch(&self, sim: &LinkSimulator, specs: &[PointSpec]) -> Vec<HarqStats> {
+        match self {
+            Runner::OneShot(engine) => engine.run_batch(sim, specs),
+            Runner::Adaptive(campaign) => {
+                let points: Vec<CampaignPoint> = specs
+                    .iter()
+                    .map(|s| CampaignPoint {
+                        label: format!("{} @ {} dB", s.storage.label(), s.snr_db),
+                        storage: s.storage.clone(),
+                        snr_db: s.snr_db,
+                        max_packets: s.n_packets,
+                        seed: s.seed,
+                        fault_seed: None,
+                    })
+                    .collect();
+                campaign.run(sim, &points).stats()
+            }
+        }
+    }
+
+    /// SNR sweep of one storage configuration
+    /// (cf. [`SimulationEngine::run_sweep`]).
+    pub fn run_sweep(
+        &self,
+        sim: &LinkSimulator,
+        storage: &StorageConfig,
+        snrs_db: &[f64],
+        n_packets: usize,
+        seed: u64,
+    ) -> Vec<HarqStats> {
+        match self {
+            Runner::OneShot(engine) => engine.run_sweep(sim, storage, snrs_db, n_packets, seed),
+            Runner::Adaptive(campaign) => {
+                campaign.run_sweep(sim, storage, snrs_db, n_packets, seed)
+            }
+        }
+    }
+
+    /// Full (storage × SNR) matrix with one shared die per row
+    /// (cf. [`SimulationEngine::run_grid`]).
+    pub fn run_grid(
+        &self,
+        sim: &LinkSimulator,
+        storages: &[StorageConfig],
+        snrs_db: &[f64],
+        n_packets: usize,
+        master_seed: u64,
+    ) -> GridResult {
+        match self {
+            Runner::OneShot(engine) => {
+                engine.run_grid(sim, storages, snrs_db, n_packets, master_seed)
+            }
+            Runner::Adaptive(campaign) => {
+                campaign.run_grid(sim, storages, snrs_db, n_packets, master_seed)
+            }
+        }
+    }
+
+    /// Batch over caller-built buffers
+    /// (cf. [`SimulationEngine::run_batch_with_buffers`]).
+    /// `fingerprints[i]` must canonically describe the buffer the
+    /// factory builds for point `i` — it keys the campaign store.
+    pub fn run_batch_with_buffers<F>(
+        &self,
+        sim: &LinkSimulator,
+        points: &[CustomPoint],
+        fingerprints: &[String],
+        make_buffer: F,
+    ) -> Vec<HarqStats>
+    where
+        F: Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync,
+    {
+        assert_eq!(
+            points.len(),
+            fingerprints.len(),
+            "one fingerprint per custom point"
+        );
+        match self {
+            Runner::OneShot(engine) => engine.run_batch_with_buffers(sim, points, make_buffer),
+            Runner::Adaptive(campaign) => {
+                let cpoints: Vec<CustomCampaignPoint> = points
+                    .iter()
+                    .zip(fingerprints)
+                    .map(|(p, fp)| CustomCampaignPoint {
+                        label: format!("{fp} @ {} dB", p.snr_db),
+                        fingerprint: fp.clone(),
+                        snr_db: p.snr_db,
+                        max_packets: p.n_packets,
+                        seed: p.seed,
+                    })
+                    .collect();
+                campaign
+                    .run_with_buffers(sim, &cpoints, make_buffer)
+                    .stats()
+            }
+        }
     }
 }
 
@@ -77,6 +239,45 @@ pub const THROUGHPUT_REQUIREMENT: (f64, f64) = (18.0, 0.53);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SystemConfig;
+
+    #[test]
+    fn runner_dispatches_on_campaign_settings() {
+        let fixed = ExperimentBudget::smoke();
+        assert!(matches!(fixed.runner("x"), Runner::OneShot(_)));
+        let adaptive = fixed.with_campaign(CampaignSettings::default());
+        let runner = adaptive.runner("x");
+        assert!(matches!(runner, Runner::Adaptive(_)));
+        assert_eq!(runner.campaign().unwrap().name(), "x");
+    }
+
+    #[test]
+    fn exhaustive_campaign_batch_equals_one_shot() {
+        // With early stopping disabled, the adaptive chunked path must
+        // reproduce the fixed-budget engine bit-for-bit.
+        let cfg = SystemConfig::fast_test();
+        let sim = LinkSimulator::new(cfg);
+        let specs = vec![PointSpec {
+            storage: StorageConfig::unprotected(0.10, cfg.llr_bits),
+            snr_db: 9.0,
+            n_packets: 13,
+            seed: 5,
+        }];
+        let dir =
+            std::env::temp_dir().join(format!("experiments-runner-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let one_shot = Runner::OneShot(SimulationEngine::serial()).run_batch(&sim, &specs);
+        let settings = CampaignSettings {
+            initial_chunk: 4,
+            ..CampaignSettings::exhaustive()
+        };
+        let adaptive = Runner::Adaptive(
+            Campaign::new("eq", settings, SimulationEngine::with_threads(2)).with_store_dir(&dir),
+        )
+        .run_batch(&sim, &specs);
+        assert_eq!(one_shot, adaptive);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn budgets_ordered() {

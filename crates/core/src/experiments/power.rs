@@ -101,7 +101,7 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> PowerRe
             seed: budget.seed.wrapping_add(555 * i as u64),
         })
         .collect();
-    let stats = budget.engine().run_batch(&sim, &specs);
+    let stats = budget.runner("power").run_batch(&sim, &specs);
 
     let rows = points
         .into_iter()

@@ -52,16 +52,25 @@ pub fn run(cfg: &SystemConfig, budget: ExperimentBudget, snr_db: f64) -> SoftErr
             seed: budget.seed.wrapping_add(1 + i as u64),
         })
         .collect();
-    let stats = budget
-        .engine()
-        .run_batch_with_buffers(&sim, &specs, |point, fault_seed| {
+    // Custom buffers are opaque to the campaign store, so each point
+    // carries a canonical fingerprint of the factory's configuration.
+    let fingerprints: Vec<String> = UPSET_RATES
+        .iter()
+        .map(|&p| format!("transient-upset|p={p:e}|quantized"))
+        .collect();
+    let stats = budget.runner("soft-errors").run_batch_with_buffers(
+        &sim,
+        &specs,
+        &fingerprints,
+        |point, fault_seed| {
             Box::new(TransientLlrBuffer::new(
                 QuantizedLlrBuffer::new(cfg.coded_len(), quantizer),
                 quantizer,
                 UPSET_RATES[point],
                 fault_seed,
             ))
-        });
+        },
+    );
     let throughput = stats.iter().map(|s| s.normalized_throughput()).collect();
     SoftErrorResult {
         snr_db,

@@ -20,6 +20,10 @@
 //! * [`engine`] — the parallel Monte-Carlo engine: shards packets and
 //!   whole operating points across worker threads with per-packet RNG
 //!   streams, so results are bit-identical for any thread count.
+//! * [`campaign`] — adaptive-budget campaigns above the engine: per-point
+//!   Wilson-CI stopping, a persistent JSONL result store that makes
+//!   re-runs resume instead of re-simulate, and a manifest of achieved
+//!   precision per point.
 //! * [`experiments`] — one module per paper figure (Figs. 2–9), each
 //!   producing serializable series plus formatted tables.
 //! * [`report`] — plain-text table rendering shared by binaries.
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod buffer;
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -44,6 +49,7 @@ pub mod report;
 pub mod simulator;
 
 pub use buffer::{EccLlrBuffer, FaultyLlrBuffer, QuantizedLlrBuffer, TransientLlrBuffer};
+pub use campaign::{Campaign, CampaignPoint, CampaignReport, CampaignSettings};
 pub use config::SystemConfig;
-pub use engine::{CustomPoint, GridResult, PointSpec, SimulationEngine};
+pub use engine::{ChunkSpec, CustomChunk, CustomPoint, GridResult, PointSpec, SimulationEngine};
 pub use montecarlo::{run_point, DefectSpec, StorageConfig};

@@ -14,6 +14,10 @@ pub struct Series {
     pub x: Vec<f64>,
     /// Y values (e.g. normalized throughput).
     pub y: Vec<f64>,
+    /// Optional per-point confidence interval `(low, high)` around `y`
+    /// (e.g. the achieved Wilson interval of an adaptive campaign);
+    /// rendered as a `±half-width` annotation.
+    pub ci: Option<Vec<(f64, f64)>>,
 }
 
 impl Series {
@@ -28,7 +32,19 @@ impl Series {
             label: label.into(),
             x,
             y,
+            ci: None,
         }
+    }
+
+    /// Attaches per-point confidence intervals (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` and `y` lengths differ.
+    pub fn with_ci(mut self, ci: Vec<(f64, f64)>) -> Self {
+        assert_eq!(ci.len(), self.y.len(), "one interval per point");
+        self.ci = Some(ci);
+        self
     }
 
     /// Linear interpolation of y at `x0`; clamps outside the range.
@@ -51,9 +67,17 @@ impl Series {
         *self.y.last().expect("non-empty")
     }
 
-    /// First x at which the series crosses `level` upward, by linear
-    /// interpolation; `None` if it never does.
+    /// First x at which the series reaches `level`, by linear
+    /// interpolation; `None` if it never does (or the series is empty).
+    ///
+    /// Handles non-monotonic series (a curve that starts at/above the
+    /// level reports its first point, not some later re-crossing after a
+    /// dip) and exact hits at the knots, including the final endpoint
+    /// (`y.last() == level` reports the last x).
     pub fn crossing(&self, level: f64) -> Option<f64> {
+        if self.y.first().is_some_and(|&y0| y0 >= level) {
+            return Some(self.x[0]);
+        }
         for w in 0..self.x.len().saturating_sub(1) {
             let (ya, yb) = (self.y[w], self.y[w + 1]);
             if ya < level && yb >= level {
@@ -61,14 +85,15 @@ impl Series {
                 return Some(self.x[w] + t * (self.x[w + 1] - self.x[w]));
             }
         }
-        if !self.y.is_empty() && self.y[0] >= level {
-            return Some(self.x[0]);
-        }
         None
     }
 }
 
 /// Renders a set of series sharing an x axis as one aligned table.
+///
+/// Series carrying confidence intervals ([`Series::with_ci`]) render
+/// each point as `value±half-width` — the per-point achieved-precision
+/// annotation of adaptive campaigns.
 ///
 /// # Panics
 ///
@@ -83,7 +108,10 @@ pub fn render_series_table(x_label: &str, series: &[Series]) -> String {
     let mut rows = Vec::new();
     for (i, &x) in series[0].x.iter().enumerate() {
         let mut row = vec![format!("{x:.2}")];
-        row.extend(series.iter().map(|s| format!("{:.4}", s.y[i])));
+        row.extend(series.iter().map(|s| match &s.ci {
+            Some(ci) => format!("{:.4}±{:.4}", s.y[i], (ci[i].1 - ci[i].0) / 2.0),
+            None => format!("{:.4}", s.y[i]),
+        }));
         rows.push(row);
     }
     render_table(&headers, &rows)
@@ -99,10 +127,12 @@ pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
     for r in rows {
         assert_eq!(r.len(), cols, "row width mismatch");
     }
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    // Widths in chars, not bytes — `format!` pads by char count, and
+    // CI annotations contain a multi-byte `±`.
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
     for row in rows {
         for (w, cell) in widths.iter_mut().zip(row) {
-            *w = (*w).max(cell.len());
+            *w = (*w).max(cell.chars().count());
         }
     }
     let mut out = String::new();
@@ -145,6 +175,54 @@ mod tests {
         assert_eq!(s.crossing(0.95), None);
         let hi = Series::new("t", vec![0.0, 1.0], vec![0.9, 0.95]);
         assert_eq!(hi.crossing(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn crossing_non_monotonic_reports_first_reach() {
+        // Starts above the level, dips, crosses again: the first x at
+        // the level is the first point, not the later re-crossing.
+        let s = Series::new("t", vec![0.0, 10.0, 20.0, 30.0], vec![0.6, 0.4, 0.9, 0.2]);
+        assert_eq!(s.crossing(0.5), Some(0.0));
+        // Starts below, dips further, then crosses: interpolated in the
+        // rising segment.
+        let s = Series::new("t", vec![0.0, 10.0, 20.0], vec![0.3, 0.1, 0.9]);
+        let c = s.crossing(0.5).unwrap();
+        assert!(c > 10.0 && c < 20.0, "got {c}");
+        // A level only reached during the dip's recovery.
+        let s = Series::new("t", vec![0.0, 10.0, 20.0], vec![0.4, 0.2, 0.45]);
+        assert_eq!(s.crossing(0.5), None);
+    }
+
+    #[test]
+    fn crossing_exact_endpoint_hits() {
+        // Exact hit on the last point.
+        let s = Series::new("t", vec![0.0, 10.0, 20.0], vec![0.1, 0.3, 0.5]);
+        assert_eq!(s.crossing(0.5), Some(20.0));
+        // Exact hit on the first point.
+        let s = Series::new("t", vec![5.0, 10.0], vec![0.5, 0.9]);
+        assert_eq!(s.crossing(0.5), Some(5.0));
+        // Exact hit on an interior knot.
+        let s = Series::new("t", vec![0.0, 10.0, 20.0], vec![0.1, 0.5, 0.4]);
+        assert_eq!(s.crossing(0.5), Some(10.0));
+        // Empty series.
+        assert_eq!(Series::new("t", vec![], vec![]).crossing(0.5), None);
+    }
+
+    #[test]
+    fn ci_annotations_render() {
+        let plain = Series::new("plain", vec![1.0, 2.0], vec![0.5, 0.6]);
+        let ci = Series::new("ci", vec![1.0, 2.0], vec![0.5, 0.6])
+            .with_ci(vec![(0.4, 0.6), (0.55, 0.65)]);
+        let t = render_series_table("x", &[plain, ci]);
+        // The plain column stays clean; the ci column is annotated.
+        assert!(t.contains("0.5000  0.5000±0.1000"), "{t}");
+        assert!(t.contains("0.6000  0.6000±0.0500"), "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one interval per point")]
+    fn ci_length_mismatch_rejected() {
+        let _ = Series::new("t", vec![1.0], vec![0.5]).with_ci(vec![]);
     }
 
     #[test]

@@ -196,6 +196,30 @@ mod tests {
     }
 
     #[test]
+    fn wilson_known_values() {
+        // Textbook reference intervals at z = 1.96 (95 %).
+        let cases = [
+            // (successes, trials, lo, hi)
+            (10u64, 100u64, 0.055229, 0.174368),
+            (0, 20, 0.0, 0.161135),
+            (5, 5, 0.565510, 1.0),
+            (50, 100, 0.403830, 0.596170),
+        ];
+        for (s, n, lo, hi) in cases {
+            let (wlo, whi) = wilson_interval(s, n, 1.96);
+            assert!(
+                (wlo - lo).abs() < 5e-4 && (whi - hi).abs() < 5e-4,
+                "wilson({s}, {n}) = ({wlo:.6}, {whi:.6}), expected ({lo}, {hi})"
+            );
+        }
+        // Symmetry: (k, n) and (n-k, n) mirror around 1/2.
+        let (lo, hi) = wilson_interval(10, 100, 1.96);
+        let (mlo, mhi) = wilson_interval(90, 100, 1.96);
+        assert!((lo - (1.0 - mhi)).abs() < 1e-12);
+        assert!((hi - (1.0 - mlo)).abs() < 1e-12);
+    }
+
+    #[test]
     fn error_counter_merge() {
         let mut a = ErrorCounter::new();
         a.record(2, 10);

@@ -1,0 +1,267 @@
+//! Integration tests of the campaign subsystem's contracts:
+//!
+//! * **Determinism** — an adaptive chunked campaign at a fixed seed
+//!   reproduces bit-identical `HarqStats` to a one-shot engine run with
+//!   the same realized packet count, at 1, 2 and 8 worker threads.
+//! * **Resumability** — a campaign interrupted after its first
+//!   escalation level (or whose store is deleted entirely) finishes with
+//!   identical final results.
+//! * **Adaptivity** — on a fig6-style (defect × SNR) grid the controller
+//!   realizes measurably fewer packets than the fixed budget while
+//!   reaching the precision target on the points it stops early.
+
+use std::path::PathBuf;
+
+use resilience_core::campaign::{Campaign, CampaignPoint, CampaignSettings};
+use resilience_core::config::SystemConfig;
+use resilience_core::engine::SimulationEngine;
+use resilience_core::montecarlo::StorageConfig;
+use resilience_core::simulator::LinkSimulator;
+
+const SEED: u64 = 0xdac1_2012;
+
+fn sim() -> LinkSimulator {
+    LinkSimulator::new(SystemConfig::fast_test())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("campaign-itest-{}-{tag}", std::process::id()))
+}
+
+fn waterfall_points(cfg: &SystemConfig, max_packets: usize) -> Vec<CampaignPoint> {
+    vec![
+        CampaignPoint {
+            label: "clean 25 dB".into(),
+            storage: StorageConfig::Quantized,
+            snr_db: 25.0,
+            max_packets,
+            seed: SEED,
+            fault_seed: None,
+        },
+        CampaignPoint {
+            label: "10% defects 12 dB".into(),
+            storage: StorageConfig::unprotected(0.10, cfg.llr_bits),
+            snr_db: 12.0,
+            max_packets,
+            seed: SEED.wrapping_add(1),
+            fault_seed: None,
+        },
+        CampaignPoint {
+            label: "10% defects 5 dB".into(),
+            storage: StorageConfig::unprotected(0.10, cfg.llr_bits),
+            snr_db: 5.0,
+            max_packets,
+            seed: SEED.wrapping_add(2),
+            fault_seed: None,
+        },
+    ]
+}
+
+fn settings(initial_chunk: usize) -> CampaignSettings {
+    CampaignSettings {
+        initial_chunk,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn adaptive_campaign_is_thread_invariant_and_matches_one_shot() {
+    let sim = sim();
+    let cfg = *sim.config();
+    let points = waterfall_points(&cfg, 24);
+
+    // Each thread count gets its own store so every run simulates from
+    // scratch — this isolates engine determinism from store replay.
+    let run_at = |threads: usize| {
+        let dir = temp_dir(&format!("threads-{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::new("det", settings(8), SimulationEngine::with_threads(threads))
+            .with_store_dir(&dir);
+        let report = campaign.run(&sim, &points);
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    };
+
+    let serial = run_at(1);
+    for threads in [2, 8] {
+        let parallel = run_at(threads);
+        assert_eq!(
+            serial.outcomes, parallel.outcomes,
+            "adaptive campaign must be bit-identical at {threads} threads"
+        );
+    }
+
+    // The realized statistics of every point equal a one-shot engine run
+    // over exactly the realized packet count.
+    let engine = SimulationEngine::with_threads(8);
+    for (outcome, point) in serial.outcomes.iter().zip(&points) {
+        let one_shot = engine.run_point(
+            &sim,
+            &point.storage,
+            point.snr_db,
+            outcome.packets(),
+            point.seed,
+        );
+        assert_eq!(
+            outcome.stats,
+            one_shot,
+            "chunked adaptive result of '{}' must equal a one-shot run of {} packets",
+            point.label,
+            outcome.packets()
+        );
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_identical_results() {
+    let sim = sim();
+    let cfg = *sim.config();
+    let dir = temp_dir("resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = SimulationEngine::with_threads(2);
+
+    // Reference: the full campaign with no store help at all.
+    let fresh_dir = temp_dir("resume-fresh");
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+    let reference = Campaign::new("res", settings(4), engine.clone())
+        .with_store_dir(&fresh_dir)
+        .run(&sim, &waterfall_points(&cfg, 16));
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+
+    // "Interrupted" campaign: the same points capped at the first
+    // escalation level populate a partial store...
+    let partial = Campaign::new("res", settings(4), engine.clone())
+        .with_store_dir(&dir)
+        .run(&sim, &waterfall_points(&cfg, 4));
+    assert!(partial.outcomes.iter().all(|o| o.packets() == 4));
+
+    // ...and the full campaign resumes on top of it: early chunks come
+    // from the store, later chunks simulate, results are identical.
+    // (Only the store-provenance counters may differ between a resumed
+    // and a from-scratch run — everything scientific must match.)
+    let essentials = |report: &resilience_core::CampaignReport| {
+        report
+            .outcomes
+            .iter()
+            .map(|o| (o.stats.clone(), o.converged, o.check, o.chunks))
+            .collect::<Vec<_>>()
+    };
+    let resumed = Campaign::new("res", settings(4), engine.clone())
+        .with_store_dir(&dir)
+        .run(&sim, &waterfall_points(&cfg, 16));
+    assert!(resumed.chunks_from_store() > 0, "must reuse stored chunks");
+    assert_eq!(reference.stats(), resumed.stats());
+    assert_eq!(essentials(&reference), essentials(&resumed));
+
+    // Deleting the store mid-way changes nothing about the results: a
+    // re-run from an empty store still converges to the same outcomes.
+    let _ = std::fs::remove_dir_all(&dir);
+    let after_delete = Campaign::new("res", settings(4), engine)
+        .with_store_dir(&dir)
+        .run(&sim, &waterfall_points(&cfg, 16));
+    assert_eq!(after_delete.chunks_from_store(), 0);
+    assert_eq!(essentials(&reference), essentials(&after_delete));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn adaptive_grid_saves_packets_vs_fixed_budget() {
+    // A fig6-style (defect × SNR) grid: high-SNR points are easy and
+    // must stop at the first chunk, so the campaign realizes measurably
+    // fewer packets than `storages × snrs × max_packets`.
+    let sim = sim();
+    let cfg = *sim.config();
+    let dir = temp_dir("grid");
+    let _ = std::fs::remove_dir_all(&dir);
+    let storages = [
+        StorageConfig::Quantized,
+        StorageConfig::unprotected(0.10, cfg.llr_bits),
+    ];
+    let snrs = [4.0, 12.0, 25.0];
+    let max_packets = 64;
+    let campaign =
+        Campaign::new("grid", settings(32), SimulationEngine::auto()).with_store_dir(&dir);
+    let grid = campaign.run_grid(&sim, &storages, &snrs, max_packets, SEED);
+    assert_eq!(grid.stats.len(), storages.len());
+    assert_eq!(grid.stats[0].len(), snrs.len());
+
+    let totals = campaign.manifest().totals();
+    let fixed = (storages.len() * snrs.len() * max_packets) as u64;
+    assert_eq!(totals.budget_packets, fixed);
+    assert!(
+        totals.realized_packets < fixed,
+        "adaptive grid must beat the fixed budget ({} vs {fixed})",
+        totals.realized_packets
+    );
+    assert!(totals.saved_vs_fixed() > 0.0);
+    // The clean 25 dB point decodes everything first try: it must have
+    // stopped at the initial chunk.
+    let clean_easy = &grid.stats[0][snrs.len() - 1];
+    assert_eq!(clean_easy.packets, 32, "easy point stops after one chunk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhaustive_campaign_grid_and_sweep_match_the_engine() {
+    // Campaign::run_grid / run_sweep re-derive the engine's seed tree
+    // (row seed, shared die, the 0x100+column offset); this pins the two
+    // paths together so neither copy can silently diverge.
+    let sim = sim();
+    let cfg = *sim.config();
+    let dir = temp_dir("engine-parity");
+    let _ = std::fs::remove_dir_all(&dir);
+    let storages = [
+        StorageConfig::Quantized,
+        StorageConfig::unprotected(0.10, cfg.llr_bits),
+    ];
+    let snrs = [8.0, 16.0];
+    let engine = SimulationEngine::with_threads(2);
+    let never_stop = CampaignSettings {
+        initial_chunk: 3,
+        ..CampaignSettings::exhaustive()
+    };
+
+    let campaign = Campaign::new("parity", never_stop, engine.clone()).with_store_dir(&dir);
+    assert_eq!(
+        campaign.run_grid(&sim, &storages, &snrs, 7, SEED),
+        engine.run_grid(&sim, &storages, &snrs, 7, SEED),
+        "exhaustive campaign grid must equal the one-shot engine grid"
+    );
+    assert_eq!(
+        campaign.run_sweep(&sim, &storages[1], &snrs, 7, SEED),
+        engine.run_sweep(&sim, &storages[1], &snrs, 7, SEED),
+        "exhaustive campaign sweep must equal the one-shot engine sweep"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+mod properties {
+    use super::*;
+    use hspa_phy::harq::HarqStats;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any two-way split of a point's packet range merges to the
+        /// one-shot statistics, for any thread count and shard size.
+        #[test]
+        fn chunk_merged_stats_equal_one_shot(
+            n in 2usize..14,
+            cut in 1usize..13,
+            threads in 1usize..5,
+            shard in 1usize..5,
+        ) {
+            let cut = 1 + (cut - 1) % (n - 1); // 1..n
+            let sim = sim();
+            let cfg = *sim.config();
+            let storage = StorageConfig::unprotected(0.08, cfg.llr_bits);
+            let engine = SimulationEngine::with_threads(threads).shard_packets(shard);
+            let one_shot = engine.run_point(&sim, &storage, 10.0, n, SEED);
+            let mut merged = HarqStats::new(cfg.max_transmissions, cfg.payload_bits);
+            merged.merge(&engine.run_point_resumed(&sim, &storage, 10.0, 0, cut, SEED));
+            merged.merge(&engine.run_point_resumed(&sim, &storage, 10.0, cut, n - cut, SEED));
+            prop_assert_eq!(one_shot, merged);
+        }
+    }
+}
