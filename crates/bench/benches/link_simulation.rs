@@ -11,14 +11,19 @@
 //! 3. Campaign adaptivity on the fig6a (defect × SNR) grid: how many
 //!    packets the Wilson-CI controller needs versus the fixed budget at
 //!    the default precision target (also recorded in the JSON).
+//! 4. `--target-ci` budget sizing on the same grid: packets needed to
+//!    reach a requested **absolute** Wilson half-width versus the
+//!    worst-case fixed sizing `z²/4w²` classical planning would use.
 //!
-//! Run with `cargo bench --bench link_simulation`. The JSON lands in the
-//! working directory.
+//! Run with `cargo bench --bench link_simulation`. The JSON lands in
+//! `crates/bench/BENCH_engine.json` (the committed perf trajectory; the
+//! nightly CI workflow uploads it as an artifact).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use resilience_core::campaign::controller::WILSON_Z;
 use resilience_core::campaign::{Campaign, CampaignSettings, ManifestTotals};
 use resilience_core::config::SystemConfig;
 use resilience_core::engine::SimulationEngine;
@@ -127,6 +132,35 @@ fn measure_campaign(max_packets: usize) -> (ManifestTotals, f64) {
     (totals, seconds)
 }
 
+/// Runs the fig6a grid in `--target-ci` mode: every point must reach an
+/// absolute Wilson half-width of `width`. Returns the totals plus the
+/// per-point packet count classical worst-case planning (`z²/4w²`,
+/// variance maximized at p = 0.5) would have fixed for the same
+/// guarantee — the budget the adaptive sizing is measured against.
+fn measure_target_ci(width: f64) -> (ManifestTotals, usize, f64) {
+    let cfg = SystemConfig::paper_64qam();
+    let sim = LinkSimulator::new(cfg);
+    let storages = fig6::storages(&fig6::DEFECT_FRACTIONS, cfg.llr_bits);
+    let n_worst_case = (WILSON_Z * WILSON_Z * 0.25 / (width * width)).ceil() as usize;
+    let dir = std::env::temp_dir().join(format!("bench-target-ci-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::new(
+        "bench-fig6a-target-ci",
+        CampaignSettings {
+            target_ci: width,
+            ..CampaignSettings::default()
+        },
+        SimulationEngine::auto(),
+    )
+    .with_store_dir(&dir);
+    let t = Instant::now();
+    let _ = campaign.run_grid(&sim, &storages, &snr_grid(), n_worst_case, 0xbe_c41);
+    let seconds = t.elapsed().as_secs_f64();
+    let totals = campaign.manifest().totals();
+    let _ = std::fs::remove_dir_all(&dir);
+    (totals, n_worst_case, seconds)
+}
+
 fn main() {
     bench_single_packet();
 
@@ -166,6 +200,19 @@ fn main() {
         campaign_secs
     );
 
+    println!("--- target-ci budget sizing (fig6a grid, absolute half-width)");
+    let target_width = 0.08;
+    let (ci_totals, n_worst_case, ci_secs) = measure_target_ci(target_width);
+    println!(
+        "bench target-ci/fig6a w={target_width}: {} packets vs {} worst-case fixed ({:.1}% saved, {}/{} points reached the width, {:.2}s)",
+        ci_totals.realized_packets,
+        ci_totals.budget_packets,
+        ci_totals.saved_vs_fixed() * 100.0,
+        ci_totals.points_converged,
+        ci_totals.points_total,
+        ci_secs
+    );
+
     // Machine-readable trajectory for future PRs. Hand-formatted JSON:
     // the offline serde shim intentionally has no serializer.
     let mut json = String::from("{\n");
@@ -186,14 +233,27 @@ fn main() {
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(
         json,
-        "  \"campaign_fig6a\": {{\"max_packets\": {campaign_max}, \"grid_points\": {}, \"packets_fixed\": {}, \"packets_adaptive\": {}, \"saved_fraction\": {:.4}, \"points_converged\": {}}}",
+        "  \"campaign_fig6a\": {{\"max_packets\": {campaign_max}, \"grid_points\": {}, \"packets_fixed\": {}, \"packets_adaptive\": {}, \"saved_fraction\": {:.4}, \"points_converged\": {}}},",
         totals.points_total,
         totals.budget_packets,
         totals.realized_packets,
         totals.saved_vs_fixed(),
         totals.points_converged
     );
+    let _ = writeln!(
+        json,
+        "  \"campaign_target_ci\": {{\"half_width\": {target_width}, \"worst_case_per_point\": {n_worst_case}, \"grid_points\": {}, \"packets_fixed\": {}, \"packets_adaptive\": {}, \"saved_fraction\": {:.4}, \"points_reached_width\": {}}}",
+        ci_totals.points_total,
+        ci_totals.budget_packets,
+        ci_totals.realized_packets,
+        ci_totals.saved_vs_fixed(),
+        ci_totals.points_converged
+    );
     json.push('}');
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    println!("wrote BENCH_engine.json");
+    // Write next to the committed trajectory file (not the invocation
+    // cwd), so `cargo bench` from any directory updates the same JSON
+    // the nightly workflow uploads.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
+    std::fs::write(out, &json).expect("write BENCH_engine.json");
+    println!("wrote {out}");
 }

@@ -1,0 +1,128 @@
+//! Administers the campaign layer's on-disk state (result stores +
+//! manifests under `target/campaign/` by default).
+//!
+//! ```text
+//! campaign-admin merge  --name fig6 [--dir D] [--out-dir D2]
+//! campaign-admin gc     --name fig6 [--dir D] [--shard i/n]
+//! campaign-admin verify --name fig6 [--dir D] [--shard i/n]
+//! campaign-admin stats  --name fig6 [--dir D] [--shard i/n]
+//! ```
+//!
+//! * `merge` — gathers every `<name>.shard-*-of-*` store/manifest pair
+//!   in `--dir` (e.g. CI artifacts of parallel `--shard i/n` legs),
+//!   proves they form one complete partition, and writes the unified
+//!   `<name>.jsonl` + `<name>.manifest.json` into `--out-dir` (default:
+//!   `--dir`). The merged manifest is byte-identical to a single-host
+//!   run's — CI `cmp`s the two on every push.
+//! * `gc` — rewrites the store down to the canonical chunk cover its
+//!   manifest needs, dropping orphaned keys, duplicates, stale chunks
+//!   from abandoned schedules and torn lines.
+//! * `verify` — checks the store can reproduce every manifest point
+//!   (chunks tile `0..packets` gaplessly); exits 1 on inconsistency.
+//! * `stats` — human-readable store/manifest summary.
+//!
+//! Exit codes: 0 ok, 1 verification failure, 2 usage/I-O error.
+
+use std::path::PathBuf;
+
+use resilience_core::campaign::{shard, ShardSpec, DEFAULT_STORE_DIR};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign-admin <merge|gc|verify|stats> --name <campaign> \
+         [--dir DIR] [--out-dir DIR] [--shard I/N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(context: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("campaign-admin {context}: {e}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        usage();
+    };
+    let mut name: Option<String> = None;
+    let mut dir = PathBuf::from(DEFAULT_STORE_DIR);
+    let mut out_dir: Option<PathBuf> = None;
+    let mut spec = ShardSpec::single();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--name" => name = it.next().cloned(),
+            "--dir" => dir = it.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--out-dir" => out_dir = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--shard" => {
+                spec = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(name) = name else {
+        usage();
+    };
+
+    match command.as_str() {
+        "merge" => {
+            let out = out_dir.unwrap_or_else(|| dir.clone());
+            let report = shard::merge(&name, &dir, &out)
+                .unwrap_or_else(|e| fail(&format!("merge {name}"), e));
+            println!(
+                "merged {} shards of campaign {name}: {} points, {} chunks \
+                 ({} duplicate chunks and {} malformed lines dropped)",
+                report.shards,
+                report.points,
+                report.chunks,
+                report.duplicate_chunks,
+                report.malformed_lines
+            );
+            println!("  store:    {}", report.store_path.display());
+            println!("  manifest: {}", report.manifest_path.display());
+        }
+        "gc" => {
+            let report =
+                shard::gc(&name, &dir, spec).unwrap_or_else(|e| fail(&format!("gc {name}"), e));
+            println!(
+                "gc campaign {name}: kept {} chunks; dropped {} orphaned, {} stale, \
+                 {} duplicate, {} malformed",
+                report.kept,
+                report.dropped_orphans,
+                report.dropped_stale,
+                report.dropped_duplicates,
+                report.dropped_malformed
+            );
+        }
+        "verify" => {
+            let report = shard::verify(&name, &dir, spec)
+                .unwrap_or_else(|e| fail(&format!("verify {name}"), e));
+            println!(
+                "verify campaign {name}: {}/{} points covered by the store \
+                 ({} orphaned, {} stale, {} duplicate chunks, {} malformed lines)",
+                report.covered_points,
+                report.points,
+                report.orphan_chunks,
+                report.stale_chunks,
+                report.duplicate_chunks,
+                report.malformed_lines
+            );
+            if !report.ok() {
+                for p in &report.problems {
+                    eprintln!("  PROBLEM: {p}");
+                }
+                std::process::exit(1);
+            }
+        }
+        "stats" => {
+            let text = shard::stats(&name, &dir, spec)
+                .unwrap_or_else(|e| fail(&format!("stats {name}"), e));
+            print!("{text}");
+        }
+        _ => usage(),
+    }
+}

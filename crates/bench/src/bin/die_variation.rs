@@ -19,5 +19,5 @@ fn main() {
     }
     println!("expected: modest spread (fault count, not location, dominates) -");
     println!("supporting the paper's 'bin dies by Nf' selection criterion.\n");
-    bench::print_campaign_summary(&budget, &["die-variation"]);
+    bench::finish(&args, &budget, &["die-variation"]);
 }

@@ -14,5 +14,5 @@ fn main() {
     println!("{}", res.table());
     println!("expected shape: ~95% first-try decoding at 29 dB; partial at 11 dB;");
     println!("virtually all packets retransmitted at 3 dB with BLER falling per combine.\n");
-    bench::print_campaign_summary(&budget, &["fig2"]);
+    bench::finish(&args, &budget, &["fig2"]);
 }

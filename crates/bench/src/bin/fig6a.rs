@@ -27,5 +27,5 @@ fn main() {
     }
     println!("\nexpected shape: <=0.1% defects coincide with defect-free; degradation");
     println!("grows beyond that; even 10% defects still cross the 0.53 requirement.\n");
-    bench::print_campaign_summary(&budget, &["fig6"]);
+    bench::finish(&args, &budget, &["fig6"]);
 }

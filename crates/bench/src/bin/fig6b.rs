@@ -17,5 +17,5 @@ fn main() {
     println!("{}", res.table_avg_tx());
     println!("expected shape: defect rates beyond 0.1% push the retransmission");
     println!("count toward the budget (4), wasting energy across the whole chain.\n");
-    bench::print_campaign_summary(&budget, &["fig6"]);
+    bench::finish(&args, &budget, &["fig6"]);
 }

@@ -24,5 +24,5 @@ fn main() {
     );
     println!("expected shape: protecting 3-4 MSBs recovers (almost) the defect-free");
     println!("curve even under 10% defects in the remaining bits.\n");
-    bench::print_campaign_summary(&budget, &["fig7"]);
+    bench::finish(&args, &budget, &["fig7"]);
 }

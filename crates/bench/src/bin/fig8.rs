@@ -20,5 +20,5 @@ fn main() {
     println!("best gain/area protection: {} MSBs", res.best_protection());
     println!("\nexpected shape: gain saturates at 3-4 protected bits (~12-13% area);");
     println!("full-word SECDED pays >=35-50% area for no additional throughput.\n");
-    bench::print_campaign_summary(&budget, &["fig8"]);
+    bench::finish(&args, &budget, &["fig8"]);
 }

@@ -24,5 +24,5 @@ fn main() {
     }
     println!("\nexpected shape: under 10% defects the 10-bit system matches or beats");
     println!("11/12-bit at high SNR - bigger arrays collect more faults.\n");
-    bench::print_campaign_summary(&budget, &["fig9"]);
+    bench::finish(&args, &budget, &["fig9"]);
 }

@@ -19,5 +19,5 @@ fn main() {
     println!("expected shape: 6T@0.8V saves ~30-40% with no throughput cost;");
     println!("hybrid@0.6V saves more while needing fewer retransmissions than the");
     println!("unprotected 0.6V array (paper: 2.4 vs 3.5 at 9 dB).\n");
-    bench::print_campaign_summary(&budget, &["power"]);
+    bench::finish(&args, &budget, &["power"]);
 }

@@ -17,5 +17,5 @@ fn main() {
     println!("expected shape: throughput unaffected until ~1e-4 upsets/bit/read,");
     println!("orders of magnitude above the model's prediction - persistent RDF");
     println!("defects, not soft errors, are the binding constraint (paper §3).\n");
-    bench::print_campaign_summary(&budget, &["soft-errors"]);
+    bench::finish(&args, &budget, &["soft-errors"]);
 }

@@ -11,8 +11,15 @@
 //!   confidence interval (default 0.25);
 //! * `--bler-floor F` — BLER below which a point counts as resolved;
 //! * `--chunk N` — packets of the first adaptive chunk;
+//! * `--target-ci W` — absolute Wilson half-width target: replaces the
+//!   relative rule and sizes chunks straight from the Wilson estimate;
+//! * `--shard I/N` — run only the points of shard `I` (of `N` total) of
+//!   the campaign, into suffixed store/manifest files that
+//!   `campaign-admin merge` folds back into the single-host result;
 //! * `--resume` / `--no-resume` — reuse or truncate the persistent
 //!   result store under `target/campaign/`;
+//! * `--manifest-json PATH` — after the run, copy the campaign manifest
+//!   to `PATH` (machine-readable summary for CI assertions);
 //! * `--one-shot` — bypass the campaign layer entirely (classic fixed
 //!   budget on the bare engine).
 //!
@@ -21,7 +28,7 @@
 
 use std::path::Path;
 
-use resilience_core::campaign::{manifest, Campaign, CampaignSettings};
+use resilience_core::campaign::{manifest, Campaign, CampaignSettings, ShardSpec};
 use resilience_core::experiments::ExperimentBudget;
 
 /// Parses command-line arguments into a budget. Unknown arguments are
@@ -72,6 +79,21 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
                     }
                 }
             }
+            "--target-ci" => {
+                if let (Some(v), Some(c)) = (next_parsed::<f64>(&mut it), budget.campaign.as_mut())
+                {
+                    if v > 0.0 {
+                        c.target_ci = v;
+                    }
+                }
+            }
+            "--shard" => {
+                if let (Some(v), Some(c)) =
+                    (next_parsed::<ShardSpec>(&mut it), budget.campaign.as_mut())
+                {
+                    c.shard = v;
+                }
+            }
             "--resume" => {
                 if let Some(c) = budget.campaign.as_mut() {
                     c.resume = true;
@@ -92,12 +114,22 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
 /// Standard banner for figure binaries.
 pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
     let mode = match budget.campaign {
-        Some(c) => format!(
-            "campaign: precision {:.2}, floor {:.2}, {}",
-            c.precision,
-            c.bler_floor,
-            if c.resume { "resume" } else { "no-resume" }
-        ),
+        Some(c) => {
+            let target = if c.target_ci > 0.0 {
+                format!("target-ci {:.3}", c.target_ci)
+            } else {
+                format!("precision {:.2}, floor {:.2}", c.precision, c.bler_floor)
+            };
+            let shard = if c.shard.is_sharded() {
+                format!(", shard {}", c.shard)
+            } else {
+                String::new()
+            };
+            format!(
+                "campaign: {target}, {}{shard}",
+                if c.resume { "resume" } else { "no-resume" }
+            )
+        }
         None => "one-shot".into(),
     };
     format!(
@@ -108,18 +140,60 @@ pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
 
 /// Prints the campaign summaries (store-hit rate, packets saved versus
 /// the fixed budget, convergence tally) for the given campaign names.
-/// No-op in `--one-shot` mode or when a manifest is missing.
+/// No-op in `--one-shot` mode or when a manifest is missing. Resolves
+/// the shard-suffixed manifest of a `--shard i/n` run.
 pub fn print_campaign_summary(budget: &ExperimentBudget, names: &[&str]) {
-    if budget.campaign.is_none() {
+    let Some(settings) = budget.campaign else {
         return;
-    }
+    };
     for name in names {
-        let path = Campaign::default_manifest_path(name);
+        let path = Campaign::manifest_path_for(name, &settings);
         match manifest::read_summary(&path) {
             Some(s) => println!("{}", summary_line(&s)),
             None => println!("campaign {name}: no manifest at {}", path.display()),
         }
     }
+}
+
+/// Post-run epilogue shared by every figure binary: prints the campaign
+/// summaries, then honors `--manifest-json PATH` by copying the first
+/// campaign's manifest to `PATH` (CI asserts on the copy with `jq`
+/// instead of scraping stdout). Exits non-zero if the copy was
+/// requested but no manifest exists — a silent skip would make CI
+/// assertions vacuously pass.
+pub fn finish(args: &[String], budget: &ExperimentBudget, names: &[&str]) {
+    print_campaign_summary(budget, names);
+    let Some(out) = flag_value(args, "--manifest-json") else {
+        return;
+    };
+    let Some(settings) = budget.campaign else {
+        eprintln!("--manifest-json: no campaign manifest in --one-shot mode");
+        std::process::exit(1);
+    };
+    let Some(name) = names.first() else {
+        eprintln!("--manifest-json: this binary runs no campaign");
+        std::process::exit(1);
+    };
+    let path = Campaign::manifest_path_for(name, &settings);
+    if let Err(e) = std::fs::copy(&path, &out) {
+        eprintln!(
+            "--manifest-json: cannot copy {} to {out}: {e}",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    println!("manifest JSON written to {out}");
+}
+
+/// The value following a `--flag VALUE` pair, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+    }
+    None
 }
 
 /// One human- and grep-friendly line per campaign (the CI resume-smoke
@@ -219,6 +293,42 @@ mod tests {
         assert_eq!(c.bler_floor, 0.05);
         assert_eq!(c.initial_chunk, 16);
         assert!(!c.resume);
+    }
+
+    #[test]
+    fn parses_shard_and_target_ci() {
+        use resilience_core::campaign::ShardSpec;
+        let b = budget_from_args(&args(&["--shard", "1/4", "--target-ci", "0.05"]));
+        let c = b.campaign.unwrap();
+        assert_eq!(c.shard, ShardSpec::new(1, 4));
+        assert_eq!(c.target_ci, 0.05);
+        let text = banner("fig6", "x", b);
+        assert!(text.contains("target-ci 0.050"), "{text}");
+        assert!(text.contains("shard 1/4"), "{text}");
+        // Malformed values keep the defaults.
+        let d = budget_from_args(&[]).campaign.unwrap();
+        for bad in [
+            &["--shard", "4/4"][..],
+            &["--shard", "x"],
+            &["--target-ci", "-0.1"],
+            &["--target-ci", "0"],
+        ] {
+            assert_eq!(budget_from_args(&args(bad)).campaign.unwrap(), d, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn flag_value_finds_pairs() {
+        let a = args(&["--packets", "5", "--manifest-json", "out.json"]);
+        assert_eq!(
+            flag_value(&a, "--manifest-json").as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(flag_value(&a, "--missing"), None);
+        assert_eq!(
+            flag_value(&args(&["--manifest-json"]), "--manifest-json"),
+            None
+        );
     }
 
     #[test]

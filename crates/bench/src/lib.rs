@@ -9,9 +9,15 @@
 //! N` caps the per-point budget, `--seed S` replicates independently,
 //! `--threads T` pins the engine's worker count (`0` = one per CPU;
 //! thread count never changes results), and the campaign flags
-//! (`--precision`, `--resume`/`--no-resume`, `--one-shot`, …) control the
-//! adaptive execution path every figure routes through by default.
+//! (`--precision`, `--target-ci`, `--shard i/n`, `--manifest-json`,
+//! `--resume`/`--no-resume`, `--one-shot`, …) control the adaptive
+//! execution path every figure routes through by default.
+//!
+//! The `campaign-admin` binary administers the campaign layer's on-disk
+//! state: `merge` folds `--shard i/n` runs back into single-host files,
+//! `gc` prunes orphaned/stale store chunks, `verify` proves a store can
+//! back its manifest, `stats` summarizes both.
 
 pub mod cli;
 
-pub use cli::{banner, budget_from_args, print_campaign_summary};
+pub use cli::{banner, budget_from_args, finish, print_campaign_summary};

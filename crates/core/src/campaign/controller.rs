@@ -23,6 +23,8 @@
 use dsp::stats::wilson_interval;
 use hspa_phy::harq::HarqStats;
 
+use super::shard::ShardSpec;
+
 /// z-score of the controller's confidence level (95 %).
 pub const WILSON_Z: f64 = 1.96;
 
@@ -41,6 +43,17 @@ pub struct CampaignSettings {
     /// Reuse stored chunks from a previous run (`--resume`, the
     /// default); `false` truncates the store first (`--no-resume`).
     pub resume: bool,
+    /// Absolute 95 % Wilson half-width target (`--target-ci`). When
+    /// positive it replaces the relative stopping rule: a point stops as
+    /// soon as its interval half-width drops to this value, and chunk
+    /// sizing jumps straight to the Wilson-estimated sample count
+    /// instead of blind doubling. `0.0` (the default) disables the mode.
+    pub target_ci: f64,
+    /// The shard this process owns (`--shard i/n`). The default `0/1`
+    /// runs every point; any other value runs only the points whose
+    /// stable key hashes into the shard and writes suffixed
+    /// store/manifest files for [`super::shard::merge`].
+    pub shard: ShardSpec,
 }
 
 impl Default for CampaignSettings {
@@ -50,6 +63,8 @@ impl Default for CampaignSettings {
             bler_floor: 0.15,
             initial_chunk: 32,
             resume: true,
+            target_ci: 0.0,
+            shard: ShardSpec::single(),
         }
     }
 }
@@ -86,14 +101,69 @@ impl CampaignSettings {
         (total > start).then_some((start, total - start))
     }
 
+    /// The next chunk of a point that has already realized `realized`
+    /// packets of a `max_packets` budget, or `None` once the budget is
+    /// exhausted.
+    ///
+    /// This is the schedule the campaign loop actually runs. It is a
+    /// pure function of `(realized, max_packets, merged stats)`, so a
+    /// resumed run replays exactly the same chunk ranges as the run that
+    /// populated the store. In the default (relative-precision) mode it
+    /// reproduces [`CampaignSettings::chunk`]'s doubling schedule; in
+    /// `--target-ci` mode the chunk jumps toward the Wilson-estimated
+    /// sample count for the requested absolute half-width.
+    pub fn next_chunk(
+        &self,
+        realized: usize,
+        max_packets: usize,
+        stats: &HarqStats,
+    ) -> Option<(usize, usize)> {
+        assert!(self.initial_chunk > 0, "initial chunk must be positive");
+        if realized >= max_packets {
+            return None;
+        }
+        let total = if realized == 0 {
+            self.initial_chunk.min(max_packets)
+        } else if self.target_ci > 0.0 {
+            self.target_sized_total(realized, stats).min(max_packets)
+        } else {
+            (realized * 2).min(max_packets)
+        };
+        (total > realized).then_some((realized, total - realized))
+    }
+
+    /// Wilson-based cumulative sample count for `--target-ci`: the
+    /// estimated packets needed to shrink the absolute half-width to
+    /// [`CampaignSettings::target_ci`], never less than 1.5× the
+    /// realized count so a noisy early estimate cannot stall the
+    /// schedule (the Wilson stopping check remains the authority).
+    fn target_sized_total(&self, realized: usize, stats: &HarqStats) -> usize {
+        let w = self.target_ci;
+        let z2 = WILSON_Z * WILSON_Z;
+        let p = (stats.packets - stats.delivered) as f64 / stats.packets.max(1) as f64;
+        // Normal-approximation size for variance p(1-p)...
+        let n_var = z2 * p * (1.0 - p) / (w * w);
+        // ...and the exact Wilson width at p ∈ {0, 1}, where the
+        // variance term vanishes but the interval is still
+        // z²/(2(n+z²)) wide.
+        let n_edge = z2 * (0.5 / w - 1.0);
+        let n_req = n_var.max(n_edge).max(0.0).ceil() as usize;
+        n_req.max(realized + (realized / 2).max(1))
+    }
+
     /// Whether the merged statistics of a point satisfy the stopping
-    /// rule ([`module docs`](self) for the three clauses).
+    /// rule ([`module docs`](self) for the clauses; `--target-ci`
+    /// replaces them with an absolute half-width criterion).
     pub fn converged(&self, stats: &HarqStats) -> bool {
         if stats.packets == 0 {
             return false;
         }
         let check = PrecisionCheck::of(stats, self);
-        check.resolved_low || check.rel_half_width <= self.precision
+        if self.target_ci > 0.0 {
+            check.half_width <= self.target_ci
+        } else {
+            check.resolved_low || check.rel_half_width <= self.precision
+        }
     }
 }
 
@@ -105,6 +175,8 @@ pub struct PrecisionCheck {
     pub bler: f64,
     /// 95 % Wilson interval on the BLER.
     pub ci: (f64, f64),
+    /// Absolute interval half-width (the `--target-ci` metric).
+    pub half_width: f64,
     /// Interval half-width relative to `max(bler, bler_floor)`.
     pub rel_half_width: f64,
     /// Whole interval below the floor (the "easy point" clause).
@@ -120,6 +192,7 @@ impl PrecisionCheck {
             return Self {
                 bler: 0.0,
                 ci: (0.0, 1.0),
+                half_width: 0.5,
                 rel_half_width: f64::INFINITY,
                 resolved_low: false,
             };
@@ -131,6 +204,7 @@ impl PrecisionCheck {
         Self {
             bler,
             ci,
+            half_width: half,
             rel_half_width: half / bler.max(settings.bler_floor).max(f64::MIN_POSITIVE),
             resolved_low: ci.1 <= settings.bler_floor,
         }
@@ -227,5 +301,74 @@ mod tests {
     #[test]
     fn no_evidence_is_never_converged() {
         assert!(!CampaignSettings::default().converged(&HarqStats::new(4, 100)));
+    }
+
+    #[test]
+    fn next_chunk_matches_the_indexed_schedule() {
+        // In default mode the stats-driven schedule must replay the
+        // doubling schedule of `chunk(index, max)` range for range, so
+        // stores written by either are interchangeable.
+        let s = CampaignSettings {
+            initial_chunk: 7,
+            ..Default::default()
+        };
+        for max in [1usize, 6, 7, 8, 13, 100, 240] {
+            let mut realized = 0;
+            let mut idx = 0;
+            while let Some((start, len)) = s.chunk(idx, max) {
+                let stats = stats_with(realized as u64, realized as u64);
+                assert_eq!(
+                    s.next_chunk(realized, max, &stats),
+                    Some((start, len)),
+                    "max={max} idx={idx}"
+                );
+                realized += len;
+                idx += 1;
+            }
+            let stats = stats_with(realized as u64, realized as u64);
+            assert_eq!(s.next_chunk(realized, max, &stats), None);
+        }
+    }
+
+    #[test]
+    fn target_ci_stops_on_absolute_half_width() {
+        let s = CampaignSettings {
+            target_ci: 0.05,
+            ..Default::default()
+        };
+        // BLER 0.5 at n=256: Wilson half ≈ 0.061 > 0.05 → keep going.
+        assert!(!s.converged(&stats_with(256, 128)));
+        // n=420: half ≈ 0.0477 → converged.
+        assert!(s.converged(&stats_with(420, 210)));
+        // All-delivered points converge once the one-sided interval is
+        // tight: n=32 has half ≈ 0.054, n=64 ≈ 0.028.
+        assert!(!s.converged(&stats_with(32, 32)));
+        assert!(s.converged(&stats_with(64, 64)));
+    }
+
+    #[test]
+    fn target_ci_sizes_chunks_from_the_estimate() {
+        let s = CampaignSettings {
+            initial_chunk: 32,
+            target_ci: 0.05,
+            ..Default::default()
+        };
+        // First chunk is always the evidence chunk.
+        assert_eq!(s.next_chunk(0, 10_000, &stats_with(0, 0)), Some((0, 32)));
+        // BLER 0.5 estimate → jump near z²·0.25/w² ≈ 385 total instead
+        // of doubling blindly.
+        let (start, len) = s.next_chunk(32, 10_000, &stats_with(32, 16)).unwrap();
+        assert_eq!(start, 32);
+        assert!(
+            (300..=420).contains(&(start + len)),
+            "Wilson-sized total, got {}",
+            start + len
+        );
+        // An easy point (BLER 0) still grows enough to tighten the
+        // p=0 interval below the target.
+        let (_, len0) = s.next_chunk(32, 10_000, &stats_with(32, 32)).unwrap();
+        assert!(len0 >= 16, "must keep ≥1.5x growth, got {len0}");
+        // The budget cap still binds.
+        assert_eq!(s.next_chunk(32, 40, &stats_with(32, 16)), Some((32, 8)));
     }
 }

@@ -13,12 +13,20 @@ use std::io::Write as _;
 use std::path::Path;
 
 use super::controller::CampaignSettings;
-use super::store::{json_f64_field, json_str_field, json_u64_field};
+use super::shard::ShardSpec;
+use super::store::{json_bool_field, json_f64_field, json_str_field, json_u64_field};
 use super::PointOutcome;
 
 /// One point entry of the manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointRecord {
+    /// Position of the point in the campaign's full (shard-global)
+    /// enumeration order — what [`super::shard::merge`] sorts by to
+    /// reassemble the single-host manifest.
+    pub index: u64,
+    /// The point's stable store key ([`super::hash::point_key`]), tying
+    /// the manifest entry to its chunks in the result store.
+    pub key: u64,
     /// Human-readable point label (storage + SNR).
     pub label: String,
     /// Operating SNR (dB).
@@ -42,9 +50,12 @@ pub struct PointRecord {
 }
 
 impl PointRecord {
-    /// Builds a record from a finished point outcome.
-    pub fn from_outcome(o: &PointOutcome) -> Self {
+    /// Builds a record from a finished point outcome at the given
+    /// shard-global enumeration index.
+    pub fn from_outcome(o: &PointOutcome, index: u64) -> Self {
         Self {
+            index,
+            key: o.key,
             label: o.label.clone(),
             snr_db: o.snr_db,
             packets: o.packets(),
@@ -57,6 +68,63 @@ impl PointRecord {
             chunks_from_store: o.chunks_from_store,
         }
     }
+
+    /// Renders the record as one manifest line (no trailing comma).
+    fn render(&self) -> String {
+        format!(
+            "{{\"index\": {}, \"key\": \"{:016x}\", \"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}}}",
+            self.index,
+            self.key,
+            self.label.replace('"', "'"),
+            self.snr_db,
+            self.packets,
+            self.max_packets,
+            self.bler,
+            self.ci.0,
+            self.ci.1,
+            self.rel_half_width,
+            self.converged,
+            self.chunks,
+            self.chunks_from_store,
+        )
+    }
+
+    /// Parses one manifest point line (as written by
+    /// [`PointRecord::render`]); `None` on malformed input.
+    ///
+    /// Round-trip stability matters here: `render(parse(line)) == line`
+    /// for every line `render` produced, because the shard merge
+    /// re-renders parsed records and the merged manifest must be
+    /// byte-identical to a single-host run's.
+    pub fn parse(line: &str) -> Option<Self> {
+        let line = line.trim().trim_end_matches(',');
+        // The label is the only string field that may contain commas,
+        // so field scanning is done on the text after its closing quote
+        // (labels never contain '"': render maps embedded quotes to ').
+        let tag = "\"label\": \"";
+        let lstart = line.find(tag)? + tag.len();
+        let lend = lstart + line[lstart..].find('"')?;
+        let label = line[lstart..lend].to_string();
+        let head = &line[..lstart];
+        let rest = &line[lend..];
+        Some(Self {
+            index: json_u64_field(head, "index")?,
+            key: u64::from_str_radix(&json_str_field(head, "key")?, 16).ok()?,
+            label,
+            snr_db: json_f64_field(rest, "snr_db")?,
+            packets: json_u64_field(rest, "packets")? as usize,
+            max_packets: json_u64_field(rest, "max")? as usize,
+            bler: json_f64_field(rest, "bler")?,
+            ci: (
+                json_f64_field(rest, "ci_lo")?,
+                json_f64_field(rest, "ci_hi")?,
+            ),
+            rel_half_width: json_f64_field(rest, "rel_hw")?,
+            converged: json_bool_field(rest, "converged")?,
+            chunks: json_u64_field(rest, "chunks")? as usize,
+            chunks_from_store: json_u64_field(rest, "chunks_store")? as usize,
+        })
+    }
 }
 
 /// Cumulative manifest of one campaign (possibly several run calls).
@@ -66,7 +134,12 @@ pub struct Manifest {
     pub name: String,
     /// Controller settings of the campaign.
     pub settings: CampaignSettings,
-    /// Every point run so far.
+    /// Points **enumerated** so far, across every shard: a sharded run
+    /// records only the points it owns in [`Manifest::points`], but
+    /// still counts every point it saw, so shard manifests agree on the
+    /// global index space and the merge can prove completeness.
+    pub points_enumerated: u64,
+    /// Every point run (and owned) so far.
     pub points: Vec<PointRecord>,
 }
 
@@ -76,6 +149,7 @@ impl Manifest {
         Self {
             name: name.into(),
             settings,
+            points_enumerated: 0,
             points: Vec::new(),
         }
     }
@@ -98,13 +172,27 @@ impl Manifest {
 
     /// Renders the manifest as pretty-printed JSON (hand-formatted; the
     /// offline serde shim has no serializer).
+    ///
+    /// The `"shard"` line appears only in per-shard manifests, so a
+    /// merged manifest (shard cleared) can be byte-identical to a
+    /// single-host run's.
     pub fn render_json(&self) -> String {
         let t = self.totals();
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"campaign\": \"{}\",\n", self.name));
         out.push_str(&format!(
-            "  \"settings\": {{\"precision\": {}, \"bler_floor\": {}, \"initial_chunk\": {}}},\n",
-            self.settings.precision, self.settings.bler_floor, self.settings.initial_chunk
+            "  \"settings\": {{\"precision\": {}, \"bler_floor\": {}, \"initial_chunk\": {}, \"target_ci\": {}}},\n",
+            self.settings.precision,
+            self.settings.bler_floor,
+            self.settings.initial_chunk,
+            self.settings.target_ci
+        ));
+        if self.settings.shard.is_sharded() {
+            out.push_str(&format!("  \"shard\": \"{}\",\n", self.settings.shard));
+        }
+        out.push_str(&format!(
+            "  \"points_enumerated\": {},\n",
+            self.points_enumerated
         ));
         out.push_str(&format!("  \"points_total\": {},\n", t.points_total));
         out.push_str(&format!(
@@ -129,23 +217,59 @@ impl Manifest {
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}}}{}\n",
-                p.label.replace('"', "'"),
-                p.snr_db,
-                p.packets,
-                p.max_packets,
-                p.bler,
-                p.ci.0,
-                p.ci.1,
-                p.rel_half_width,
-                p.converged,
-                p.chunks,
-                p.chunks_from_store,
+                "    {}{}\n",
+                p.render(),
                 if i + 1 < self.points.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Parses a manifest back from its JSON text — the full inverse of
+    /// [`Manifest::render_json`] (the store-side `resume` knob is not
+    /// part of the rendered identity and comes back as its default).
+    pub fn parse(json: &str) -> Option<Self> {
+        let name = json_str_field(json, "campaign")?;
+        let shard = match json_str_field(json, "shard") {
+            Some(s) => s.parse::<ShardSpec>().ok()?,
+            None => ShardSpec::single(),
+        };
+        let settings = CampaignSettings {
+            precision: json_f64_field(json, "precision")?,
+            bler_floor: json_f64_field(json, "bler_floor")?,
+            initial_chunk: json_u64_field(json, "initial_chunk")? as usize,
+            target_ci: json_f64_field(json, "target_ci")?,
+            shard,
+            resume: true,
+        };
+        let points_enumerated = json_u64_field(json, "points_enumerated")?;
+        let body = &json[json.find("\"points\": [")?..];
+        let mut points = Vec::new();
+        for line in body.lines().skip(1) {
+            let line = line.trim();
+            if line.starts_with(']') {
+                break;
+            }
+            points.push(PointRecord::parse(line)?);
+        }
+        Some(Self {
+            name,
+            settings,
+            points_enumerated,
+            points,
+        })
+    }
+
+    /// Reads and parses a manifest file (the admin tooling's entry).
+    pub fn read(path: &Path) -> std::io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        Self::parse(&json).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed campaign manifest: {}", path.display()),
+            )
+        })
     }
 
     /// Writes the manifest to `path` (atomically enough for a summary:
@@ -231,7 +355,10 @@ mod tests {
 
     fn sample_manifest() -> Manifest {
         let mut m = Manifest::new("test", CampaignSettings::default());
+        m.points_enumerated = 2;
         m.points.push(PointRecord {
+            index: 0,
+            key: 0x0123_4567_89ab_cdef,
             label: "quantized @ 18dB".into(),
             snr_db: 18.0,
             packets: 32,
@@ -244,6 +371,8 @@ mod tests {
             chunks_from_store: 1,
         });
         m.points.push(PointRecord {
+            index: 1,
+            key: 0xfeed_face_0000_0001,
             label: "6T, Nf=10.00% @ 9dB".into(),
             snr_db: 9.0,
             packets: 60,
@@ -291,5 +420,40 @@ mod tests {
         let t = Manifest::new("empty", CampaignSettings::default()).totals();
         assert_eq!(t.saved_vs_fixed(), 0.0);
         assert_eq!(t.store_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn full_parse_round_trips_to_identical_bytes() {
+        // The shard merge re-renders parsed manifests, so
+        // render → parse → render must be a byte-level fixed point —
+        // including awkward labels (commas, %, @) and float fields.
+        let m = sample_manifest();
+        let json = m.render_json();
+        let parsed = Manifest::parse(&json).expect("parses back");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.render_json(), json, "render∘parse must be id");
+    }
+
+    #[test]
+    fn sharded_manifest_keeps_its_shard_tag() {
+        let mut m = sample_manifest();
+        m.settings.shard = ShardSpec::new(1, 3);
+        m.points.truncate(1);
+        let json = m.render_json();
+        assert!(json.contains("\"shard\": \"1/3\""));
+        let parsed = Manifest::parse(&json).unwrap();
+        assert_eq!(parsed.settings.shard, ShardSpec::new(1, 3));
+        assert_eq!(parsed.points_enumerated, 2);
+        assert_eq!(parsed.render_json(), json);
+    }
+
+    #[test]
+    fn point_record_parse_rejects_malformed_lines() {
+        let line = sample_manifest().points[1].render();
+        assert!(PointRecord::parse(&line).is_some());
+        assert!(PointRecord::parse(&line[..line.len() / 2]).is_none());
+        assert!(PointRecord::parse("{}").is_none());
+        // Trailing comma (mid-array form) is tolerated.
+        assert!(PointRecord::parse(&format!("{line},")).is_some());
     }
 }

@@ -16,7 +16,14 @@
 //!   points and interrupted campaigns resume where they stopped;
 //! * the **manifest** ([`manifest`]) summarizes realized budgets,
 //!   achieved confidence intervals and store-hit rates for the bench
-//!   binaries, CI assertions and future multi-host sharding.
+//!   binaries and CI assertions;
+//! * the **sharding coordinator** ([`shard`]) splits a campaign across
+//!   hosts by stable point hash (`--shard i/n`): each host runs the
+//!   points it owns into suffixed store/manifest files, and
+//!   [`shard::merge`] folds any complete shard set back into files
+//!   byte-identical (manifest) / record-identical (store) to a
+//!   single-host run. [`shard::gc`] and [`shard::verify`] keep
+//!   long-lived stores healthy.
 //!
 //! # Determinism contract
 //!
@@ -57,6 +64,7 @@
 pub mod controller;
 pub mod hash;
 pub mod manifest;
+pub mod shard;
 pub mod store;
 
 use std::cell::RefCell;
@@ -73,6 +81,7 @@ use dsp::rng::{derive_seed, STREAM_FAULT_MAP};
 
 pub use controller::{CampaignSettings, PrecisionCheck};
 pub use manifest::{Manifest, ManifestSummary, ManifestTotals};
+pub use shard::ShardSpec;
 pub use store::ResultStore;
 
 /// The default on-disk location of campaign stores and manifests.
@@ -119,6 +128,13 @@ pub struct CustomCampaignPoint {
 pub struct PointOutcome {
     /// Label copied from the input point.
     pub label: String,
+    /// Stable store key of the point ([`hash::point_key`]).
+    pub key: u64,
+    /// Whether this process's shard owns the point. Under `--shard i/n`
+    /// the outcomes of foreign points are placeholders (zero packets)
+    /// that keep result shapes intact; only owned points enter the
+    /// manifest and the store.
+    pub owned: bool,
     /// Operating SNR (dB).
     pub snr_db: f64,
     /// Merged statistics over every realized chunk.
@@ -193,7 +209,9 @@ impl CampaignReport {
                         o.check.bler, o.check.ci.0, o.check.ci.1
                     ),
                     format!("{:.2}", o.check.rel_half_width),
-                    if o.converged {
+                    if !o.owned {
+                        "other-shard"
+                    } else if o.converged {
                         "converged"
                     } else {
                         "budget-cap"
@@ -275,20 +293,29 @@ impl Campaign {
         &self.settings
     }
 
-    /// Path of the JSONL result store.
+    /// Path of the JSONL result store (shard-suffixed under
+    /// `--shard i/n`, so parallel shard runs never collide).
     pub fn store_path(&self) -> PathBuf {
-        self.store_dir.join(format!("{}.jsonl", self.name))
+        self.store_dir
+            .join(shard::store_file(&self.name, self.settings.shard))
     }
 
-    /// Path of the manifest file.
+    /// Path of the manifest file (shard-suffixed under `--shard i/n`).
     pub fn manifest_path(&self) -> PathBuf {
-        self.store_dir.join(format!("{}.manifest.json", self.name))
+        self.store_dir
+            .join(shard::manifest_file(&self.name, self.settings.shard))
     }
 
     /// Default manifest path of a named campaign under the default store
     /// directory — where the bench binaries look for their summaries.
     pub fn default_manifest_path(name: &str) -> PathBuf {
-        Path::new(DEFAULT_STORE_DIR).join(format!("{name}.manifest.json"))
+        Path::new(DEFAULT_STORE_DIR).join(shard::manifest_file(name, ShardSpec::single()))
+    }
+
+    /// [`Campaign::default_manifest_path`] for explicit settings —
+    /// resolves the shard-suffixed file of a `--shard i/n` run.
+    pub fn manifest_path_for(name: &str, settings: &CampaignSettings) -> PathBuf {
+        Path::new(DEFAULT_STORE_DIR).join(shard::manifest_file(name, settings.shard))
     }
 
     fn open_store(&self) -> ResultStore {
@@ -296,8 +323,16 @@ impl Campaign {
         // run call — later calls must still see this instance's records.
         let resume = self.settings.resume || self.truncated.get();
         self.truncated.set(true);
-        ResultStore::open(self.store_path(), resume)
-            .expect("campaign store must be creatable — is the store dir writable?")
+        // An unopenable store is fatal, not a miss: quietly running
+        // without it would re-simulate every chunk and double-append
+        // once the file becomes accessible again.
+        ResultStore::open(self.store_path(), resume).unwrap_or_else(|e| {
+            panic!(
+                "campaign {}: cannot open result store {}: {e}",
+                self.name,
+                self.store_path().display()
+            )
+        })
     }
 
     /// Runs standard-storage points adaptively; outcomes keep input
@@ -454,6 +489,13 @@ impl Campaign {
     /// The adaptive loop shared by both run paths. `simulate` receives
     /// `(point_index, first_packet, n_packets)` triples for the chunks
     /// the store could not serve and returns their statistics in order.
+    ///
+    /// Under `--shard i/n` only the points this shard owns
+    /// ([`ShardSpec::owns`] on the stable key) are scheduled; foreign
+    /// points finish immediately with placeholder outcomes. Every point
+    /// still receives a **global index** (cumulative across run calls),
+    /// so shard manifests agree on one enumeration order and
+    /// [`shard::merge`] can reassemble the single-host manifest.
     fn run_adaptive<F>(
         &self,
         sim: &LinkSimulator,
@@ -469,18 +511,28 @@ impl Campaign {
             .iter()
             .map(|_| HarqStats::new(cfg.max_transmissions, cfg.payload_bits))
             .collect();
+        let owned: Vec<bool> = descs
+            .iter()
+            .map(|d| self.settings.shard.owns(d.key))
+            .collect();
         let mut converged = vec![false; descs.len()];
         let mut chunks_run = vec![0usize; descs.len()];
         let mut chunks_hit = vec![0usize; descs.len()];
 
-        for chunk_idx in 0.. {
-            // Points still owed a chunk at this escalation level.
+        loop {
+            // Points still owed a chunk. The schedule is driven by each
+            // point's realized packet count (`stats[i].packets`), a pure
+            // function of the merged statistics — identical whether the
+            // packets were simulated or replayed from the store.
             let mut due: Vec<(usize, usize, usize)> = Vec::new();
             for (i, desc) in descs.iter().enumerate() {
-                if converged[i] {
+                if !owned[i] || converged[i] {
                     continue;
                 }
-                if let Some((first, len)) = self.settings.chunk(chunk_idx, desc.max_packets) {
+                if let Some((first, len)) =
+                    self.settings
+                        .next_chunk(stats[i].packets as usize, desc.max_packets, &stats[i])
+                {
                     due.push((i, first, len));
                 }
             }
@@ -538,6 +590,8 @@ impl Campaign {
             .enumerate()
             .map(|(i, desc)| PointOutcome {
                 label: desc.label.clone(),
+                key: desc.key,
+                owned: owned[i],
                 snr_db: desc.snr_db,
                 check: PrecisionCheck::of(&stats[i], &self.settings),
                 stats: stats[i].clone(),
@@ -550,9 +604,15 @@ impl Campaign {
 
         {
             let mut manifest = self.manifest.borrow_mut();
-            for o in &outcomes {
-                manifest.points.push(manifest::PointRecord::from_outcome(o));
+            let base = manifest.points_enumerated;
+            for (i, o) in outcomes.iter().enumerate() {
+                if o.owned {
+                    manifest
+                        .points
+                        .push(manifest::PointRecord::from_outcome(o, base + i as u64));
+                }
             }
+            manifest.points_enumerated = base + outcomes.len() as u64;
             if let Err(e) = manifest.write(&self.manifest_path()) {
                 eprintln!("campaign {}: manifest write failed: {e}", self.name);
             }

@@ -1,0 +1,701 @@
+//! Multi-host sharding coordinator for campaigns.
+//!
+//! A campaign's operating points are already content-hashed
+//! ([`super::hash::point_key`]) and its chunks are self-describing JSONL
+//! records, so distributing a grid across hosts needs no broker: every
+//! host runs the *same* binary over the *same* full point list with
+//! `--shard i/n`, and a point belongs to the shard its stable key hashes
+//! into ([`ShardSpec::owns`]). Each shard writes suffixed store/manifest
+//! files (`<name>.shard-i-of-n.{jsonl,manifest.json}`) that never
+//! collide, and [`merge`] folds any complete shard set back into the
+//! files a single-host run would have produced — **byte-identical
+//! manifest included**, which is what CI asserts on every push.
+//!
+//! Determinism is inherited, not re-proven: a packet's RNG stream
+//! depends only on its absolute position in the seed tree (see
+//! [`crate::engine`]), so which host simulates a point cannot change its
+//! statistics, and the controller's stopping decisions are pure
+//! functions of those statistics. The coordinator's only job is
+//! bookkeeping — partition, gather, dedup, re-order.
+//!
+//! The admin entry points ([`merge`], [`gc`], [`verify`], [`stats`]) are
+//! plain functions over a `(name, directory)` pair; the `campaign-admin`
+//! binary in the `bench` crate is a thin argv wrapper around them.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use hspa_phy::harq::HarqStats;
+
+use super::manifest::Manifest;
+use super::store::{self, ChunkId};
+
+/// The shard a process owns, out of `count` total — parsed from
+/// `--shard index/count`. The default `0/1` means "unsharded".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// Zero-based shard index (`< count`).
+    pub index: u32,
+    /// Total shard count (`>= 1`).
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// The unsharded (single-host) spec, `0/1`.
+    pub fn single() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Builds a spec, panicking on an invalid combination (use the
+    /// `FromStr` impl for fallible parsing of user input).
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(count >= 1, "shard count must be >= 1");
+        assert!(index < count, "shard index must be < count");
+        Self { index, count }
+    }
+
+    /// Whether this spec actually splits the point set.
+    pub fn is_sharded(&self) -> bool {
+        self.count > 1
+    }
+
+    /// Whether this shard owns the point with the given stable key.
+    /// Ownership is a pure function of `(key, count)` — every host
+    /// partitions identically without coordination.
+    pub fn owns(&self, key: u64) -> bool {
+        key % u64::from(self.count.max(1)) == u64::from(self.index)
+    }
+
+    /// The file-stem suffix of this shard's store/manifest (empty when
+    /// unsharded, so single-host paths are unchanged).
+    pub fn suffix(&self) -> String {
+        if self.is_sharded() {
+            format!(".shard-{}-of-{}", self.index, self.count)
+        } else {
+            String::new()
+        }
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("expected --shard INDEX/COUNT with INDEX < COUNT, got '{s}'");
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: u32 = i.trim().parse().map_err(|_| err())?;
+        let count: u32 = n.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(Self { index, count })
+    }
+}
+
+/// Store file name of a campaign under a shard spec.
+pub fn store_file(name: &str, shard: ShardSpec) -> String {
+    format!("{name}{}.jsonl", shard.suffix())
+}
+
+/// Manifest file name of a campaign under a shard spec.
+pub fn manifest_file(name: &str, shard: ShardSpec) -> String {
+    format!("{name}{}.manifest.json", shard.suffix())
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Outcome of a [`merge`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeReport {
+    /// Shard manifests merged.
+    pub shards: usize,
+    /// Points in the merged manifest.
+    pub points: usize,
+    /// Chunk records in the merged store.
+    pub chunks: usize,
+    /// Duplicate chunk records dropped (same point key + packet range
+    /// simulated by more than one shard or appended twice).
+    pub duplicate_chunks: usize,
+    /// Malformed store lines skipped (torn tails of killed runs).
+    pub malformed_lines: usize,
+    /// Path of the merged store.
+    pub store_path: PathBuf,
+    /// Path of the merged manifest.
+    pub manifest_path: PathBuf,
+}
+
+/// Discovers the shard manifests of `name` in `dir`
+/// (`<name>.shard-*-of-*.manifest.json`), sorted by shard index.
+pub fn discover_shards(name: &str, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let prefix = format!("{name}.shard-");
+    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(stem) = file_name
+            .to_str()
+            .and_then(|f| f.strip_suffix(".manifest.json"))
+            .and_then(|f| f.strip_prefix(&prefix))
+        else {
+            continue;
+        };
+        // `stem` is now "I-of-N"; validate it parses as a shard spec.
+        let Some((i, n)) = stem.split_once("-of-") else {
+            continue;
+        };
+        if let (Ok(i), Ok(_)) = (i.parse::<u32>(), n.parse::<u32>()) {
+            found.push((i, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Merges a complete set of shard runs back into the single-host files.
+///
+/// Reads the given shard manifests (plus their sibling `.jsonl` stores),
+/// validates that they form one consistent, complete partition — same
+/// campaign, same settings, same enumeration count, disjoint indices
+/// covering every point — then writes `<out_dir>/<name>.manifest.json`
+/// and `<out_dir>/<name>.jsonl`. The merged manifest is byte-identical
+/// to the one an unsharded run at the same settings would write; the
+/// merged store holds the same chunk set (deduplicated, in canonical
+/// `(key, range)` order — a single-host store lists the identical
+/// records in execution order instead).
+pub fn merge_manifests(
+    name: &str,
+    manifests: &[PathBuf],
+    out_dir: &Path,
+) -> io::Result<MergeReport> {
+    if manifests.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no shard manifests for campaign '{name}'"),
+        ));
+    }
+    let mut parsed: Vec<(PathBuf, Manifest)> = Vec::new();
+    for path in manifests {
+        parsed.push((path.clone(), Manifest::read(path)?));
+    }
+
+    // Cross-shard consistency: one campaign, one settings block, one
+    // index space.
+    let count = parsed[0].1.settings.shard.count;
+    let enumerated = parsed[0].1.points_enumerated;
+    let reference = normalized_settings(&parsed[0].1);
+    let mut seen_shards = BTreeSet::new();
+    for (path, m) in &parsed {
+        let at = path.display();
+        if m.name != name {
+            return Err(invalid(format!(
+                "{at}: campaign '{}', expected '{name}'",
+                m.name
+            )));
+        }
+        // A `0/1` manifest is the degenerate one-shard partition: merge
+        // accepts it and simply canonicalizes the files.
+        if m.settings.shard.count != count {
+            return Err(invalid(format!(
+                "{at}: shard count {} != {count}",
+                m.settings.shard.count
+            )));
+        }
+        if !seen_shards.insert(m.settings.shard.index) {
+            return Err(invalid(format!(
+                "{at}: duplicate shard {}",
+                m.settings.shard
+            )));
+        }
+        if normalized_settings(m) != reference {
+            return Err(invalid(format!(
+                "{at}: controller settings differ between shards"
+            )));
+        }
+        if m.points_enumerated != enumerated {
+            return Err(invalid(format!(
+                "{at}: enumerated {} points, expected {enumerated}",
+                m.points_enumerated
+            )));
+        }
+    }
+
+    // Reassemble the global point order and prove completeness. The
+    // expected index sequence is compared lazily — `points_enumerated`
+    // comes from an untrusted file, so it must not size an allocation.
+    let mut points: Vec<_> = parsed.iter().flat_map(|(_, m)| m.points.clone()).collect();
+    points.sort_by_key(|p| p.index);
+    if !points.iter().map(|p| p.index).eq(0..enumerated) {
+        let have: BTreeSet<u64> = points.iter().map(|p| p.index).collect();
+        let missing: Vec<u64> = (0..enumerated)
+            .filter(|i| !have.contains(i))
+            .take(16)
+            .collect();
+        return Err(invalid(format!(
+            "shard set is not a complete partition: {} of {enumerated} points, \
+             missing indices {missing:?}{} (duplicates: {})",
+            points.len(),
+            if (missing.len() as u64) < enumerated.saturating_sub(have.len() as u64) {
+                ", …"
+            } else {
+                ""
+            },
+            points.len() != have.len(),
+        )));
+    }
+
+    // Gather the stores, dropping exact-duplicate chunk records.
+    let mut records: Vec<(ChunkId, HarqStats)> = Vec::new();
+    let mut malformed_lines = 0;
+    for (path, m) in &parsed {
+        let store_path = path.with_file_name(store_file(name, m.settings.shard));
+        let (recs, malformed) = store::load_all(&store_path)?;
+        malformed_lines += malformed;
+        records.extend(recs);
+    }
+    records.sort_by_key(|(id, _)| (id.point, id.first_packet, id.n_packets));
+    let before = records.len();
+    let mut seen: HashSet<ChunkId> = HashSet::with_capacity(before);
+    records.retain(|(id, _)| seen.insert(*id));
+    let duplicate_chunks = before - records.len();
+
+    let merged = Manifest {
+        name: name.to_string(),
+        settings: super::CampaignSettings {
+            shard: ShardSpec::single(),
+            ..parsed[0].1.settings
+        },
+        points_enumerated: enumerated,
+        points,
+    };
+    fs::create_dir_all(out_dir)?;
+    let store_path = out_dir.join(store_file(name, ShardSpec::single()));
+    let manifest_path = out_dir.join(manifest_file(name, ShardSpec::single()));
+    store::write_records(&store_path, &records)?;
+    merged.write(&manifest_path)?;
+    Ok(MergeReport {
+        shards: parsed.len(),
+        points: merged.points.len(),
+        chunks: records.len(),
+        duplicate_chunks,
+        malformed_lines,
+        store_path,
+        manifest_path,
+    })
+}
+
+/// [`merge_manifests`] over every shard manifest of `name` found in
+/// `in_dir` — the `campaign-admin merge` entry.
+pub fn merge(name: &str, in_dir: &Path, out_dir: &Path) -> io::Result<MergeReport> {
+    let manifests = discover_shards(name, in_dir)?;
+    if manifests.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no '{}' shard manifests in {}",
+                manifest_file(name, ShardSpec::new(0, 2)).replace("0-of-2", "*-of-*"),
+                in_dir.display()
+            ),
+        ));
+    }
+    merge_manifests(name, &manifests, out_dir)
+}
+
+/// The settings identity shards must agree on (everything except the
+/// shard assignment itself; `resume` is not rendered into manifests).
+fn normalized_settings(m: &Manifest) -> super::CampaignSettings {
+    super::CampaignSettings {
+        shard: ShardSpec::single(),
+        resume: true,
+        ..m.settings
+    }
+}
+
+/// Outcome of a [`verify`] call.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VerifyReport {
+    /// Points listed in the manifest.
+    pub points: usize,
+    /// Of those, points whose realized packet range is fully covered by
+    /// store chunks.
+    pub covered_points: usize,
+    /// Store records whose point key no manifest entry references.
+    pub orphan_chunks: usize,
+    /// Exact-duplicate store records.
+    pub duplicate_chunks: usize,
+    /// Store records that no consistent chunk cover uses (left over
+    /// from a different schedule, or beyond the manifest's realized
+    /// packet count).
+    pub stale_chunks: usize,
+    /// Unparseable store lines.
+    pub malformed_lines: usize,
+    /// Human-readable consistency violations; empty means the store can
+    /// reproduce every manifest point.
+    pub problems: Vec<String>,
+}
+
+impl VerifyReport {
+    /// Whether the store is consistent with the manifest (orphan, stale
+    /// and malformed records are GC fodder, not inconsistencies).
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Checks that the result store of `(name, shard)` in `dir` can back its
+/// manifest: every manifest point with realized packets must be covered
+/// by store chunks that tile `0..packets` without gaps or overlaps.
+pub fn verify(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<VerifyReport> {
+    let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
+    let (records, malformed_lines) = store::load_all(&dir.join(store_file(name, shard)))?;
+    let mut report = VerifyReport {
+        points: manifest.points.len(),
+        malformed_lines,
+        ..Default::default()
+    };
+
+    let mut by_key: HashMap<u64, Vec<(usize, usize)>> = HashMap::new();
+    let mut seen: HashSet<ChunkId> = HashSet::new();
+    for (id, _) in &records {
+        if !seen.insert(*id) {
+            report.duplicate_chunks += 1;
+            continue;
+        }
+        by_key
+            .entry(id.point)
+            .or_default()
+            .push((id.first_packet, id.n_packets));
+    }
+
+    // Orphans are counted over the deduplicated record set (a repeated
+    // orphan line is one orphan + one duplicate), so verify's tallies
+    // agree with what gc would drop for the same store.
+    let live_keys: HashSet<u64> = manifest.points.iter().map(|p| p.key).collect();
+    report.orphan_chunks = seen
+        .iter()
+        .filter(|id| !live_keys.contains(&id.point))
+        .count();
+
+    // `used` counts, per key, how many distinct chunks some point cover
+    // consumed — the rest of that key's chunks are stale.
+    let mut used: HashMap<u64, BTreeSet<(usize, usize)>> = HashMap::new();
+    for point in &manifest.points {
+        if point.packets == 0 {
+            report.covered_points += 1;
+            continue;
+        }
+        let chunks = by_key.get(&point.key).cloned().unwrap_or_default();
+        match find_cover(&chunks, point.packets) {
+            Some(cover) => {
+                report.covered_points += 1;
+                used.entry(point.key).or_default().extend(cover);
+            }
+            None => report.problems.push(format!(
+                "point {} '{}' (key {:016x}): no chunk cover of 0..{} in the store \
+                 ({} chunks present for this key)",
+                point.index,
+                point.label,
+                point.key,
+                point.packets,
+                chunks.len(),
+            )),
+        }
+    }
+    for (key, chunks) in &by_key {
+        if !live_keys.contains(key) {
+            continue; // orphans already counted
+        }
+        let used_here = used.get(key).map_or(0, BTreeSet::len);
+        report.stale_chunks += chunks.len() - used_here;
+    }
+    Ok(report)
+}
+
+/// Outcome of a [`gc`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcReport {
+    /// Records kept (the canonical covering set, sorted by key/range).
+    pub kept: usize,
+    /// Records dropped because no manifest point references their key.
+    pub dropped_orphans: usize,
+    /// Exact-duplicate records dropped.
+    pub dropped_duplicates: usize,
+    /// Records of live keys that no chunk cover uses (abandoned
+    /// schedules, packets beyond the manifest's realized count).
+    pub dropped_stale: usize,
+    /// Malformed lines dropped.
+    pub dropped_malformed: usize,
+}
+
+/// Rewrites the store of `(name, shard)` in `dir` down to the canonical
+/// covering set its manifest needs: orphaned keys, duplicate records,
+/// stale chunks and torn lines are dropped; the surviving records are
+/// written back sorted by `(key, range)`. The manifest is the source of
+/// truth — chunks a *future deeper* run could have reused are removed
+/// too, which is exactly the trade a GC is asked to make.
+pub fn gc(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<GcReport> {
+    let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
+    let store_path = dir.join(store_file(name, shard));
+    let (records, dropped_malformed) = store::load_all(&store_path)?;
+
+    let mut by_id: BTreeMap<ChunkId, HarqStats> = BTreeMap::new();
+    let mut dropped_duplicates = 0;
+    for (id, stats) in records {
+        if by_id.insert(id, stats).is_some() {
+            dropped_duplicates += 1;
+        }
+    }
+
+    // Realized packets per live key (a key can recur across run calls;
+    // the deepest realization wins).
+    let mut realized: HashMap<u64, usize> = HashMap::new();
+    for p in &manifest.points {
+        let r = realized.entry(p.key).or_insert(0);
+        *r = (*r).max(p.packets);
+    }
+
+    let mut keep: BTreeSet<ChunkId> = BTreeSet::new();
+    let mut dropped_orphans = 0;
+    for id in by_id.keys() {
+        if !realized.contains_key(&id.point) {
+            dropped_orphans += 1;
+        }
+    }
+    for (&key, &packets) in &realized {
+        let chunks: Vec<(usize, usize)> = by_id
+            .range(
+                ChunkId {
+                    point: key,
+                    first_packet: 0,
+                    n_packets: 0,
+                }..=ChunkId {
+                    point: key,
+                    first_packet: usize::MAX,
+                    n_packets: usize::MAX,
+                },
+            )
+            .map(|(id, _)| (id.first_packet, id.n_packets))
+            .collect();
+        // Keep the covering set when one exists; otherwise keep every
+        // chunk of the key — gc must never worsen an already-incomplete
+        // store (that is `verify`'s problem to report).
+        let keep_ranges = find_cover(&chunks, packets).unwrap_or(chunks);
+        keep.extend(keep_ranges.into_iter().map(|(first, len)| ChunkId {
+            point: key,
+            first_packet: first,
+            n_packets: len,
+        }));
+    }
+
+    let kept_records: Vec<(ChunkId, HarqStats)> = by_id
+        .iter()
+        .filter(|(id, _)| keep.contains(id))
+        .map(|(id, stats)| (*id, stats.clone()))
+        .collect();
+    let dropped_stale = by_id.len() - kept_records.len() - dropped_orphans;
+    store::write_records(&store_path, &kept_records)?;
+    Ok(GcReport {
+        kept: kept_records.len(),
+        dropped_orphans,
+        dropped_duplicates,
+        dropped_stale,
+        dropped_malformed,
+    })
+}
+
+/// Renders a human-readable summary of a campaign's store + manifest —
+/// the `campaign-admin stats` output.
+pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
+    let manifest_path = dir.join(manifest_file(name, shard));
+    let store_path = dir.join(store_file(name, shard));
+    let manifest = Manifest::read(&manifest_path)?;
+    let (records, malformed) = store::load_all(&store_path)?;
+    let store_bytes = fs::metadata(&store_path)?.len();
+    let keys: HashSet<u64> = records.iter().map(|(id, _)| id.point).collect();
+    let stored_packets: u64 = records.iter().map(|(_, s)| s.packets).sum();
+    let t = manifest.totals();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign {name}{}\n",
+        if shard.is_sharded() {
+            format!(" (shard {shard})")
+        } else {
+            String::new()
+        }
+    ));
+    out.push_str(&format!(
+        "  manifest: {} points recorded of {} enumerated, {} converged\n",
+        t.points_total, manifest.points_enumerated, t.points_converged
+    ));
+    out.push_str(&format!(
+        "  budgets:  {} packets realized of {} fixed ({:.1}% saved)\n",
+        t.realized_packets,
+        t.budget_packets,
+        t.saved_vs_fixed() * 100.0
+    ));
+    out.push_str(&format!(
+        "  store:    {} chunk records over {} point keys, {} packets, {} bytes\n",
+        records.len(),
+        keys.len(),
+        stored_packets,
+        store_bytes
+    ));
+    if malformed > 0 {
+        out.push_str(&format!("  warning:  {malformed} malformed store lines\n"));
+    }
+    Ok(out)
+}
+
+/// Finds a subset of `chunks` (each a `(first_packet, n_packets)`
+/// range) that tiles `0..target` exactly — no gaps, no overlaps.
+/// Greedy longest-first with backtracking: deterministic, and robust to
+/// stores holding chunks from several schedules (e.g. a `--target-ci`
+/// run resumed over a doubling-schedule store).
+fn find_cover(chunks: &[(usize, usize)], target: usize) -> Option<Vec<(usize, usize)>> {
+    let mut by_start: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(first, len) in chunks {
+        if len > 0 && first < target {
+            by_start.entry(first).or_default().push(len);
+        }
+    }
+    for lens in by_start.values_mut() {
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        lens.dedup();
+    }
+    let mut cover = Vec::new();
+    fn rec(
+        by_start: &BTreeMap<usize, Vec<usize>>,
+        pos: usize,
+        target: usize,
+        cover: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        if pos == target {
+            return true;
+        }
+        let Some(lens) = by_start.get(&pos) else {
+            return false;
+        };
+        for &len in lens {
+            if pos + len <= target {
+                cover.push((pos, len));
+                if rec(by_start, pos + len, target, cover) {
+                    return true;
+                }
+                cover.pop();
+            }
+        }
+        false
+    }
+    rec(&by_start, 0, target, &mut cover).then_some(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_and_validation() {
+        assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::single());
+        assert_eq!("2/4".parse::<ShardSpec>().unwrap(), ShardSpec::new(2, 4));
+        for bad in ["", "3", "1/0", "4/4", "5/4", "a/2", "1/b", "-1/2"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad}");
+        }
+        assert_eq!(ShardSpec::new(1, 3).to_string(), "1/3");
+    }
+
+    #[test]
+    fn sharding_partitions_every_key_exactly_once() {
+        for count in 1..=5u32 {
+            for key in (0u64..200).chain([u64::MAX, u64::MAX - 7]) {
+                let owners: Vec<u32> = (0..count)
+                    .filter(|&i| ShardSpec::new(i, count).owns(key))
+                    .collect();
+                assert_eq!(owners.len(), 1, "key {key} count {count}: {owners:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_names_only_suffix_when_sharded() {
+        assert_eq!(store_file("fig6", ShardSpec::single()), "fig6.jsonl");
+        assert_eq!(
+            store_file("fig6", ShardSpec::new(0, 2)),
+            "fig6.shard-0-of-2.jsonl"
+        );
+        assert_eq!(
+            manifest_file("fig6", ShardSpec::new(1, 2)),
+            "fig6.shard-1-of-2.manifest.json"
+        );
+    }
+
+    #[test]
+    fn cover_finder_handles_mixed_schedules() {
+        // Pure doubling schedule.
+        assert_eq!(
+            find_cover(&[(0, 8), (8, 8), (16, 16)], 32),
+            Some(vec![(0, 8), (8, 8), (16, 16)])
+        );
+        // Two interleaved schedules; only one tiles 0..24 — greedy
+        // longest-first must backtrack out of the (0,16) branch.
+        assert_eq!(
+            find_cover(&[(0, 16), (0, 8), (8, 16), (12, 12)], 24),
+            Some(vec![(0, 8), (8, 16)])
+        );
+        // Gap → no cover.
+        assert_eq!(find_cover(&[(0, 8), (16, 8)], 24), None);
+        // Overlap alone cannot tile.
+        assert_eq!(find_cover(&[(0, 8), (4, 8)], 12), None);
+        // Empty target is trivially covered.
+        assert_eq!(find_cover(&[], 0), Some(vec![]));
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+        let dir = std::env::temp_dir().join(format!("shard-merge-reject-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // One shard of a 2-shard set: discovery works, merge refuses.
+        let mut m = Manifest::new("c", super::super::CampaignSettings::default());
+        m.settings.shard = ShardSpec::new(0, 2);
+        m.points_enumerated = 2;
+        m.points.push(crate::campaign::manifest::PointRecord {
+            index: 0,
+            key: 2, // even → shard 0 of 2
+            label: "p0".into(),
+            snr_db: 1.0,
+            packets: 4,
+            max_packets: 4,
+            bler: 0.0,
+            ci: (0.0, 0.5),
+            rel_half_width: 1.0,
+            converged: true,
+            chunks: 1,
+            chunks_from_store: 0,
+        });
+        m.write(&dir.join(manifest_file("c", m.settings.shard)))
+            .unwrap();
+        fs::write(dir.join(store_file("c", m.settings.shard)), "").unwrap();
+        let found = discover_shards("c", &dir).unwrap();
+        assert_eq!(found.len(), 1);
+        let err = merge("c", &dir, &dir.join("out")).unwrap_err();
+        assert!(err.to_string().contains("missing indices"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -19,8 +19,10 @@ use std::path::{Path, PathBuf};
 
 use hspa_phy::harq::HarqStats;
 
-/// Identity of one stored chunk: point key + packet range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Identity of one stored chunk: point key + packet range. Ordered by
+/// `(point, first_packet, n_packets)` — the canonical store order the
+/// merge/GC tooling writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChunkId {
     /// FNV-1a 64 of the point fingerprint.
     pub point: u64,
@@ -45,21 +47,45 @@ impl ResultStore {
     /// Opens (or creates) the store file, loading every valid record.
     /// With `resume == false` an existing file is truncated first — the
     /// `--no-resume` path.
+    ///
+    /// A store that exists but cannot be read is an **error**, never an
+    /// empty store: silently treating it as missing would re-simulate
+    /// every chunk and double-append the results once the file becomes
+    /// writable again, so only [`std::io::ErrorKind::NotFound`] counts
+    /// as "no store yet" — permission problems, unreadable paths and
+    /// read failures all surface to the caller.
     pub fn open(path: impl Into<PathBuf>, resume: bool) -> std::io::Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
         }
-        if !resume && path.exists() {
+        // `Path::exists` swallows stat errors (it answers `false` for a
+        // permission-denied path); query the metadata directly so those
+        // errors are distinguishable from a genuinely absent store.
+        let exists = match fs::metadata(&path) {
+            Ok(_) => true,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e),
+        };
+        if !resume && exists {
             fs::remove_file(&path)?;
         }
+        if !(resume && exists) {
+            // Materialize an empty store eagerly: a campaign whose every
+            // chunk is a store hit (or whose shard owns no points) still
+            // leaves a well-formed `.jsonl` behind, so shard artifact
+            // collection and `campaign-admin merge` never chase a file
+            // that only the first miss would have created.
+            File::create(&path)?;
+        }
         let mut records = HashMap::new();
-        if path.exists() {
+        if resume && exists {
             let reader = BufReader::new(File::open(&path)?);
             for line in reader.lines() {
                 let line = line?;
                 // Tolerate torn tails from interrupted runs: a line that
-                // does not parse is skipped, not fatal.
+                // does not parse is skipped, not fatal. (I/O errors are
+                // fatal — see above.)
                 if let Some((id, stats)) = parse_record(&line) {
                     records.insert(id, stats);
                 }
@@ -125,6 +151,48 @@ impl ResultStore {
     }
 }
 
+/// Reads every parseable record of a store file **in file order,
+/// keeping duplicates** (unlike [`ResultStore::open`], which keeps the
+/// last write per [`ChunkId`]). Returns the records plus the count of
+/// malformed lines skipped — the merge/GC admin tooling reports both.
+pub fn load_all(path: &Path) -> std::io::Result<(Vec<(ChunkId, HarqStats)>, usize)> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    let mut malformed = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(&line) {
+            Some(rec) => records.push(rec),
+            None => malformed += 1,
+        }
+    }
+    Ok((records, malformed))
+}
+
+/// Writes a store file containing exactly `records`, in the given
+/// order, replacing any previous content (the merge/GC rewrite path —
+/// the campaign itself only ever appends). The replacement is atomic
+/// (write-to-temp + rename): a GC killed mid-rewrite must leave the old
+/// store intact, never a truncated one.
+pub fn write_records(path: &Path, records: &[(ChunkId, HarqStats)]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    for (id, stats) in records {
+        out.push_str(&encode_record(*id, stats));
+        out.push('\n');
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, out)?;
+    fs::rename(&tmp, path)
+}
+
 /// Renders one chunk record as a single JSON line.
 fn encode_record(id: ChunkId, stats: &HarqStats) -> String {
     let failures: Vec<String> = stats.failures_at.iter().map(|f| f.to_string()).collect();
@@ -188,6 +256,15 @@ pub(crate) fn json_f64_field(json: &str, name: &str) -> Option<f64> {
 pub(crate) fn json_str_field(json: &str, name: &str) -> Option<String> {
     let raw = json_raw_field(json, name)?;
     Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+/// Parses a boolean field of a flat JSON object.
+pub(crate) fn json_bool_field(json: &str, name: &str) -> Option<bool> {
+    match json_raw_field(json, name)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
 }
 
 /// Parses a `[u64, …]` array field of a flat JSON object.
@@ -285,11 +362,58 @@ mod tests {
 
     #[test]
     fn json_field_helpers() {
-        let j = "{\"a\":3,\"b\":\"0f\",\"c\":[1, 2,3],\"d\":2.5}";
+        let j = "{\"a\":3,\"b\":\"0f\",\"c\":[1, 2,3],\"d\":2.5,\"e\":true}";
         assert_eq!(json_u64_field(j, "a"), Some(3));
         assert_eq!(json_str_field(j, "b").as_deref(), Some("0f"));
         assert_eq!(json_u64_array_field(j, "c"), Some(vec![1, 2, 3]));
         assert_eq!(json_f64_field(j, "d"), Some(2.5));
+        assert_eq!(json_bool_field(j, "e"), Some(true));
         assert_eq!(json_u64_field(j, "missing"), None);
+        assert_eq!(json_bool_field(j, "a"), None);
+    }
+
+    #[test]
+    fn unreadable_store_is_an_error_not_a_miss() {
+        // A store path that exists but cannot be read as a JSONL file
+        // (here: a directory) must surface an io::Error — treating it
+        // as an empty store would re-simulate and then double-append
+        // every chunk.
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-store-test-{}-unreadable",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        assert!(ResultStore::open(&dir, true).is_err());
+        assert!(load_all(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_all_keeps_duplicates_and_counts_malformed() {
+        let path = temp_store_path("load-all");
+        let _ = fs::remove_file(&path);
+        let id = ChunkId {
+            point: 7,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        let mut store = ResultStore::open(&path, true).unwrap();
+        store.put(id, &sample_stats()).unwrap();
+        store.put(id, &sample_stats()).unwrap();
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{{torn"))
+            .unwrap();
+        let (records, malformed) = load_all(&path).unwrap();
+        assert_eq!(records.len(), 2, "duplicates preserved");
+        assert_eq!(malformed, 1);
+
+        // write_records round-trips the exact record list.
+        write_records(&path, &records[..1]).unwrap();
+        let (rewritten, malformed) = load_all(&path).unwrap();
+        assert_eq!(rewritten, records[..1]);
+        assert_eq!(malformed, 0);
+        let _ = fs::remove_file(&path);
     }
 }

@@ -261,6 +261,15 @@ impl SimulationEngine {
     /// identical buffers, so they share a buffer group — a campaign grid
     /// row (one die swept over SNRs) builds its fault map once per
     /// worker, matching [`SimulationEngine::run_grid`]'s behavior.
+    ///
+    /// Chunk scheduling is composition-invariant: a chunk's statistics
+    /// depend only on `(seed, fault seed, snr, first_packet..+n)`, never
+    /// on which other chunks share the batch, which worker runs it, or
+    /// which process (host) submits it. This is the property multi-host
+    /// campaign sharding ([`crate::campaign::shard`]) is built on — any
+    /// partition of a grid's chunks across engines merges to the
+    /// single-engine result bit for bit (`tests/shard.rs` proves it for
+    /// random 1–4-way partitions).
     pub fn run_chunks(&self, sim: &LinkSimulator, chunks: &[ChunkSpec]) -> Vec<HarqStats> {
         let cfg = *sim.config();
         let points: Vec<CustomPoint> = chunks

@@ -70,6 +70,17 @@ impl ExperimentBudget {
         self
     }
 
+    /// Builder: restrict the campaign to one shard of a multi-host run
+    /// (`--shard i/n`). No-op without campaign settings — sharding is a
+    /// property of the store-backed path; a one-shot run has no
+    /// manifest for the merge tool to reassemble.
+    pub fn with_shard(mut self, shard: crate::campaign::ShardSpec) -> Self {
+        if let Some(c) = self.campaign.as_mut() {
+            c.shard = shard;
+        }
+        self
+    }
+
     /// Builder: disable early stopping while keeping the campaign's
     /// store/resume machinery. Studies that compare arms against each
     /// other (die-to-die spread, protection-scheme ranking) need equal
@@ -94,7 +105,9 @@ impl ExperimentBudget {
     pub fn runner(&self, name: &str) -> Runner {
         match self.campaign {
             None => Runner::OneShot(self.engine()),
-            Some(settings) => Runner::Adaptive(Campaign::new(name, settings, self.engine())),
+            Some(settings) => {
+                Runner::Adaptive(Box::new(Campaign::new(name, settings, self.engine())))
+            }
         }
     }
 }
@@ -108,12 +121,22 @@ impl Default for ExperimentBudget {
 /// The execution path of an experiment: every figure calls the engine
 /// through this dispatcher, so `--precision`-style adaptive campaigns
 /// and classic fixed budgets share one code path per figure.
+///
+/// Because the campaign's shard filter lives **below** this dispatcher
+/// (in [`Campaign`]'s adaptive loop), every figure binary can run a
+/// `--shard i/n` slice of its grid without figure-specific code: the
+/// full point list is always enumerated (so shard manifests agree on
+/// the global point order), foreign points come back as zero-packet
+/// placeholders, and `campaign-admin merge` reassembles the single-host
+/// result from the shard artifacts.
 #[derive(Debug)]
 pub enum Runner {
     /// Fixed budget, straight on the engine (no store, no early stop).
     OneShot(SimulationEngine),
-    /// Adaptive budgets with the persistent result store.
-    Adaptive(Campaign),
+    /// Adaptive budgets with the persistent result store (boxed: a
+    /// campaign carries its cumulative manifest and is much larger than
+    /// the engine-only variant).
+    Adaptive(Box<Campaign>),
 }
 
 impl Runner {
@@ -271,12 +294,27 @@ mod tests {
             initial_chunk: 4,
             ..CampaignSettings::exhaustive()
         };
-        let adaptive = Runner::Adaptive(
+        let adaptive = Runner::Adaptive(Box::new(
             Campaign::new("eq", settings, SimulationEngine::with_threads(2)).with_store_dir(&dir),
-        )
+        ))
         .run_batch(&sim, &specs);
         assert_eq!(one_shot, adaptive);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_shard_applies_only_under_a_campaign() {
+        use crate::campaign::ShardSpec;
+        let spec = ShardSpec::new(1, 2);
+        let sharded = ExperimentBudget::smoke()
+            .with_campaign(CampaignSettings::default())
+            .with_shard(spec);
+        assert_eq!(sharded.campaign.unwrap().shard, spec);
+        // One-shot budgets have no store/manifest to shard.
+        assert!(ExperimentBudget::smoke()
+            .with_shard(spec)
+            .campaign
+            .is_none());
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //!   whole operating points across worker threads with per-packet RNG
 //!   streams, so results are bit-identical for any thread count.
 //! * [`campaign`] — adaptive-budget campaigns above the engine: per-point
-//!   Wilson-CI stopping, a persistent JSONL result store that makes
-//!   re-runs resume instead of re-simulate, and a manifest of achieved
-//!   precision per point.
+//!   Wilson-CI stopping (relative `--precision` or absolute
+//!   `--target-ci`), a persistent JSONL result store that makes re-runs
+//!   resume instead of re-simulate, a manifest of achieved precision per
+//!   point, and a multi-host sharding coordinator (`--shard i/n` plus
+//!   merge/GC/verify admin tooling) that distributes a grid across
+//!   machines with bit-identical merged results.
 //! * [`experiments`] — one module per paper figure (Figs. 2–9), each
 //!   producing serializable series plus formatted tables.
 //! * [`report`] — plain-text table rendering shared by binaries.
@@ -49,7 +52,7 @@ pub mod report;
 pub mod simulator;
 
 pub use buffer::{EccLlrBuffer, FaultyLlrBuffer, QuantizedLlrBuffer, TransientLlrBuffer};
-pub use campaign::{Campaign, CampaignPoint, CampaignReport, CampaignSettings};
+pub use campaign::{Campaign, CampaignPoint, CampaignReport, CampaignSettings, ShardSpec};
 pub use config::SystemConfig;
 pub use engine::{ChunkSpec, CustomChunk, CustomPoint, GridResult, PointSpec, SimulationEngine};
 pub use montecarlo::{run_point, DefectSpec, StorageConfig};
