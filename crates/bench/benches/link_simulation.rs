@@ -1,13 +1,19 @@
 //! Benchmark of the end-to-end link simulation and the Monte-Carlo
 //! engine — the unit of work behind every figure of the paper.
 //!
-//! Three parts:
+//! Parts:
 //!
 //! 1. Per-packet wall-clock of `simulate_packet_with` across storage
-//!    backends and SNRs (the kernel every Monte-Carlo point repeats).
-//! 2. Engine throughput (packets/sec) at 1 worker vs all CPUs over a
-//!    realistic operating grid, written to `BENCH_engine.json` so future
-//!    changes have a machine-readable perf trajectory.
+//!    backends and SNRs (the kernel every Monte-Carlo point repeats) —
+//!    with a per-stage breakdown when built with `--features
+//!    bench-instrument`.
+//! 2. Engine throughput (packets/sec) at 1 worker vs
+//!    `max(2, available CPUs)` workers over a realistic operating grid,
+//!    written to `BENCH_engine.json` so future changes have a
+//!    machine-readable perf trajectory (the parallel leg always runs
+//!    with at least two workers so thread scaling is actually
+//!    exercised; the recorded `host_cpus` says how much hardware backed
+//!    it).
 //! 3. Campaign adaptivity on the fig6a (defect × SNR) grid: how many
 //!    packets the Wilson-CI controller needs versus the fixed budget at
 //!    the default precision target (also recorded in the JSON).
@@ -17,7 +23,8 @@
 //!
 //! Run with `cargo bench --bench link_simulation`. The JSON lands in
 //! `crates/bench/BENCH_engine.json` (the committed perf trajectory; the
-//! nightly CI workflow uploads it as an artifact).
+//! nightly CI workflow uploads it as an artifact and fails on a >25%
+//! serial-throughput regression against the committed file).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -68,6 +75,7 @@ fn bench_single_packet() {
             for _ in 0..3 {
                 black_box(sim.simulate_packet_with(snr, &mut buffer, &mut rng, &mut scratch));
             }
+            scratch.reset_stage_nanos();
             let reps = 20;
             let mut samples = Vec::with_capacity(reps);
             for _ in 0..reps {
@@ -83,7 +91,24 @@ fn bench_single_packet() {
             samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let us = samples[reps / 2];
             println!("bench link/{name}/{snr}dB {us:>12.1} us/packet");
+            if cfg!(feature = "bench-instrument") {
+                let s = scratch.stage_nanos;
+                let per_stage = |ns: u64| ns as f64 / 1000.0 / reps as f64;
+                println!(
+                    "      stages (us/packet): encode {:.1} | modulate {:.1} | channel {:.1} | equalize {:.1} | demap {:.1} | harq {:.1} | decode {:.1}",
+                    per_stage(s.encode),
+                    per_stage(s.modulate),
+                    per_stage(s.channel),
+                    per_stage(s.equalize),
+                    per_stage(s.demap),
+                    per_stage(s.harq),
+                    per_stage(s.decode),
+                );
+            }
         }
+    }
+    if !cfg!(feature = "bench-instrument") {
+        println!("      (rebuild with --features bench-instrument for a per-stage breakdown)");
     }
 }
 
@@ -165,13 +190,21 @@ fn main() {
     bench_single_packet();
 
     println!("--- engine scaling (grid: 3 storages x 3 SNRs)");
+    // 40 packets/point so the measurement amortizes simulator/buffer
+    // construction; the historical default of 12 understated throughput.
     let packets_per_point = std::env::args()
         .skip_while(|a| a != "--packets")
         .nth(1)
         .and_then(|v| v.parse().ok())
-        .unwrap_or(12);
+        .unwrap_or(40);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Always run the parallel leg with at least two workers: on a
+    // single-CPU host `available_parallelism() == 1` would silently
+    // measure the serial path twice (the committed baseline once
+    // recorded exactly that as "parallel": {"threads": 1}).
+    let parallel_threads = host_cpus.max(2);
     let serial = measure_engine(1, packets_per_point);
-    let parallel = measure_engine(0, packets_per_point);
+    let parallel = measure_engine(parallel_threads, packets_per_point);
     let speedup = parallel.packets_per_sec() / serial.packets_per_sec();
     for s in [&serial, &parallel] {
         println!(
@@ -183,7 +216,7 @@ fn main() {
         );
     }
     println!(
-        "engine speedup at {} threads: {speedup:.2}x",
+        "engine speedup at {} threads ({host_cpus} host CPUs): {speedup:.2}x",
         parallel.threads
     );
 
@@ -219,6 +252,7 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"engine_grid\",");
     let _ = writeln!(json, "  \"packets_per_point\": {packets_per_point},");
     let _ = writeln!(json, "  \"grid_points\": 9,");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(
         json,
         "  \"serial\": {{\"threads\": 1, \"packets_per_sec\": {:.2}}},",

@@ -1,0 +1,54 @@
+//! Per-stage time breakdown of the packet hot path.
+//!
+//! Build with the instrumentation feature to get real numbers:
+//!
+//! ```text
+//! cargo run --release -p resilience-core --features bench-instrument \
+//!     --example stage_profile
+//! ```
+
+use rand::SeedableRng;
+use resilience_core::config::SystemConfig;
+use resilience_core::montecarlo::{build_buffer, StorageConfig};
+use resilience_core::simulator::{LinkSimulator, PacketScratch};
+
+fn main() {
+    let cfg = SystemConfig::paper_64qam();
+    let sim = LinkSimulator::new(cfg);
+    let storages = [
+        ("ideal", StorageConfig::Perfect),
+        (
+            "faulty10pct",
+            StorageConfig::unprotected(0.10, cfg.llr_bits),
+        ),
+    ];
+    for (name, storage) in &storages {
+        for &snr in &[9.0f64, 18.0] {
+            let mut buffer = build_buffer(&cfg, storage, 1);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let mut scratch = PacketScratch::new();
+            let packets = 100;
+            for _ in 0..packets {
+                sim.simulate_packet_with(snr, &mut buffer, &mut rng, &mut scratch);
+            }
+            let s = scratch.stage_nanos;
+            let total = s.total().max(1) as f64 / 1000.0 / packets as f64;
+            println!("{name}/{snr}dB  ({total:.0} us accounted/packet)");
+            for (stage, ns) in [
+                ("encode", s.encode),
+                ("modulate", s.modulate),
+                ("channel", s.channel),
+                ("equalize", s.equalize),
+                ("demap", s.demap),
+                ("harq", s.harq),
+                ("decode", s.decode),
+            ] {
+                let us = ns as f64 / 1000.0 / packets as f64;
+                println!(
+                    "  {stage:<9} {us:>9.1} us/packet ({:>4.1}%)",
+                    100.0 * us / total
+                );
+            }
+        }
+    }
+}

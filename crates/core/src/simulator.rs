@@ -21,22 +21,27 @@
 //! interleaver, channel model — lives behind one shared [`Arc`], so
 //! cloning a `LinkSimulator` hands a worker thread a cheap handle instead
 //! of rebuilding interleaver tables. All per-packet mutable state lives
-//! in the caller-owned [`PacketScratch`], whose vectors are reused across
-//! packets to keep the encode → modulate → demap path allocation-free.
+//! in the caller-owned [`PacketScratch`], whose buffers (including the
+//! [`DspScratch`] with the turbo-decoder trellis, equalizer design and
+//! channel-realization workspaces) are reused across packets so the
+//! steady-state packet loop performs no heap allocation anywhere in the
+//! chain.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use dsp::rng::random_bits;
+use dsp::rng::random_bits_into;
 use dsp::Complex64;
-use hspa_phy::channel::{AwgnChannel, ChannelModel, CorrelatedFadingChannel, MultipathChannel};
+use hspa_phy::channel::{
+    AwgnChannel, ChannelModel, ChannelRealization, CorrelatedFadingChannel, MultipathChannel,
+};
 use hspa_phy::crc::Crc;
-use hspa_phy::equalizer::MmseEqualizer;
+use hspa_phy::equalizer::EqScratch;
 use hspa_phy::harq::{HarqProcess, LlrBuffer};
 use hspa_phy::interleave::ChannelInterleaver;
 use hspa_phy::rate_match::RateMatcher;
-use hspa_phy::turbo::TurboCode;
+use hspa_phy::turbo::{DecodeResult, TurboCode, TurboScratch};
 
 use crate::config::{ChannelKind, SystemConfig};
 
@@ -59,11 +64,84 @@ struct LinkCore {
     channel: Box<dyn ChannelModel + Send + Sync>,
 }
 
+/// Per-stage wall-clock accumulators of [`LinkSimulator::simulate_packet_with`].
+///
+/// The counters are always present so callers can read them
+/// unconditionally, but they only advance when the crate is built with
+/// the `bench-instrument` feature — without it the timing calls compile
+/// away entirely (they would cost more than some of the stages they
+/// measure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Payload generation + CRC attach + turbo encode (once per packet).
+    pub encode: u64,
+    /// Rate matching + channel interleaving + modulation.
+    pub modulate: u64,
+    /// Channel realization + propagation + noise.
+    pub channel: u64,
+    /// MMSE design + filtering (or the flat-channel scalar path).
+    pub equalize: u64,
+    /// Soft demapping + deinterleaving.
+    pub demap: u64,
+    /// HARQ combining through the LLR buffer.
+    pub harq: u64,
+    /// Turbo decoding + CRC check.
+    pub decode: u64,
+}
+
+impl StageNanos {
+    /// Total accounted nanoseconds.
+    pub fn total(&self) -> u64 {
+        self.encode
+            + self.modulate
+            + self.channel
+            + self.equalize
+            + self.demap
+            + self.harq
+            + self.decode
+    }
+}
+
+/// The DSP-stage scratch owned by [`PacketScratch`]: persistent buffers
+/// for the turbo codec (trellis matrices, extrinsic/posterior streams,
+/// de-multiplexed observations), the MMSE equalizer workspace, the
+/// channel realization and the encode-side bit vectors. Together with
+/// the transmission buffers in `PacketScratch` it makes the steady-state
+/// packet loop perform **zero heap allocations**.
+#[derive(Debug, Clone)]
+pub struct DspScratch {
+    payload: Vec<u8>,
+    block: Vec<u8>,
+    coded: Vec<u8>,
+    realization: ChannelRealization,
+    turbo: TurboScratch,
+    decoded: DecodeResult,
+    eq: EqScratch,
+}
+
+impl Default for DspScratch {
+    fn default() -> Self {
+        Self {
+            payload: Vec::new(),
+            block: Vec::new(),
+            coded: Vec::new(),
+            realization: ChannelRealization::empty(),
+            turbo: TurboScratch::new(),
+            decoded: DecodeResult::new(),
+            eq: EqScratch::new(),
+        }
+    }
+}
+
 /// Reusable per-packet work buffers (one per worker thread).
 ///
 /// Every vector is cleared and refilled in place each transmission, so
-/// after the first packet the steady state performs no heap allocation in
-/// the encode → modulate → demap path.
+/// after the first packet the steady state performs no heap allocation
+/// anywhere in the chain — encode, modulation, channel, equalization,
+/// demapping, HARQ combining and turbo decoding all run out of this
+/// scratch (the DSP-side buffers live in the owned [`DspScratch`]).
+/// `tests/alloc_regression.rs` pins that invariant via
+/// [`PacketScratch::heap_capacities`].
 #[derive(Default)]
 pub struct PacketScratch {
     tx_bits: Vec<u8>,
@@ -74,6 +152,9 @@ pub struct PacketScratch {
     llrs: Vec<f64>,
     llrs_deinterleaved: Vec<f64>,
     combined: Vec<f64>,
+    dsp: DspScratch,
+    /// Per-stage time breakdown (advances only under `bench-instrument`).
+    pub stage_nanos: StageNanos,
 }
 
 impl PacketScratch {
@@ -82,6 +163,52 @@ impl PacketScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Capacities of every heap buffer reachable from this scratch, in a
+    /// stable order — the steady-state zero-allocation invariant is
+    /// "this snapshot stops changing once the buffers are warm", which
+    /// `tests/alloc_regression.rs` asserts.
+    pub fn heap_capacities(&self) -> Vec<usize> {
+        let mut caps = vec![
+            self.tx_bits.capacity(),
+            self.tx_interleaved.capacity(),
+            self.symbols.capacity(),
+            self.received.capacity(),
+            self.equalized.capacity(),
+            self.llrs.capacity(),
+            self.llrs_deinterleaved.capacity(),
+            self.combined.capacity(),
+            self.dsp.payload.capacity(),
+            self.dsp.block.capacity(),
+            self.dsp.coded.capacity(),
+            self.dsp.realization.taps.capacity(),
+            self.dsp.decoded.bits.capacity(),
+            self.dsp.decoded.llrs.capacity(),
+        ];
+        self.dsp.turbo.heap_capacities(&mut caps);
+        self.dsp.eq.heap_capacities(&mut caps);
+        caps
+    }
+
+    /// Resets the per-stage timing counters.
+    pub fn reset_stage_nanos(&mut self) {
+        self.stage_nanos = StageNanos::default();
+    }
+}
+
+/// Times `$body` into the `$field` stage counter when `bench-instrument`
+/// is enabled; otherwise compiles to just `$body`.
+macro_rules! stage {
+    ($scratch:expr, $field:ident, $body:expr) => {{
+        #[cfg(feature = "bench-instrument")]
+        let __stage_start = std::time::Instant::now();
+        let result = $body;
+        #[cfg(feature = "bench-instrument")]
+        {
+            $scratch.stage_nanos.$field += __stage_start.elapsed().as_nanos() as u64;
+        }
+        result
+    }};
 }
 
 /// The standing link simulator for one [`SystemConfig`].
@@ -170,9 +297,13 @@ impl LinkSimulator {
     ) -> PacketOutcome {
         let core = &*self.core;
         let cfg = &core.config;
-        let payload = random_bits(rng, cfg.payload_bits);
-        let block = core.crc.attach(&payload);
-        let coded = core.code.encode(&block);
+        stage!(scratch, encode, {
+            random_bits_into(rng, cfg.payload_bits, &mut scratch.dsp.payload);
+            core.crc
+                .attach_into(&scratch.dsp.payload, &mut scratch.dsp.block);
+            core.code
+                .encode_into(&scratch.dsp.block, &mut scratch.dsp.coded);
+        });
 
         let mut harq = HarqProcess::new(&core.rate_matcher, cfg.combining, &mut *buffer);
         harq.start_block();
@@ -182,51 +313,91 @@ impl LinkSimulator {
 
         for attempt in 0..cfg.max_transmissions {
             let rv = cfg.combining.rv(attempt);
-            core.rate_matcher
-                .rate_match_into(&coded, rv, &mut scratch.tx_bits);
-            core.interleaver
-                .interleave_into(&scratch.tx_bits, &mut scratch.tx_interleaved);
-            cfg.modulation
-                .modulate_into(&scratch.tx_interleaved, &mut scratch.symbols);
+            stage!(scratch, modulate, {
+                core.rate_matcher
+                    .rate_match_into(&scratch.dsp.coded, rv, &mut scratch.tx_bits);
+                core.interleaver
+                    .interleave_into(&scratch.tx_bits, &mut scratch.tx_interleaved);
+                cfg.modulation
+                    .modulate_into(&scratch.tx_interleaved, &mut scratch.symbols);
+            });
 
             // Per-(re)transmission realization: independent block fading
             // for memoryless channels, correlated along `block_phase` for
             // the slow-fading model.
-            let realization = core
-                .channel
-                .realize_attempt(snr_db, block_phase, attempt, rng);
-            realization.apply_into(&scratch.symbols, rng, &mut scratch.received);
-
-            let mmse_out;
-            let (equalized, eff_noise): (&[Complex64], f64) = if realization.taps.len() == 1 {
-                // Flat channel: scalar MMSE (derotate + bias-correct).
-                let h = realization.taps[0];
-                let g = h.norm_sqr();
-                let inv = h.conj() / (g.max(1e-12));
-                scratch.equalized.clear();
+            stage!(scratch, channel, {
+                core.channel.realize_attempt_into(
+                    snr_db,
+                    block_phase,
+                    attempt,
+                    rng,
+                    &mut scratch.dsp.realization,
+                );
                 scratch
-                    .equalized
-                    .extend(scratch.received.iter().map(|&y| y * inv));
-                (&scratch.equalized, realization.noise_var / g.max(1e-12))
-            } else {
-                let eq = MmseEqualizer::design(&realization, cfg.equalizer_taps)
-                    .expect("MMSE design is PD for positive noise");
-                mmse_out = eq.equalize(&scratch.received);
-                (&mmse_out.symbols, mmse_out.noise_var)
-            };
+                    .dsp
+                    .realization
+                    .apply_into(&scratch.symbols, rng, &mut scratch.received);
+            });
 
-            cfg.modulation
-                .demodulate_soft_into(equalized, eff_noise.max(1e-9), &mut scratch.llrs);
-            core.interleaver
-                .deinterleave_into(&scratch.llrs, &mut scratch.llrs_deinterleaved);
-            harq.combine_transmission_into(
-                attempt,
-                &scratch.llrs_deinterleaved,
-                &mut scratch.combined,
-            );
+            let eff_noise: f64 = stage!(scratch, equalize, {
+                if scratch.dsp.realization.taps.len() == 1 {
+                    // Flat channel: scalar MMSE (derotate + bias-correct).
+                    let h = scratch.dsp.realization.taps[0];
+                    let g = h.norm_sqr();
+                    let inv = h.conj() / (g.max(1e-12));
+                    scratch.equalized.clear();
+                    scratch
+                        .equalized
+                        .extend(scratch.received.iter().map(|&y| y * inv));
+                    scratch.dsp.realization.noise_var / g.max(1e-12)
+                } else {
+                    scratch
+                        .dsp
+                        .eq
+                        .design(&scratch.dsp.realization, cfg.equalizer_taps)
+                        .expect("MMSE design is PD for positive noise");
+                    scratch
+                        .dsp
+                        .eq
+                        .equalize_into(&scratch.received, &mut scratch.equalized);
+                    scratch.dsp.eq.noise_var()
+                }
+            });
 
-            let decoded = core.code.decode(&scratch.combined, cfg.decoder_iterations);
-            if core.crc.check(&decoded.bits) {
+            stage!(scratch, demap, {
+                cfg.modulation.demodulate_soft_into(
+                    &scratch.equalized,
+                    eff_noise.max(1e-9),
+                    &mut scratch.llrs,
+                );
+                core.interleaver
+                    .deinterleave_into(&scratch.llrs, &mut scratch.llrs_deinterleaved);
+            });
+            stage!(scratch, harq, {
+                harq.combine_transmission_into(
+                    attempt,
+                    &scratch.llrs_deinterleaved,
+                    &mut scratch.combined,
+                );
+            });
+
+            // Decode with the agreement early-stop (exact reference
+            // semantics). A CRC-checked stop that skips the second SISO
+            // pass exists (`TurboCode::decode_into_with_stop`) and is
+            // faster on marginal packets, but it measurably changes
+            // Monte-Carlo outcomes — an intermediate iteration can hit a
+            // CRC-valid block that later iterations walk away from — so
+            // the default path keeps the bit-identical rule.
+            let crc_ok = stage!(scratch, decode, {
+                core.code.decode_into(
+                    &scratch.combined,
+                    cfg.decoder_iterations,
+                    &mut scratch.dsp.turbo,
+                    &mut scratch.dsp.decoded,
+                );
+                core.crc.check(&scratch.dsp.decoded.bits)
+            });
+            if crc_ok {
                 return PacketOutcome {
                     success_after: Some(attempt + 1),
                     transmissions_used: attempt + 1,

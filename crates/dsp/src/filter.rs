@@ -102,16 +102,26 @@ pub fn convolve(signal: &[Complex64], taps: &[f64]) -> Vec<Complex64> {
 
 /// Full linear convolution of a complex signal with complex taps.
 pub fn convolve_complex(signal: &[Complex64], taps: &[Complex64]) -> Vec<Complex64> {
+    let mut out = Vec::new();
+    convolve_complex_into(signal, taps, &mut out);
+    out
+}
+
+/// Allocation-free [`convolve_complex`]: clears `out` and fills it with
+/// the full linear convolution, reusing the vector's capacity. The
+/// accumulation order matches `convolve_complex` exactly, so both paths
+/// are bit-identical.
+pub fn convolve_complex_into(signal: &[Complex64], taps: &[Complex64], out: &mut Vec<Complex64>) {
+    out.clear();
     if signal.is_empty() || taps.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut out = vec![Complex64::ZERO; signal.len() + taps.len() - 1];
+    out.resize(signal.len() + taps.len() - 1, Complex64::ZERO);
     for (i, &s) in signal.iter().enumerate() {
         for (j, &t) in taps.iter().enumerate() {
             out[i + j] += s * t;
         }
     }
-    out
 }
 
 /// Designs a root-raised-cosine pulse.

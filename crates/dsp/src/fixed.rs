@@ -46,6 +46,10 @@ pub struct LlrQuantizer {
     bits: u8,
     clip: f64,
     format: LlrFormat,
+    /// Cached `clip / max_level` — recomputing it costs a division on
+    /// every quantize/dequantize, which dominates the HARQ store/load
+    /// path of the link simulator.
+    step: f64,
 }
 
 impl Default for LlrQuantizer {
@@ -68,7 +72,13 @@ impl LlrQuantizer {
             clip.is_finite() && clip > 0.0,
             "clip level must be positive and finite"
         );
-        Self { bits, clip, format }
+        let max_level = (1i32 << (bits - 1)) - 1;
+        Self {
+            bits,
+            clip,
+            format,
+            step: clip / max_level as f64,
+        }
     }
 
     /// Word width in bits.
@@ -98,7 +108,7 @@ impl LlrQuantizer {
     /// Quantization step size in LLR units.
     #[inline]
     pub fn step(&self) -> f64 {
-        self.clip / self.max_level() as f64
+        self.step
     }
 
     /// Bit mask covering one stored word.

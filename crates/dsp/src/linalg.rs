@@ -104,6 +104,12 @@ impl CMatrix {
         self.cols
     }
 
+    /// Capacity of the backing storage, in elements (for steady-state
+    /// allocation checks on scratch matrices).
+    pub fn data_capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Conjugate transpose `Aᴴ`.
     pub fn hermitian(&self) -> CMatrix {
         let mut out = CMatrix::zeros(self.cols, self.rows);
@@ -179,6 +185,42 @@ impl CMatrix {
         }
     }
 
+    /// Resizes to `rows × cols` and zeroes every entry, reusing the
+    /// existing storage — the allocation-free counterpart of
+    /// [`CMatrix::zeros`] for scratch matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.data.clear();
+        self.data.resize(rows * cols, Complex64::ZERO);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Computes the Gram matrix `selfᴴ · self` into `out`, reusing its
+    /// storage. The accumulation order replicates
+    /// `self.hermitian().mul(self)` term for term (including the skip of
+    /// exact-zero left factors), so the result is bit-identical to that
+    /// two-step form without materializing the conjugate transpose.
+    pub fn gram_into(&self, out: &mut CMatrix) {
+        let n = self.cols;
+        out.reshape_zeroed(n, n);
+        for i in 0..n {
+            for k in 0..self.rows {
+                let a = self[(k, i)].conj();
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * self[(k, j)];
+                }
+            }
+        }
+    }
+
     /// Cholesky factorization `A = L·Lᴴ` of a Hermitian positive-definite
     /// matrix; returns the lower-triangular factor.
     ///
@@ -189,13 +231,25 @@ impl CMatrix {
     /// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive, and
     /// [`LinalgError::DimensionMismatch`] if the matrix is not square.
     pub fn cholesky(&self) -> Result<CMatrix, LinalgError> {
+        let mut l = CMatrix::zeros(self.rows.max(1), self.cols.max(1));
+        self.cholesky_into(&mut l)?;
+        Ok(l)
+    }
+
+    /// Allocation-free [`CMatrix::cholesky`]: factors into `l`, reusing
+    /// its storage.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CMatrix::cholesky`].
+    pub fn cholesky_into(&self, l: &mut CMatrix) -> Result<(), LinalgError> {
         if self.rows != self.cols {
             return Err(LinalgError::DimensionMismatch {
                 what: "cholesky needs a square matrix",
             });
         }
         let n = self.rows;
-        let mut l = CMatrix::zeros(n, n);
+        l.reshape_zeroed(n, n);
         for j in 0..n {
             let mut diag = self[(j, j)].re;
             for k in 0..j {
@@ -214,7 +268,7 @@ impl CMatrix {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok(l)
+        Ok(())
     }
 
     /// Solves `A x = b` for Hermitian positive-definite `A` via Cholesky.
@@ -224,15 +278,37 @@ impl CMatrix {
     /// Propagates [`CMatrix::cholesky`] errors, plus a dimension mismatch
     /// if `b.len()` differs from the matrix order.
     pub fn solve_hermitian(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        let mut scratch = CholeskyScratch::new();
+        let mut x = Vec::new();
+        self.solve_hermitian_into(b, &mut scratch, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free [`CMatrix::solve_hermitian`]: the factor and the
+    /// forward-substitution vector live in `scratch`, the solution is
+    /// written into `x` — all reusing existing capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CMatrix::solve_hermitian`].
+    pub fn solve_hermitian_into(
+        &self,
+        b: &[Complex64],
+        scratch: &mut CholeskyScratch,
+        x: &mut Vec<Complex64>,
+    ) -> Result<(), LinalgError> {
         if b.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
                 what: "right-hand side length",
             });
         }
-        let l = self.cholesky()?;
+        self.cholesky_into(&mut scratch.l)?;
+        let l = &scratch.l;
         let n = self.rows;
         // Forward substitution: L y = b
-        let mut y = vec![Complex64::ZERO; n];
+        let y = &mut scratch.y;
+        y.clear();
+        y.resize(n, Complex64::ZERO);
         for i in 0..n {
             let mut s = b[i];
             for k in 0..i {
@@ -241,7 +317,8 @@ impl CMatrix {
             y[i] = s / l[(i, i)];
         }
         // Backward substitution: Lᴴ x = y
-        let mut x = vec![Complex64::ZERO; n];
+        x.clear();
+        x.resize(n, Complex64::ZERO);
         for i in (0..n).rev() {
             let mut s = y[i];
             for k in i + 1..n {
@@ -249,7 +326,36 @@ impl CMatrix {
             }
             x[i] = s / l[(i, i)];
         }
-        Ok(x)
+        Ok(())
+    }
+}
+
+/// Reusable workspace of [`CMatrix::solve_hermitian_into`]: the Cholesky
+/// factor and the forward-substitution intermediate.
+#[derive(Debug, Clone)]
+pub struct CholeskyScratch {
+    l: CMatrix,
+    y: Vec<Complex64>,
+}
+
+impl CholeskyScratch {
+    /// Empty workspace; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self {
+            l: CMatrix::zeros(1, 1),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends the capacity of every owned heap buffer to `out`.
+    pub fn heap_capacities(&self, out: &mut Vec<usize>) {
+        out.extend([self.l.data_capacity(), self.y.capacity()]);
+    }
+}
+
+impl Default for CholeskyScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -276,6 +382,14 @@ impl std::ops::IndexMut<(usize, usize)> for CMatrix {
 /// `cols` columns.
 pub fn toeplitz_channel(h: &[Complex64], rows: usize, cols: usize) -> CMatrix {
     let mut m = CMatrix::zeros(rows, cols);
+    toeplitz_channel_into(h, rows, cols, &mut m);
+    m
+}
+
+/// Allocation-free [`toeplitz_channel`]: builds the convolution matrix
+/// into `m`, reusing its storage.
+pub fn toeplitz_channel_into(h: &[Complex64], rows: usize, cols: usize, m: &mut CMatrix) {
+    m.reshape_zeroed(rows, cols);
     for i in 0..rows {
         for j in 0..cols {
             if i >= j {
@@ -286,7 +400,6 @@ pub fn toeplitz_channel(h: &[Complex64], rows: usize, cols: usize) -> CMatrix {
             }
         }
     }
-    m
 }
 
 #[cfg(test)]

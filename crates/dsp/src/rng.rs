@@ -89,7 +89,17 @@ pub fn complex_gaussian_vec<R: Rng + ?Sized>(
 
 /// Generates `n` uniformly random bits.
 pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> Vec<u8> {
-    (0..n).map(|_| (rng.next_u32() & 1) as u8).collect()
+    let mut out = Vec::new();
+    random_bits_into(rng, n, &mut out);
+    out
+}
+
+/// Allocation-free [`random_bits`]: clears `out` and fills it with `n`
+/// uniformly random bits, reusing the vector's capacity. Consumes the
+/// generator identically to `random_bits` (one `next_u32` per bit).
+pub fn random_bits_into<R: RngCore + ?Sized>(rng: &mut R, n: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend((0..n).map(|_| (rng.next_u32() & 1) as u8));
 }
 
 #[cfg(test)]

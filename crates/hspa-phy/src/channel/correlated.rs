@@ -149,6 +149,20 @@ impl ChannelModel for CorrelatedFadingChannel {
         }
     }
 
+    fn realize_attempt_into(
+        &self,
+        snr_db: f64,
+        block_phase: f64,
+        attempt: usize,
+        _rng: &mut StdRng,
+        out: &mut ChannelRealization,
+    ) {
+        let t = block_phase + attempt as f64 * self.step;
+        out.taps.clear();
+        out.taps.extend(self.taps.iter().map(|p| p.sample(t)));
+        out.noise_var = 1.0 / db_to_linear(snr_db);
+    }
+
     fn name(&self) -> &str {
         "Jakes correlated"
     }

@@ -28,6 +28,15 @@ pub struct ChannelRealization {
 }
 
 impl ChannelRealization {
+    /// An empty realization for [`ChannelModel::realize_attempt_into`]
+    /// to fill; the tap vector grows to steady-state size on first use.
+    pub fn empty() -> Self {
+        Self {
+            taps: Vec::new(),
+            noise_var: 1.0,
+        }
+    }
+
     /// Propagates `symbols` through the channel: convolution with the
     /// taps plus white Gaussian noise, truncated to the input length.
     pub fn apply(&self, symbols: &[Complex64], rng: &mut StdRng) -> Vec<Complex64> {
@@ -105,6 +114,26 @@ pub trait ChannelModel {
         self.realize(snr_db, rng)
     }
 
+    /// Allocation-free [`ChannelModel::realize_attempt`]: fills `out`
+    /// (reusing its tap vector) instead of returning a fresh
+    /// realization. The default delegates to `realize_attempt` and
+    /// copies — models on the Monte-Carlo hot path override it to write
+    /// taps in place. Must consume the RNG identically to
+    /// `realize_attempt`.
+    fn realize_attempt_into(
+        &self,
+        snr_db: f64,
+        block_phase: f64,
+        attempt: usize,
+        rng: &mut StdRng,
+        out: &mut ChannelRealization,
+    ) {
+        let real = self.realize_attempt(snr_db, block_phase, attempt, rng);
+        out.taps.clear();
+        out.taps.extend_from_slice(&real.taps);
+        out.noise_var = real.noise_var;
+    }
+
     /// Human-readable model name (for reports).
     fn name(&self) -> &str;
 }
@@ -119,6 +148,19 @@ impl ChannelModel for AwgnChannel {
             taps: vec![Complex64::ONE],
             noise_var: 1.0 / db_to_linear(snr_db),
         }
+    }
+
+    fn realize_attempt_into(
+        &self,
+        snr_db: f64,
+        _block_phase: f64,
+        _attempt: usize,
+        _rng: &mut StdRng,
+        out: &mut ChannelRealization,
+    ) {
+        out.taps.clear();
+        out.taps.push(Complex64::ONE);
+        out.noise_var = 1.0 / db_to_linear(snr_db);
     }
 
     fn name(&self) -> &str {
@@ -168,12 +210,18 @@ impl std::fmt::Display for ItuProfile {
 /// profile's power weighting, binned to the symbol period, and normalizes
 /// the *average* profile energy to 1 so SNR is preserved in the mean
 /// (individual realizations fade up and down, as they should).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The binned power profile is computed once at construction and cached,
+/// so drawing a realization performs no per-call profile work (and, via
+/// [`ChannelModel::realize_attempt_into`], no allocation).
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultipathChannel {
     profile: ItuProfile,
     /// Symbol period in nanoseconds (HSDPA chip: 260.4 ns; SF16 symbol:
     /// 4166 ns).
     symbol_period_ns: f64,
+    /// Cached binned average power profile (unit total energy).
+    bins: Vec<f64>,
 }
 
 impl MultipathChannel {
@@ -187,9 +235,11 @@ impl MultipathChannel {
             symbol_period_ns.is_finite() && symbol_period_ns > 0.0,
             "symbol period must be positive"
         );
+        let bins = bin_profile(profile, symbol_period_ns);
         Self {
             profile,
             symbol_period_ns,
+            bins,
         }
     }
 
@@ -206,30 +256,53 @@ impl MultipathChannel {
 
     /// The binned average power profile (unit total energy).
     pub fn power_profile(&self) -> Vec<f64> {
-        let taps = self.profile.taps();
-        let max_delay = taps.last().map(|&(d, _)| d).unwrap_or(0.0);
-        let n_bins = (max_delay / self.symbol_period_ns).floor() as usize + 1;
-        let mut bins = vec![0.0f64; n_bins];
-        for &(delay, power_db) in taps {
-            let bin = (delay / self.symbol_period_ns).round() as usize;
-            bins[bin.min(n_bins - 1)] += db_to_linear(power_db);
-        }
-        let total: f64 = bins.iter().sum();
-        for b in bins.iter_mut() {
-            *b /= total;
-        }
-        bins
+        self.bins.clone()
     }
+}
+
+/// Bins an ITU profile to the symbol period and normalizes total energy
+/// to 1 (the construction-time half of [`MultipathChannel`]).
+fn bin_profile(profile: ItuProfile, symbol_period_ns: f64) -> Vec<f64> {
+    let taps = profile.taps();
+    let max_delay = taps.last().map(|&(d, _)| d).unwrap_or(0.0);
+    let n_bins = (max_delay / symbol_period_ns).floor() as usize + 1;
+    let mut bins = vec![0.0f64; n_bins];
+    for &(delay, power_db) in taps {
+        let bin = (delay / symbol_period_ns).round() as usize;
+        bins[bin.min(n_bins - 1)] += db_to_linear(power_db);
+    }
+    let total: f64 = bins.iter().sum();
+    for b in bins.iter_mut() {
+        *b /= total;
+    }
+    bins
 }
 
 impl ChannelModel for MultipathChannel {
     fn realize(&self, snr_db: f64, rng: &mut StdRng) -> ChannelRealization {
-        let profile = self.power_profile();
-        let taps: Vec<Complex64> = profile.iter().map(|&p| complex_gaussian(rng, p)).collect();
+        let taps: Vec<Complex64> = self
+            .bins
+            .iter()
+            .map(|&p| complex_gaussian(rng, p))
+            .collect();
         ChannelRealization {
             taps,
             noise_var: 1.0 / db_to_linear(snr_db),
         }
+    }
+
+    fn realize_attempt_into(
+        &self,
+        snr_db: f64,
+        _block_phase: f64,
+        _attempt: usize,
+        rng: &mut StdRng,
+        out: &mut ChannelRealization,
+    ) {
+        out.taps.clear();
+        out.taps
+            .extend(self.bins.iter().map(|&p| complex_gaussian(rng, p)));
+        out.noise_var = 1.0 / db_to_linear(snr_db);
     }
 
     fn name(&self) -> &str {

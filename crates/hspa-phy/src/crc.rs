@@ -80,10 +80,18 @@ impl Crc {
 
     /// Appends the CRC parity bits (MSB first) to a copy of `data`.
     pub fn attach(&self, data: &[u8]) -> Vec<u8> {
-        let rem = self.remainder(data);
-        let mut out = data.to_vec();
-        out.extend((0..self.width).rev().map(|i| ((rem >> i) & 1) as u8));
+        let mut out = Vec::with_capacity(data.len() + self.width as usize);
+        self.attach_into(data, &mut out);
         out
+    }
+
+    /// Allocation-free [`Crc::attach`]: clears `out` and fills it with
+    /// `data` followed by the parity bits, reusing capacity.
+    pub fn attach_into(&self, data: &[u8], out: &mut Vec<u8>) {
+        let rem = self.remainder(data);
+        out.clear();
+        out.extend_from_slice(data);
+        out.extend((0..self.width).rev().map(|i| ((rem >> i) & 1) as u8));
     }
 
     /// Checks a block produced by [`Crc::attach`].

@@ -8,11 +8,165 @@
 //! can produce correctly scaled LLRs. [`RakeReceiver`] (channel matched
 //! filter) is the cheaper baseline for the equalizer ablation.
 
-use dsp::filter::convolve_complex;
-use dsp::linalg::{toeplitz_channel, LinalgError};
+use dsp::filter::{convolve_complex, convolve_complex_into};
+use dsp::linalg::{toeplitz_channel_into, CMatrix, CholeskyScratch, LinalgError};
 use dsp::Complex64;
 
 use crate::channel::ChannelRealization;
+
+/// Reusable workspace (and standing design) of the MMSE equalizer.
+///
+/// Designing an MMSE filter per channel realization builds a Toeplitz
+/// convolution matrix, its Gram matrix, a Cholesky factor and several
+/// work vectors; this scratch owns all of them so a Monte-Carlo worker
+/// redesigns the equalizer every transmission without touching the heap.
+/// [`EqScratch::design`] stores the resulting filter in place;
+/// [`EqScratch::equalize_into`] then applies it. Results are
+/// bit-identical to the allocating [`MmseEqualizer::design`] /
+/// [`MmseEqualizer::equalize`] pair (which delegates here).
+#[derive(Debug, Clone)]
+pub struct EqScratch {
+    c: CMatrix,
+    a: CMatrix,
+    chol: CholeskyScratch,
+    e_d: Vec<Complex64>,
+    weights: Vec<Complex64>,
+    g: Vec<Complex64>,
+    filtered: Vec<Complex64>,
+    delay: usize,
+    gain: Complex64,
+    noise_var: f64,
+}
+
+impl EqScratch {
+    /// Fresh workspace; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self {
+            c: CMatrix::zeros(1, 1),
+            a: CMatrix::zeros(1, 1),
+            chol: CholeskyScratch::new(),
+            e_d: Vec::new(),
+            weights: Vec::new(),
+            g: Vec::new(),
+            filtered: Vec::new(),
+            delay: 0,
+            gain: Complex64::ONE,
+            noise_var: 1.0,
+        }
+    }
+
+    /// Designs an `n_taps` MMSE filter for `channel`, storing it in
+    /// place. See [`MmseEqualizer::design`] for the formulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] if the normal equations are singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_taps` is zero or the channel has no taps.
+    pub fn design(
+        &mut self,
+        channel: &ChannelRealization,
+        n_taps: usize,
+    ) -> Result<(), LinalgError> {
+        assert!(n_taps > 0, "equalizer needs at least one tap");
+        assert!(!channel.taps.is_empty(), "channel has no taps");
+        let l = channel.taps.len();
+        // Equalizer output o = w ⊛ y = (C w) ⊛ s + w ⊛ v with C the
+        // (N+L-1) × N convolution matrix of the channel. Minimizing
+        // ‖C w − e_d‖² + σ²‖w‖² gives (CᴴC + σ²I) w = Cᴴ e_d, where
+        // (Cᴴ e_d)[m] = h*[d − m].
+        let rows = n_taps + l - 1;
+        toeplitz_channel_into(&channel.taps, rows, n_taps, &mut self.c);
+        self.c.gram_into(&mut self.a);
+        self.a.add_diagonal(channel.noise_var.max(1e-12));
+        // Decision delay: center of the combined response.
+        let delay = rows / 2;
+        self.e_d.clear();
+        self.e_d.resize(n_taps, Complex64::ZERO);
+        for (m, e) in self.e_d.iter_mut().enumerate() {
+            if delay >= m && delay - m < l {
+                *e = channel.taps[delay - m].conj();
+            }
+        }
+        self.a
+            .solve_hermitian_into(&self.e_d, &mut self.chol, &mut self.weights)?;
+        // Combined response g = w ⊛ h, length rows.
+        convolve_complex_into(&self.weights, &channel.taps, &mut self.g);
+        let gain = self.g[delay];
+        // Residual ISI power + filtered noise power, referred to output.
+        let isi: f64 = self
+            .g
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != delay)
+            .map(|(_, c)| c.norm_sqr())
+            .sum();
+        let nf: f64 = self.weights.iter().map(|c| c.norm_sqr()).sum::<f64>() * channel.noise_var;
+        let gain_sq = gain.norm_sqr().max(1e-12);
+        self.delay = delay;
+        self.gain = gain;
+        self.noise_var = (isi + nf) / gain_sq;
+        Ok(())
+    }
+
+    /// The most recently designed filter weights.
+    pub fn weights(&self) -> &[Complex64] {
+        &self.weights
+    }
+
+    /// Decision delay of the standing design, in symbols.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Effective post-equalizer noise variance of the standing design.
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Appends the capacity of every owned heap buffer to `out` (in a
+    /// stable order) — lets callers assert the steady-state
+    /// zero-allocation invariant across designs.
+    pub fn heap_capacities(&self, out: &mut Vec<usize>) {
+        out.extend([
+            self.c.data_capacity(),
+            self.a.data_capacity(),
+            self.e_d.capacity(),
+            self.weights.capacity(),
+            self.g.capacity(),
+            self.filtered.capacity(),
+        ]);
+        self.chol.heap_capacities(out);
+    }
+
+    /// Applies the standing design to `rx`, writing delay/bias-corrected
+    /// symbols into `out` (cleared first) — the allocation-free
+    /// counterpart of [`MmseEqualizer::equalize`].
+    pub fn equalize_into(&mut self, rx: &[Complex64], out: &mut Vec<Complex64>) {
+        convolve_complex_into(rx, &self.weights, &mut self.filtered);
+        // Output sample for tx symbol n sits at index n + delay.
+        let inv_gain = self.gain.inv();
+        out.clear();
+        out.reserve(rx.len());
+        for n in 0..rx.len() {
+            let idx = n + self.delay;
+            let v = if idx < self.filtered.len() {
+                self.filtered[idx]
+            } else {
+                Complex64::ZERO
+            };
+            out.push(v * inv_gain);
+        }
+    }
+}
+
+impl Default for EqScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Output of an equalization pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,44 +216,13 @@ impl MmseEqualizer {
     ///
     /// Panics if `n_taps` is zero or the channel has no taps.
     pub fn design(channel: &ChannelRealization, n_taps: usize) -> Result<Self, LinalgError> {
-        assert!(n_taps > 0, "equalizer needs at least one tap");
-        assert!(!channel.taps.is_empty(), "channel has no taps");
-        let l = channel.taps.len();
-        // Equalizer output o = w ⊛ y = (C w) ⊛ s + w ⊛ v with C the
-        // (N+L-1) × N convolution matrix of the channel. Minimizing
-        // ‖C w − e_d‖² + σ²‖w‖² gives (CᴴC + σ²I) w = Cᴴ e_d, where
-        // (Cᴴ e_d)[m] = h*[d − m].
-        let rows = n_taps + l - 1;
-        let c = toeplitz_channel(&channel.taps, rows, n_taps);
-        let mut a = c.hermitian().mul(&c)?;
-        a.add_diagonal(channel.noise_var.max(1e-12));
-        // Decision delay: center of the combined response.
-        let delay = rows / 2;
-        let mut e_d = vec![Complex64::ZERO; n_taps];
-        for (m, e) in e_d.iter_mut().enumerate() {
-            if delay >= m && delay - m < l {
-                *e = channel.taps[delay - m].conj();
-            }
-        }
-        let w = a.solve_hermitian(&e_d)?;
-        // Combined response g = w ⊛ h, length rows.
-        let g = convolve_complex(&w, &channel.taps);
-        let gain = g[delay];
-        // Residual ISI power + filtered noise power, referred to output.
-        let isi: f64 = g
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != delay)
-            .map(|(_, c)| c.norm_sqr())
-            .sum();
-        let nf: f64 = w.iter().map(|c| c.norm_sqr()).sum::<f64>() * channel.noise_var;
-        let gain_sq = gain.norm_sqr().max(1e-12);
-        let noise_var = (isi + nf) / gain_sq;
+        let mut scratch = EqScratch::new();
+        scratch.design(channel, n_taps)?;
         Ok(Self {
-            weights: w,
-            delay,
-            gain,
-            noise_var,
+            weights: scratch.weights,
+            delay: scratch.delay,
+            gain: scratch.gain,
+            noise_var: scratch.noise_var,
         })
     }
 

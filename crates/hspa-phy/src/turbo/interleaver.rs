@@ -59,6 +59,12 @@ impl TurboInterleaver {
         &self.perm
     }
 
+    /// The inverse permutation: `output[m] = input[inverse()[m]]`
+    /// deinterleaves.
+    pub fn inverse(&self) -> &[usize] {
+        &self.inv
+    }
+
     /// Applies the interleaver to a slice.
     ///
     /// # Panics

@@ -23,9 +23,9 @@ mod decoder;
 mod interleaver;
 mod rsc;
 
-pub use decoder::{DecodeResult, MaxLogMapDecoder};
+pub use decoder::{DecodeResult, MaxLogMapDecoder, TurboScratch, EXTRINSIC_SCALE};
 pub use interleaver::TurboInterleaver;
-pub use rsc::{Rsc, RSC_STATES, TAIL_BITS};
+pub use rsc::{Rsc, NEXT_STATE, PARITY, RSC_STATES, TAIL_BITS};
 
 use std::fmt;
 
@@ -101,35 +101,37 @@ impl TurboCode {
     ///
     /// Panics if `bits.len() != K` or any value is non-binary.
     pub fn encode(&self, bits: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.coded_len());
+        self.encode_into(bits, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TurboCode::encode`]: clears `out` and writes the
+    /// codeword into it, reusing capacity. The constituent encoders run
+    /// directly against the output vector (the second one reads its
+    /// input through the interleaver permutation), so no intermediate
+    /// parity or interleaved-bit vectors are built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != K` or any value is non-binary.
+    pub fn encode_into(&self, bits: &[u8], out: &mut Vec<u8>) {
         assert_eq!(bits.len(), self.k, "information block length mismatch");
         crate::bits::assert_binary(bits);
-        let mut enc1 = Rsc::new();
-        let mut parity1 = Vec::with_capacity(self.k);
-        for &b in bits {
-            parity1.push(enc1.step(b));
-        }
-        let tail1 = enc1.terminate();
-
-        let interleaved: Vec<u8> = self
-            .interleaver
-            .permutation()
-            .iter()
-            .map(|&i| bits[i])
-            .collect();
-        let mut enc2 = Rsc::new();
-        let mut parity2 = Vec::with_capacity(self.k);
-        for &b in &interleaved {
-            parity2.push(enc2.step(b));
-        }
-        let tail2 = enc2.terminate();
-
-        let mut out = Vec::with_capacity(self.coded_len());
+        out.clear();
+        out.reserve(self.coded_len());
         out.extend_from_slice(bits);
-        out.extend_from_slice(&parity1);
-        out.extend_from_slice(&parity2);
-        out.extend_from_slice(&tail1);
-        out.extend_from_slice(&tail2);
-        out
+        let mut enc1 = Rsc::new();
+        out.extend(bits.iter().map(|&b| enc1.step(b)));
+        let mut enc2 = Rsc::new();
+        out.extend(
+            self.interleaver
+                .permutation()
+                .iter()
+                .map(|&i| enc2.step(bits[i])),
+        );
+        out.extend_from_slice(&enc1.terminate_array());
+        out.extend_from_slice(&enc2.terminate_array());
     }
 
     /// Decodes channel LLRs (one per coded bit, in [`TurboCode::encode`]
@@ -142,6 +144,47 @@ impl TurboCode {
         assert_eq!(llrs.len(), self.coded_len(), "LLR length mismatch");
         let decoder = MaxLogMapDecoder::new(self.k, &self.interleaver);
         decoder.decode(llrs, iterations)
+    }
+
+    /// Allocation-free [`TurboCode::decode`]: intermediate state lives in
+    /// `scratch`, the result is written into `out`. Bit-identical to
+    /// `decode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != coded_len()`.
+    pub fn decode_into(
+        &self,
+        llrs: &[f64],
+        iterations: usize,
+        scratch: &mut TurboScratch,
+        out: &mut DecodeResult,
+    ) {
+        assert_eq!(llrs.len(), self.coded_len(), "LLR length mismatch");
+        let decoder = MaxLogMapDecoder::new(self.k, &self.interleaver);
+        decoder.decode_into(llrs, iterations, scratch, out);
+    }
+
+    /// [`TurboCode::decode_into`] with an external validity check (the
+    /// transport-block CRC in the link simulator): iteration stops as
+    /// soon as the current hard decisions satisfy `stop`, skipping the
+    /// second SISO pass when decoder 1 alone already produced a valid
+    /// block. See [`MaxLogMapDecoder::decode_into_with_stop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len() != coded_len()`.
+    pub fn decode_into_with_stop(
+        &self,
+        llrs: &[f64],
+        iterations: usize,
+        scratch: &mut TurboScratch,
+        out: &mut DecodeResult,
+        stop: &dyn Fn(&[u8]) -> bool,
+    ) {
+        assert_eq!(llrs.len(), self.coded_len(), "LLR length mismatch");
+        let decoder = MaxLogMapDecoder::new(self.k, &self.interleaver);
+        decoder.decode_into_with_stop(llrs, iterations, scratch, out, stop);
     }
 }
 

@@ -60,22 +60,64 @@ impl Rsc {
     /// bits in `x z x z x z` order (3GPP termination: the feedback bit is
     /// fed as input so the register flushes in [`TAIL_BITS`] steps).
     pub fn terminate(&mut self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 * TAIL_BITS);
-        for _ in 0..TAIL_BITS {
+        self.terminate_array().to_vec()
+    }
+
+    /// Allocation-free [`Rsc::terminate`]: the six tail bits as an array.
+    pub fn terminate_array(&mut self) -> [u8; 2 * TAIL_BITS] {
+        let mut out = [0u8; 2 * TAIL_BITS];
+        for t in 0..TAIL_BITS {
             let u = termination_input(self.state);
             let parity = self.step(u);
-            out.push(u);
-            out.push(parity);
+            out[2 * t] = u;
+            out[2 * t + 1] = parity;
         }
         debug_assert_eq!(self.state, 0, "termination must reach state 0");
         out
     }
 }
 
+/// `NEXT_STATE[s][b]` — the trellis successor of state `s` under input
+/// `b`, precomputed at compile time for the decoder's inner loops.
+pub const NEXT_STATE: [[usize; 2]; RSC_STATES] = build_next_state();
+
+/// `PARITY[s][b]` — the parity output along the `(s, b)` transition.
+pub const PARITY: [[u8; 2]; RSC_STATES] = build_parity();
+
+const fn build_next_state() -> [[usize; 2]; RSC_STATES] {
+    let mut table = [[0usize; 2]; RSC_STATES];
+    let mut s = 0;
+    while s < RSC_STATES {
+        let mut b = 0;
+        while b < 2 {
+            let (ns, _) = transition(s as u8, b as u8);
+            table[s][b] = ns as usize;
+            b += 1;
+        }
+        s += 1;
+    }
+    table
+}
+
+const fn build_parity() -> [[u8; 2]; RSC_STATES] {
+    let mut table = [[0u8; 2]; RSC_STATES];
+    let mut s = 0;
+    while s < RSC_STATES {
+        let mut b = 0;
+        while b < 2 {
+            let (_, z) = transition(s as u8, b as u8);
+            table[s][b] = z;
+            b += 1;
+        }
+        s += 1;
+    }
+    table
+}
+
 /// The trellis transition: given `state` and input `bit`, returns
 /// `(next_state, parity)`.
 #[inline]
-pub fn transition(state: u8, bit: u8) -> (u8, u8) {
+pub const fn transition(state: u8, bit: u8) -> (u8, u8) {
     let s0 = state & 1;
     let s1 = (state >> 1) & 1;
     let s2 = (state >> 2) & 1;

@@ -53,6 +53,14 @@ pub struct FaultMap {
     words: u32,
     bits_per_word: u8,
     faults: Vec<Fault>,
+    /// Per-word corruption masks compiled from `faults` (empty when the
+    /// map is defect-free): applying `((v ^ xor) & !clear) | set` is
+    /// exactly the sorted sequential fault application, but O(1) per
+    /// read instead of a binary search over the fault list — the LLR
+    /// memory is read twice per HARQ combine, so this is a hot path.
+    xor_mask: Vec<u32>,
+    clear_mask: Vec<u32>,
+    set_mask: Vec<u32>,
 }
 
 impl FaultMap {
@@ -70,6 +78,9 @@ impl FaultMap {
             words,
             bits_per_word,
             faults: Vec::new(),
+            xor_mask: Vec::new(),
+            clear_mask: Vec::new(),
+            set_mask: Vec::new(),
         }
     }
 
@@ -113,6 +124,7 @@ impl FaultMap {
             .collect();
         faults.sort_by_key(|f| (f.word, f.bit));
         map.faults = faults;
+        map.rebuild_masks();
         map
     }
 
@@ -143,6 +155,7 @@ impl FaultMap {
                 }
             }
         }
+        map.rebuild_masks();
         map
     }
 
@@ -202,11 +215,16 @@ impl FaultMap {
                 .collect()
         };
         faults.sort_by_key(|f| (f.word, f.bit));
-        Self {
+        let mut map = Self {
             words,
             bits_per_word,
             faults,
-        }
+            xor_mask: Vec::new(),
+            clear_mask: Vec::new(),
+            set_mask: Vec::new(),
+        };
+        map.rebuild_masks();
+        map
     }
 
     /// Number of words in the array.
@@ -242,23 +260,16 @@ impl FaultMap {
     /// Applies the map to one stored word: every faulty cell in `word`
     /// corrupts the corresponding bit of `value`.
     ///
-    /// The fault list is sorted, so per-word lookup is a binary search —
-    /// O(log N_f) per read, independent of array size.
+    /// Constant time: the sorted fault list is compiled into per-word
+    /// xor/clear/set masks at construction, so a read is three bitwise
+    /// operations regardless of fault count.
+    #[inline]
     pub fn corrupt(&self, word: u32, value: u32) -> u32 {
-        let start = self.faults.partition_point(|f| f.word < word);
-        let mut v = value;
-        for f in &self.faults[start..] {
-            if f.word != word {
-                break;
-            }
-            let mask = 1u32 << f.bit;
-            v = match f.kind {
-                FaultKind::Flip => v ^ mask,
-                FaultKind::StuckAt0 => v & !mask,
-                FaultKind::StuckAt1 => v | mask,
-            };
+        if self.xor_mask.is_empty() {
+            return value;
         }
-        v
+        let w = word as usize;
+        ((value ^ self.xor_mask[w]) & !self.clear_mask[w]) | self.set_mask[w]
     }
 
     /// Replaces the fault list, restoring the sorted-by-(word, bit)
@@ -276,6 +287,55 @@ impl FaultMap {
         );
         faults.sort_by_key(|f| (f.word, f.bit));
         self.faults = faults;
+        self.rebuild_masks();
+    }
+
+    /// Compiles the sorted fault list into per-word masks. Folding the
+    /// faults in application order keeps the mask form equivalent to the
+    /// sequential per-fault corruption, including bits hit by several
+    /// faults (a flip on top of a stuck cell toggles the stuck polarity;
+    /// a stuck fault overrides anything before it).
+    fn rebuild_masks(&mut self) {
+        if self.faults.is_empty() {
+            self.xor_mask = Vec::new();
+            self.clear_mask = Vec::new();
+            self.set_mask = Vec::new();
+            return;
+        }
+        let n = self.words as usize;
+        self.xor_mask.clear();
+        self.xor_mask.resize(n, 0);
+        self.clear_mask.clear();
+        self.clear_mask.resize(n, 0);
+        self.set_mask.clear();
+        self.set_mask.resize(n, 0);
+        for f in &self.faults {
+            let w = f.word as usize;
+            let m = 1u32 << f.bit;
+            match f.kind {
+                FaultKind::Flip => {
+                    if self.clear_mask[w] & m != 0 {
+                        self.clear_mask[w] &= !m;
+                        self.set_mask[w] |= m;
+                    } else if self.set_mask[w] & m != 0 {
+                        self.set_mask[w] &= !m;
+                        self.clear_mask[w] |= m;
+                    } else {
+                        self.xor_mask[w] ^= m;
+                    }
+                }
+                FaultKind::StuckAt0 => {
+                    self.clear_mask[w] |= m;
+                    self.set_mask[w] &= !m;
+                    self.xor_mask[w] &= !m;
+                }
+                FaultKind::StuckAt1 => {
+                    self.set_mask[w] |= m;
+                    self.clear_mask[w] &= !m;
+                    self.xor_mask[w] &= !m;
+                }
+            }
+        }
     }
 
     /// Counts faults whose bit position lies in `bit_range`.
@@ -329,11 +389,11 @@ mod tests {
     #[test]
     fn flip_fault_inverts_bit() {
         let mut m = FaultMap::defect_free(4, 8);
-        m.faults.push(Fault {
+        m.set_faults(vec![Fault {
             word: 2,
             bit: 3,
             kind: FaultKind::Flip,
-        });
+        }]);
         assert_eq!(m.corrupt(2, 0b0000_0000), 0b0000_1000);
         assert_eq!(m.corrupt(2, 0b0000_1000), 0b0000_0000);
         assert_eq!(m.corrupt(1, 0b0000_0000), 0, "other words untouched");
@@ -342,18 +402,66 @@ mod tests {
     #[test]
     fn stuck_faults() {
         let mut m = FaultMap::defect_free(4, 8);
-        m.faults.push(Fault {
-            word: 0,
-            bit: 0,
-            kind: FaultKind::StuckAt1,
-        });
-        m.faults.push(Fault {
-            word: 0,
-            bit: 1,
-            kind: FaultKind::StuckAt0,
-        });
+        m.set_faults(vec![
+            Fault {
+                word: 0,
+                bit: 0,
+                kind: FaultKind::StuckAt1,
+            },
+            Fault {
+                word: 0,
+                bit: 1,
+                kind: FaultKind::StuckAt0,
+            },
+        ]);
         assert_eq!(m.corrupt(0, 0b00), 0b01);
         assert_eq!(m.corrupt(0, 0b11), 0b01);
+    }
+
+    /// Sequential per-fault application, the semantics `corrupt`'s
+    /// mask compilation must reproduce.
+    fn corrupt_reference(m: &FaultMap, word: u32, value: u32) -> u32 {
+        let mut v = value;
+        for f in m.iter().filter(|f| f.word == word) {
+            let mask = 1u32 << f.bit;
+            v = match f.kind {
+                FaultKind::Flip => v ^ mask,
+                FaultKind::StuckAt0 => v & !mask,
+                FaultKind::StuckAt1 => v | mask,
+            };
+        }
+        v
+    }
+
+    #[test]
+    fn mask_compilation_matches_sequential_application() {
+        // Random dense maps of every kind, plus stacked faults on one
+        // bit (flip over stuck toggles the stuck polarity).
+        for kind in [FaultKind::Flip, FaultKind::StuckAt0, FaultKind::StuckAt1] {
+            let m = FaultMap::random_exact(64, 10, 200, kind, 7);
+            for w in 0..64 {
+                for v in [0u32, 0x3ff, 0x155, 0x2aa] {
+                    assert_eq!(m.corrupt(w, v), corrupt_reference(&m, w, v), "{kind:?}");
+                }
+            }
+        }
+        let mut m = FaultMap::defect_free(2, 4);
+        m.set_faults(vec![
+            Fault {
+                word: 0,
+                bit: 1,
+                kind: FaultKind::StuckAt0,
+            },
+            Fault {
+                word: 0,
+                bit: 1,
+                kind: FaultKind::Flip,
+            },
+        ]);
+        // Stuck-at-0 then flip = stuck-at-1.
+        assert_eq!(m.corrupt(0, 0b0000), 0b0010);
+        assert_eq!(m.corrupt(0, 0b0010), 0b0010);
+        assert_eq!(m.corrupt(0, 0b0000), corrupt_reference(&m, 0, 0b0000));
     }
 
     #[test]

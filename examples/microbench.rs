@@ -1,0 +1,58 @@
+//! Quick decoder micro-benchmark (worst case: max iterations).
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let k = 624usize;
+    let code = hspa_phy::turbo::TurboCode::new(k).unwrap();
+    let mut rng = dsp::rng::seeded(1);
+    let bits = dsp::rng::random_bits(&mut rng, k);
+    let coded = code.encode(&bits);
+    // Very noisy LLRs: no early stop, all 6 iterations run.
+    let llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| {
+            0.3 * (if b == 0 { 1.0 } else { -1.0 }) + 2.0 * dsp::rng::standard_normal(&mut rng)
+        })
+        .collect();
+    let mut scratch = hspa_phy::turbo::TurboScratch::new();
+    let mut out = hspa_phy::turbo::DecodeResult::new();
+    // warmup
+    for _ in 0..5 {
+        code.decode_into(&llrs, 6, &mut scratch, &mut out);
+    }
+    let reps = 200;
+    let t = Instant::now();
+    for _ in 0..reps {
+        code.decode_into(black_box(&llrs), 6, &mut scratch, &mut out);
+        black_box(&out);
+    }
+    let el = t.elapsed().as_secs_f64();
+    let per_decode = el / reps as f64 * 1e6;
+    let sisos = 2 * out.iterations_run;
+    println!(
+        "iterations_run={} {:.1} us/decode, {:.1} us/SISO, {:.1} ns/trellis-step",
+        out.iterations_run,
+        per_decode,
+        per_decode / sisos as f64,
+        per_decode * 1000.0 / (sisos * (k + 3)) as f64
+    );
+    // Clean LLRs: early stop path.
+    let clean: Vec<f64> = coded
+        .iter()
+        .map(|&b| if b == 0 { 6.0 } else { -6.0 })
+        .collect();
+    for _ in 0..5 {
+        code.decode_into(&clean, 6, &mut scratch, &mut out);
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        code.decode_into(black_box(&clean), 6, &mut scratch, &mut out);
+        black_box(&out);
+    }
+    println!(
+        "clean: iterations_run={} {:.1} us/decode",
+        out.iterations_run,
+        t.elapsed().as_secs_f64() / reps as f64 * 1e6
+    );
+}

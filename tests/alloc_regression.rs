@@ -1,0 +1,78 @@
+//! Steady-state zero-allocation invariant of the packet hot path.
+//!
+//! `simulate_packet_with` is documented to perform no heap allocation
+//! once its [`PacketScratch`] is warm: every buffer in the chain —
+//! encode bit vectors, symbol/LLR vectors, the turbo trellis matrices,
+//! the MMSE design workspace, the channel realization — lives in the
+//! scratch and is reused in place. This test pins the invariant by
+//! snapshotting the capacity of every reachable heap buffer
+//! ([`PacketScratch::heap_capacities`]) after a warm-up packet and
+//! asserting that further packets never grow any of them. A regression
+//! (someone reintroducing a per-packet `Vec` into scratch state) shows
+//! up as a capacity that changed between runs.
+
+use rand::SeedableRng;
+
+use resilience_core::config::{ChannelKind, SystemConfig};
+use resilience_core::montecarlo::{build_buffer, StorageConfig};
+use resilience_core::simulator::{LinkSimulator, PacketScratch};
+
+fn assert_steady_state(cfg: SystemConfig, storage: &StorageConfig, snr_db: f64, label: &str) {
+    let sim = LinkSimulator::new(cfg);
+    let mut buffer = build_buffer(&cfg, storage, 7);
+    let mut scratch = PacketScratch::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Warm-up: first packet sizes every buffer (and, on fading channels,
+    // the largest realization seen so far sizes the tap vector — run a
+    // few packets so steady state is actually reached).
+    for p in 0..4u64 {
+        buffer.begin_packet(p);
+        sim.simulate_packet_with(snr_db, &mut buffer, &mut rng, &mut scratch);
+    }
+    let warm = scratch.heap_capacities();
+    assert!(
+        warm.iter().any(|&c| c > 0),
+        "{label}: scratch should own warm buffers"
+    );
+    for p in 4..12u64 {
+        buffer.begin_packet(p);
+        sim.simulate_packet_with(snr_db, &mut buffer, &mut rng, &mut scratch);
+        assert_eq!(
+            warm,
+            scratch.heap_capacities(),
+            "{label}: a scratch buffer grew after warm-up (packet {p}) — \
+             the steady-state zero-allocation invariant is broken"
+        );
+    }
+}
+
+#[test]
+fn awgn_chain_is_allocation_free_after_warmup() {
+    let cfg = SystemConfig::fast_test();
+    assert_steady_state(cfg, &StorageConfig::Perfect, 8.0, "awgn/perfect");
+}
+
+#[test]
+fn faulty_storage_chain_is_allocation_free_after_warmup() {
+    let cfg = SystemConfig::fast_test();
+    let storage = StorageConfig::unprotected(0.10, cfg.llr_bits);
+    // Low SNR: retransmissions and full decoder iterations exercised.
+    assert_steady_state(cfg, &storage, 2.0, "awgn/faulty10");
+}
+
+#[test]
+fn dispersive_mmse_chain_is_allocation_free_after_warmup() {
+    // Vehicular A at chip rate: the full Toeplitz/Cholesky MMSE design
+    // runs every transmission — the heaviest scratch user.
+    let mut cfg = SystemConfig::fast_test();
+    cfg.channel = ChannelKind::VehicularA;
+    cfg.equalizer_taps = 21;
+    assert_steady_state(cfg, &StorageConfig::Quantized, 15.0, "veha/quantized");
+}
+
+#[test]
+fn paper_config_chain_is_allocation_free_after_warmup() {
+    let cfg = SystemConfig::paper_64qam();
+    let storage = StorageConfig::msb_protected(4, 0.10, cfg.llr_bits);
+    assert_steady_state(cfg, &storage, 12.0, "paper/hybrid4msb");
+}
