@@ -82,6 +82,13 @@ fn main() {
                 report.duplicate_chunks,
                 report.malformed_lines
             );
+            if report.store_served_chunks > 0 {
+                println!(
+                    "  note: {} chunk executions were store-resumed by the legs \
+                     (provenance normalized away in the merged manifest)",
+                    report.store_served_chunks
+                );
+            }
             println!("  store:    {}", report.store_path.display());
             println!("  manifest: {}", report.manifest_path.display());
         }
@@ -90,12 +97,13 @@ fn main() {
                 shard::gc(&name, &dir, spec).unwrap_or_else(|e| fail(&format!("gc {name}"), e));
             println!(
                 "gc campaign {name}: kept {} chunks; dropped {} orphaned, {} stale, \
-                 {} duplicate, {} malformed",
+                 {} duplicate, {} malformed, {} corrupt",
                 report.kept,
                 report.dropped_orphans,
                 report.dropped_stale,
                 report.dropped_duplicates,
-                report.dropped_malformed
+                report.dropped_malformed,
+                report.dropped_corrupt
             );
         }
         "verify" => {

@@ -1,0 +1,84 @@
+//! Dispatches a sharded campaign: launches the `--shard i/n` legs of a
+//! figure binary, monitors their liveness, steals work from dead or
+//! stalled legs, then merges and verifies the artifacts — ending with a
+//! store/manifest pair byte-identical to a single-host run.
+//!
+//! ```text
+//! campaign-dispatch --name fig6 --bin target/release/fig6a --legs 2 \
+//!     [--steal|--no-steal] [--work-dir D] [--stall-timeout SECS] \
+//!     [--manifest-json PATH] [--quiet] [-- LEG_ARGS...]
+//! ```
+//!
+//! Legs run with their working directory at `--work-dir` (default `.`),
+//! so their artifacts land under `<work-dir>/target/campaign/` — the
+//! same place a hand-run `--shard i/n` leg writes, which is what lets a
+//! re-dispatch with `--steal` resume a previously killed run's store.
+//!
+//! Exit codes: 0 ok, 1 dispatch/merge/verify failure, 2 usage error.
+
+use std::path::Path;
+use std::time::Duration;
+
+use bench::dispatch_from_args;
+use resilience_core::campaign::{dispatch, DispatchConfig, LocalLauncher};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = dispatch_from_args(&args).unwrap_or_else(|e| {
+        eprintln!("campaign-dispatch: {e}");
+        eprintln!(
+            "usage: campaign-dispatch --name <campaign> --bin <figure binary> \
+             [--legs N] [--steal|--no-steal] [--work-dir D] \
+             [--stall-timeout SECS] [--manifest-json PATH] [--quiet] \
+             [-- LEG_ARGS...]"
+        );
+        std::process::exit(2);
+    });
+
+    let mut launcher =
+        LocalLauncher::new(&parsed.bin, &parsed.work_dir).with_args(parsed.leg_args.clone());
+    if parsed.quiet {
+        launcher = launcher.quiet();
+    }
+    let cfg = DispatchConfig {
+        steal: parsed.steal,
+        stall_timeout: match parsed.stall_timeout_secs {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        },
+        ..DispatchConfig::new(&parsed.name, parsed.legs, launcher.store_dir())
+    };
+
+    println!(
+        "=== dispatching campaign '{}': {} legs of {} ({}){}",
+        parsed.name,
+        parsed.legs,
+        parsed.bin,
+        if parsed.steal {
+            "work stealing on"
+        } else {
+            "no stealing"
+        },
+        if parsed.leg_args.is_empty() {
+            String::new()
+        } else {
+            format!(", leg args: {}", parsed.leg_args.join(" "))
+        },
+    );
+    let report = dispatch(&cfg, &launcher).unwrap_or_else(|e| {
+        eprintln!("campaign-dispatch {}: {e}", parsed.name);
+        std::process::exit(1);
+    });
+    print!("{}", report.summary());
+
+    if let Some(out) = parsed.manifest_json {
+        if let Err(e) = std::fs::copy(Path::new(&report.merge.manifest_path), &out) {
+            eprintln!(
+                "--manifest-json: cannot copy {} to {out}: {e}",
+                report.merge.manifest_path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("manifest JSON written to {out}");
+    }
+}

@@ -185,6 +185,121 @@ pub fn finish(args: &[String], budget: &ExperimentBudget, names: &[&str]) {
     println!("manifest JSON written to {out}");
 }
 
+/// Parsed arguments of the `campaign-dispatch` binary.
+///
+/// ```text
+/// campaign-dispatch --name fig6 --bin target/release/fig6a --legs 2 \
+///     [--steal|--no-steal] [--work-dir D] [--stall-timeout SECS] \
+///     [--manifest-json PATH] [--quiet] [-- LEG_ARGS...]
+/// ```
+///
+/// Everything after `--` is passed to every leg verbatim (before the
+/// dispatcher's own `--shard i/n`), so campaign knobs like
+/// `--precision` / `--packets` / `--chunk` ride through unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchArgs {
+    /// Campaign name (store/manifest file stem, e.g. `fig6`).
+    pub name: String,
+    /// Figure binary to launch as legs.
+    pub bin: String,
+    /// Shard count (`--legs`, default 2).
+    pub legs: u32,
+    /// Steal work from dead/stalled legs (default on).
+    pub steal: bool,
+    /// Working directory of the legs; their artifacts land under
+    /// `<work-dir>/target/campaign/` (default `.`).
+    pub work_dir: String,
+    /// Stall timeout in seconds (`0` disables; default 600).
+    pub stall_timeout_secs: u64,
+    /// Copy the merged manifest here after a successful dispatch.
+    pub manifest_json: Option<String>,
+    /// Silence leg stdout.
+    pub quiet: bool,
+    /// Arguments forwarded to every leg.
+    pub leg_args: Vec<String>,
+}
+
+/// Largest accepted `--legs` value (mirrors
+/// `resilience_core::campaign::dispatch::MAX_LEGS`).
+const MAX_LEGS: u32 = resilience_core::campaign::dispatch::MAX_LEGS;
+
+/// Parses `campaign-dispatch` argv (without the program name). Unlike
+/// the figure binaries' lenient [`budget_from_args`], unknown or
+/// malformed dispatcher flags are hard errors — a typo here silently
+/// changes how many hosts' worth of compute gets launched.
+pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
+    let mut parsed = DispatchArgs {
+        name: String::new(),
+        bin: String::new(),
+        legs: 2,
+        steal: true,
+        work_dir: ".".into(),
+        stall_timeout_secs: 600,
+        manifest_json: None,
+        quiet: false,
+        leg_args: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--name" => parsed.name = value("--name")?,
+            "--bin" => parsed.bin = value("--bin")?,
+            "--legs" => {
+                // Every leg is a concurrently spawned child process, so
+                // an implausible count (extra digits) must not parse —
+                // it would fork-bomb the host before monitoring starts.
+                parsed.legs = value("--legs")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=MAX_LEGS).contains(&n))
+                    .ok_or_else(|| format!("--legs needs an integer in 1..={MAX_LEGS}"))?
+            }
+            "--steal" => parsed.steal = true,
+            "--no-steal" => parsed.steal = false,
+            "--work-dir" => parsed.work_dir = value("--work-dir")?,
+            "--stall-timeout" => {
+                parsed.stall_timeout_secs = value("--stall-timeout")?
+                    .parse()
+                    .map_err(|_| "--stall-timeout needs a number of seconds")?
+            }
+            "--manifest-json" => parsed.manifest_json = Some(value("--manifest-json")?),
+            "--quiet" => parsed.quiet = true,
+            "--" => {
+                parsed.leg_args = it.cloned().collect();
+                break;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if parsed.name.is_empty() {
+        return Err("--name <campaign> is required".into());
+    }
+    if parsed.bin.is_empty() {
+        return Err("--bin <figure binary> is required".into());
+    }
+    // Leg args that would break the dispatch contract are rejected, not
+    // forwarded: `--shard` is the dispatcher's own to assign;
+    // `--no-resume` would make every rescue leg truncate the straggler's
+    // store and re-simulate it (the opposite of stealing); `--one-shot`
+    // legs write no manifest, so every leg would be "rescued" to the
+    // attempt cap; `--manifest-json` would have the legs race on one
+    // output file (pass it to campaign-dispatch itself instead).
+    for forbidden in ["--shard", "--no-resume", "--one-shot", "--manifest-json"] {
+        if parsed.leg_args.iter().any(|a| a == forbidden) {
+            return Err(format!(
+                "leg argument '{forbidden}' conflicts with dispatching \
+                 (the dispatcher owns sharding, store resume and manifest export)"
+            ));
+        }
+    }
+    Ok(parsed)
+}
+
 /// The value following a `--flag VALUE` pair, if present.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
     let mut it = args.iter();
@@ -300,7 +415,7 @@ mod tests {
         use resilience_core::campaign::ShardSpec;
         let b = budget_from_args(&args(&["--shard", "1/4", "--target-ci", "0.05"]));
         let c = b.campaign.unwrap();
-        assert_eq!(c.shard, ShardSpec::new(1, 4));
+        assert_eq!(c.shard, ShardSpec::new(1, 4).unwrap());
         assert_eq!(c.target_ci, 0.05);
         let text = banner("fig6", "x", b);
         assert!(text.contains("target-ci 0.050"), "{text}");
@@ -345,6 +460,68 @@ mod tests {
         let text = banner("fig6", "throughput", b);
         assert!(text.contains("fig6"));
         assert!(text.contains("campaign: precision"));
+    }
+
+    #[test]
+    fn dispatch_args_parse_and_validate() {
+        let d = dispatch_from_args(&args(&[
+            "--name",
+            "fig6",
+            "--bin",
+            "target/release/fig6a",
+            "--legs",
+            "3",
+            "--no-steal",
+            "--stall-timeout",
+            "30",
+            "--manifest-json",
+            "out.json",
+            "--quiet",
+            "--",
+            "--precision",
+            "0.2",
+        ]))
+        .expect("full flag set parses");
+        assert_eq!(d.name, "fig6");
+        assert_eq!(d.legs, 3);
+        assert!(!d.steal);
+        assert_eq!(d.stall_timeout_secs, 30);
+        assert_eq!(d.manifest_json.as_deref(), Some("out.json"));
+        assert!(d.quiet);
+        assert_eq!(d.leg_args, args(&["--precision", "0.2"]));
+
+        // Defaults: 2 legs, steal on, cwd work dir.
+        let d = dispatch_from_args(&args(&["--name", "c", "--bin", "b"])).unwrap();
+        assert_eq!((d.legs, d.steal, d.work_dir.as_str()), (2, true, "."));
+
+        // The dispatcher is strict where the figure binaries are
+        // lenient: missing requireds, unknown flags and malformed
+        // values are hard errors.
+        for bad in [
+            &["--bin", "b"][..],
+            &["--name", "c"],
+            &["--name", "c", "--bin", "b", "--legs", "0"],
+            &["--name", "c", "--bin", "b", "--legs", "x"],
+            &["--name", "c", "--bin", "b", "--legs", "2000000"],
+            &["--name", "c", "--bin", "b", "--what"],
+            &["--name"],
+        ] {
+            assert!(dispatch_from_args(&args(bad)).is_err(), "{bad:?}");
+        }
+
+        // Leg args that would subvert the dispatch contract are
+        // rejected: --no-resume turns stealing into re-simulation,
+        // --one-shot legs write no manifest, --shard belongs to the
+        // dispatcher, --manifest-json would race across legs.
+        for forbidden in ["--shard", "--no-resume", "--one-shot", "--manifest-json"] {
+            let err = dispatch_from_args(&args(&["--name", "c", "--bin", "b", "--", forbidden]))
+                .unwrap_err();
+            assert!(err.contains(forbidden), "{err}");
+        }
+        assert!(
+            dispatch_from_args(&args(&["--name", "c", "--bin", "b", "--", "--resume"])).is_ok(),
+            "--resume is the contract, not a conflict"
+        );
     }
 
     #[test]

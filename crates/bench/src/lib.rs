@@ -16,8 +16,13 @@
 //! The `campaign-admin` binary administers the campaign layer's on-disk
 //! state: `merge` folds `--shard i/n` runs back into single-host files,
 //! `gc` prunes orphaned/stale store chunks, `verify` proves a store can
-//! back its manifest, `stats` summarizes both.
+//! back its manifest, `stats` summarizes both. The `campaign-dispatch`
+//! binary automates a sharded run end to end: it launches the
+//! `--shard i/n` legs of a figure binary, steals work from dead or
+//! stalled legs, and merges + verifies the result.
 
 pub mod cli;
 
-pub use cli::{banner, budget_from_args, finish, print_campaign_summary};
+pub use cli::{
+    banner, budget_from_args, dispatch_from_args, finish, print_campaign_summary, DispatchArgs,
+};

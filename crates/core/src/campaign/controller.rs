@@ -140,7 +140,10 @@ impl CampaignSettings {
     fn target_sized_total(&self, realized: usize, stats: &HarqStats) -> usize {
         let w = self.target_ci;
         let z2 = WILSON_Z * WILSON_Z;
-        let p = (stats.packets - stats.delivered) as f64 / stats.packets.max(1) as f64;
+        // Saturating: stats loaded from disk are range-validated, but a
+        // caller-constructed block with delivered > packets must degrade
+        // to p = 0, not wrap to a ~u64::MAX failure count.
+        let p = stats.packets.saturating_sub(stats.delivered) as f64 / stats.packets.max(1) as f64;
         // Normal-approximation size for variance p(1-p)...
         let n_var = z2 * p * (1.0 - p) / (w * w);
         // ...and the exact Wilson width at p ∈ {0, 1}, where the
@@ -197,7 +200,10 @@ impl PrecisionCheck {
                 resolved_low: false,
             };
         }
-        let failures = stats.packets - stats.delivered;
+        // Saturating for the same reason as in `target_sized_total`:
+        // an inverted stats block must yield BLER 0, not a garbage
+        // estimate from a wrapped failure count.
+        let failures = stats.packets.saturating_sub(stats.delivered);
         let ci = wilson_interval(failures, stats.packets, WILSON_Z);
         let bler = failures as f64 / stats.packets as f64;
         let half = (ci.1 - ci.0) / 2.0;
@@ -301,6 +307,25 @@ mod tests {
     #[test]
     fn no_evidence_is_never_converged() {
         assert!(!CampaignSettings::default().converged(&HarqStats::new(4, 100)));
+    }
+
+    #[test]
+    fn inverted_stats_saturate_instead_of_underflowing() {
+        // delivered > packets is rejected at store-load time, but a
+        // caller can still hand such a block in; the failure count must
+        // saturate to 0, not wrap to ~2^64.
+        let s = CampaignSettings::default();
+        let bad = stats_with(8, 9);
+        let check = PrecisionCheck::of(&bad, &s);
+        assert_eq!(check.bler, 0.0);
+        assert!(check.ci.0 >= 0.0 && check.ci.1 <= 1.0, "{:?}", check.ci);
+        // --target-ci sizing path saturates too.
+        let t = CampaignSettings {
+            target_ci: 0.05,
+            ..s
+        };
+        let (_, len) = t.next_chunk(8, 10_000, &bad).expect("still schedules");
+        assert!(len <= 2_000, "sane chunk from saturated p=0, got {len}");
     }
 
     #[test]

@@ -1,0 +1,895 @@
+//! Campaign dispatcher: launches the `--shard i/n` legs of a campaign,
+//! watches their liveness, steals work from stragglers, and folds the
+//! artifacts back into the single-host files.
+//!
+//! PR 3's sharding made a multi-host campaign *possible*; running one
+//! was still an operator loop — start each `--shard i/n` leg by hand,
+//! gather the suffixed files, invoke `campaign-admin merge`, re-run
+//! anything that died. [`dispatch`] closes that loop for a pool of legs
+//! behind a pluggable [`Launcher`]:
+//!
+//! 1. **Launch.** One leg per shard spec, `0/n .. (n-1)/n`, through
+//!    [`Launcher::launch`]. The in-tree [`LocalLauncher`] spawns this
+//!    host's figure binary as child processes; an SSH or queue backend
+//!    plugs in at the same trait boundary without touching the
+//!    coordinator.
+//! 2. **Monitor.** Legs are polled for exit and for *progress*: a leg's
+//!    heartbeat is the (size, mtime) signature of its shard store and
+//!    manifest files. A leg that is alive but has not advanced its
+//!    artifacts within the stall timeout is a straggler — it is killed
+//!    so its work can be stolen. The heartbeat is chunk-granular, so
+//!    the timeout doubles for a shard after each stall-kill: a leg that
+//!    was merely deep inside a long chunk gets room to finish on its
+//!    rescue instead of looping to the attempt cap.
+//! 3. **Steal.** When a leg dies (killed, crashed, or stall-killed)
+//!    while steal is enabled, the dispatcher immediately relaunches its
+//!    shard spec in the freed slot as a *rescue leg*. The rescue leg
+//!    resumes the straggler's result store (`--resume` is the campaign
+//!    default), so every chunk the straggler already simulated is
+//!    served from disk — work is stolen, never redone — and the
+//!    deterministic chunk schedule replays the identical ranges before
+//!    simulating the remainder.
+//! 4. **Merge + verify.** Once every shard has a clean leg, the
+//!    existing [`shard::merge`] folds the artifacts into the unsuffixed
+//!    store/manifest pair and [`shard::verify`] proves the merged store
+//!    can back its manifest. Because the merge normalizes chunk
+//!    provenance, the final manifest is **byte-identical** to a
+//!    single-host run at the same settings — whether or not any leg was
+//!    rescued along the way.
+//!
+//! Determinism makes the self-healing safe: a packet's RNG stream
+//! depends only on its absolute position in the seed tree, and stopping
+//! decisions are pure functions of merged statistics, so *which* leg
+//! (original or rescue) simulated a chunk cannot change any result.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant, SystemTime};
+
+use super::shard::{self, MergeReport, ShardSpec, VerifyReport};
+use super::DEFAULT_STORE_DIR;
+
+/// Largest accepted leg count. Every leg is launched concurrently up
+/// front (there is no staggering), so an implausible count — a typo'd
+/// `--legs` reaching [`dispatch`] — must error instead of fork-bombing
+/// the host or the cluster backend.
+pub const MAX_LEGS: u32 = 1024;
+
+/// What a poll of a leg observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegStatus {
+    /// Still running.
+    Running,
+    /// Exited; `success` is the process-level verdict (the dispatcher
+    /// additionally requires a readable manifest before trusting it).
+    Exited {
+        /// Whether the leg reported success (exit code 0).
+        success: bool,
+    },
+}
+
+/// A launched leg the dispatcher can poll and kill.
+pub trait Leg {
+    /// Non-blocking status check.
+    fn poll(&mut self) -> io::Result<LegStatus>;
+    /// Terminates the leg (used on stall). Must be idempotent and
+    /// reap any process-level resources.
+    fn kill(&mut self) -> io::Result<()>;
+}
+
+/// Launches one leg of a campaign for a shard spec. The trait is the
+/// seam where remote backends (SSH, batch queue) slot in: the
+/// coordinator only ever sees [`Leg`] handles and the artifact files
+/// the legs leave in the campaign directory.
+pub trait Launcher {
+    /// Starts the leg that runs shard `spec` of the campaign.
+    fn launch(&self, spec: ShardSpec) -> io::Result<Box<dyn Leg>>;
+}
+
+/// [`Launcher`] backend that spawns a figure binary on this host, one
+/// child process per leg, appending `--shard i/n` to the configured
+/// argument list.
+///
+/// The figure binaries write their campaign artifacts under
+/// `target/campaign/` **relative to their working directory**, so the
+/// launcher pins each child's working directory: point
+/// [`LocalLauncher::store_dir`] at the same place and the dispatcher,
+/// the legs and the merge all agree on one campaign directory.
+#[derive(Debug, Clone)]
+pub struct LocalLauncher {
+    bin: PathBuf,
+    work_dir: PathBuf,
+    args: Vec<String>,
+    quiet: bool,
+}
+
+impl LocalLauncher {
+    /// A launcher spawning `bin` with children rooted at `work_dir`.
+    pub fn new(bin: impl Into<PathBuf>, work_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            bin: bin.into(),
+            work_dir: work_dir.into(),
+            args: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Extra arguments passed to every leg before `--shard`
+    /// (`--precision`, `--packets`, …).
+    pub fn with_args(mut self, args: impl IntoIterator<Item = String>) -> Self {
+        self.args = args.into_iter().collect();
+        self
+    }
+
+    /// Silences leg stdout (tables from `n` legs interleave badly);
+    /// stderr stays inherited so failures remain diagnosable.
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// The campaign directory the legs will write into — what
+    /// [`DispatchConfig::dir`] should be set to.
+    pub fn store_dir(&self) -> PathBuf {
+        self.work_dir.join(DEFAULT_STORE_DIR)
+    }
+}
+
+impl Launcher for LocalLauncher {
+    fn launch(&self, spec: ShardSpec) -> io::Result<Box<dyn Leg>> {
+        fs::create_dir_all(&self.work_dir)?;
+        // The child runs with its cwd at `work_dir`, which would
+        // re-anchor a relative `--bin` path; resolve it against *this*
+        // process's cwd first. Bare names (PATH lookup) have no parent
+        // to resolve and pass through.
+        let bin = if self.bin.components().count() > 1 {
+            fs::canonicalize(&self.bin)?
+        } else {
+            self.bin.clone()
+        };
+        let child = Command::new(bin)
+            .args(&self.args)
+            .arg("--shard")
+            .arg(spec.to_string())
+            .current_dir(&self.work_dir)
+            .stdout(if self.quiet {
+                Stdio::null()
+            } else {
+                Stdio::inherit()
+            })
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        Ok(Box::new(ProcessLeg { child }))
+    }
+}
+
+/// [`Leg`] over a spawned child process.
+struct ProcessLeg {
+    child: Child,
+}
+
+impl Leg for ProcessLeg {
+    fn poll(&mut self) -> io::Result<LegStatus> {
+        Ok(match self.child.try_wait()? {
+            None => LegStatus::Running,
+            Some(status) => LegStatus::Exited {
+                success: status.success(),
+            },
+        })
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        // `kill` on an already-dead child is fine; always reap so the
+        // straggler cannot linger as a zombie holding the store open.
+        let _ = self.child.kill();
+        self.child.wait().map(|_| ())
+    }
+}
+
+/// Knobs of one [`dispatch`] run.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Campaign name (the store/manifest file stem, e.g. `fig6`).
+    pub name: String,
+    /// Shard count: legs `0/n .. (n-1)/n`. `1` degenerates to a
+    /// supervised single-host run (no suffixed files; merge only
+    /// canonicalizes).
+    pub legs: u32,
+    /// The campaign directory legs write into and the merged output
+    /// lands in (for [`LocalLauncher`], its
+    /// [`store_dir`](LocalLauncher::store_dir)).
+    pub dir: PathBuf,
+    /// Steal work from dead or stalled legs by relaunching their shard
+    /// spec over the surviving store. With stealing off, any leg
+    /// failure aborts the dispatch.
+    pub steal: bool,
+    /// Launch attempts per shard (first launch + rescues). The cap
+    /// keeps a deterministically-crashing leg from looping forever.
+    pub max_attempts: u32,
+    /// Kill a leg whose artifacts have not changed for this long while
+    /// it is still running (`None` disables stall detection — a leg
+    /// then only fails by exiting non-zero).
+    ///
+    /// The heartbeat is chunk-granular (a leg only touches its files
+    /// when a chunk completes) and late chunks of the doubling schedule
+    /// can legitimately run long, so a healthy leg deep inside a big
+    /// chunk looks stalled. To keep that from looping a shard to the
+    /// attempt cap, the effective timeout **doubles for a shard after
+    /// each stall-kill** — a genuinely hung leg is still reaped fast,
+    /// while a slow-but-alive one eventually gets room to finish its
+    /// chunk. Size the base value generously relative to expected
+    /// chunk duration.
+    pub stall_timeout: Option<Duration>,
+    /// Poll cadence of the monitor loop.
+    pub poll_interval: Duration,
+}
+
+impl DispatchConfig {
+    /// A config with the production defaults: steal on, 3 attempts per
+    /// shard, 10-minute stall timeout, 50 ms polls.
+    pub fn new(name: impl Into<String>, legs: u32, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            name: name.into(),
+            legs,
+            dir: dir.into(),
+            steal: true,
+            max_attempts: 3,
+            stall_timeout: Some(Duration::from_secs(600)),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of a [`dispatch`] run.
+#[derive(Debug)]
+pub struct DispatchReport {
+    /// Shard count dispatched.
+    pub legs: u32,
+    /// Legs launched in total (`legs` + rescues).
+    pub launched: u32,
+    /// Shard specs that needed a rescue leg, in rescue order (repeats
+    /// mean repeated rescues of the same shard).
+    pub rescued: Vec<ShardSpec>,
+    /// Of those, shards whose leg was stall-killed by the heartbeat
+    /// monitor (as opposed to dying on its own).
+    pub stalled: Vec<ShardSpec>,
+    /// The final merge.
+    pub merge: MergeReport,
+    /// Post-merge consistency proof.
+    pub verify: VerifyReport,
+}
+
+impl DispatchReport {
+    /// Human-readable summary (what `campaign-dispatch` prints).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "dispatched {} legs ({} launches, {} rescued, {} stall-killed): \
+             {} points, {} chunks merged\n",
+            self.legs,
+            self.launched,
+            self.rescued.len(),
+            self.stalled.len(),
+            self.merge.points,
+            self.merge.chunks,
+        );
+        if self.merge.store_served_chunks > 0 {
+            out.push_str(&format!(
+                "  {} chunk executions were resumed from shard stores \
+                 (stolen work, not re-simulated)\n",
+                self.merge.store_served_chunks
+            ));
+        }
+        out.push_str(&format!(
+            "  store:    {}\n  manifest: {}\n",
+            self.merge.store_path.display(),
+            self.merge.manifest_path.display(),
+        ));
+        out
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The liveness heartbeat of a leg: the (size, mtime) signature of its
+/// store and manifest files. Any change counts as progress — a fresh
+/// chunk append, a manifest rewrite, even a truncation.
+type ArtifactSignature = [Option<(u64, SystemTime)>; 2];
+
+fn artifact_signature(dir: &Path, name: &str, spec: ShardSpec) -> ArtifactSignature {
+    let stat = |file: String| {
+        let meta = fs::metadata(dir.join(file)).ok()?;
+        Some((meta.len(), meta.modified().ok()?))
+    };
+    [
+        stat(shard::store_file(name, spec)),
+        stat(shard::manifest_file(name, spec)),
+    ]
+}
+
+/// Whether a finished leg left a usable shard manifest behind: the file
+/// must parse and record the campaign + shard it was launched for. An
+/// exit-0 leg without one (wrong binary, wrote elsewhere) is treated as
+/// failed so it can be rescued — or reported — instead of feeding a
+/// confusing merge error.
+fn leg_manifest_ok(dir: &Path, name: &str, spec: ShardSpec) -> bool {
+    let path = dir.join(shard::manifest_file(name, spec));
+    match super::Manifest::read(&path) {
+        Ok(m) => m.name == name && m.settings.shard == spec,
+        Err(_) => false,
+    }
+}
+
+/// One leg under supervision.
+struct RunningLeg {
+    spec: ShardSpec,
+    leg: Box<dyn Leg>,
+    signature: ArtifactSignature,
+    last_progress: Instant,
+}
+
+/// Runs a full dispatched campaign: launch, monitor, steal, merge,
+/// verify. See the [module docs](self) for the lifecycle. On success
+/// the merged, canonicalized store/manifest pair of
+/// [`DispatchConfig::name`] is in [`DispatchConfig::dir`], with the
+/// manifest byte-identical to a single-host run at the same settings.
+pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<DispatchReport> {
+    if cfg.legs == 0 || cfg.legs > MAX_LEGS {
+        return Err(invalid(format!(
+            "dispatch needs 1..={MAX_LEGS} legs, got {}",
+            cfg.legs
+        )));
+    }
+    let specs: Vec<ShardSpec> = (0..cfg.legs)
+        .map(|i| ShardSpec::new(i, cfg.legs).map_err(invalid))
+        .collect::<io::Result<_>>()?;
+    fs::create_dir_all(&cfg.dir)?;
+    // Pre-flight: leftovers of a differently-sharded run in the same
+    // directory would poison the final merge (mixed `of-N` families);
+    // refuse before burning any compute. The scan covers stores as
+    // well as manifests — a killed leg leaves only its `.jsonl` (the
+    // manifest is written at run end), and that alone marks a stale
+    // family. Same-family files are fine — they are exactly what a
+    // `--steal` re-dispatch resumes from.
+    for entry in fs::read_dir(&cfg.dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some(spec) = file_name
+            .to_str()
+            .and_then(|f| shard::artifact_shard_spec(&cfg.name, f))
+        else {
+            continue;
+        };
+        if spec.count != cfg.legs {
+            return Err(invalid(format!(
+                "{}: leftover shard artifact of a {}-leg run; this dispatch uses \
+                 {} legs — delete the stale family or dispatch with --legs {}",
+                entry.path().display(),
+                spec.count,
+                cfg.legs,
+                spec.count,
+            )));
+        }
+    }
+
+    fn launch_leg(
+        cfg: &DispatchConfig,
+        launcher: &dyn Launcher,
+        spec: ShardSpec,
+        attempts: &mut BTreeMap<u32, u32>,
+        running: &mut Vec<RunningLeg>,
+        launched: &mut u32,
+    ) -> io::Result<()> {
+        *attempts.entry(spec.index).or_insert(0) += 1;
+        *launched += 1;
+        let leg = launcher.launch(spec)?;
+        running.push(RunningLeg {
+            spec,
+            leg,
+            signature: artifact_signature(&cfg.dir, &cfg.name, spec),
+            last_progress: Instant::now(),
+        });
+        Ok(())
+    }
+
+    let mut report_rescued: Vec<ShardSpec> = Vec::new();
+    let mut report_stalled: Vec<ShardSpec> = Vec::new();
+    let mut attempts: BTreeMap<u32, u32> = BTreeMap::new();
+    // Stall-kills per shard: each one doubles that shard's effective
+    // stall timeout (see `DispatchConfig::stall_timeout`).
+    let mut stall_kills: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut launched = 0u32;
+    let mut running: Vec<RunningLeg> = Vec::new();
+
+    for &spec in &specs {
+        if let Err(e) = launch_leg(
+            cfg,
+            launcher,
+            spec,
+            &mut attempts,
+            &mut running,
+            &mut launched,
+        ) {
+            kill_all(&mut running);
+            return Err(e);
+        }
+    }
+
+    // Monitor loop: poll every leg; a dead leg is either complete
+    // (clean exit + usable manifest) or failed. Failed legs are
+    // relaunched in place while attempts remain and stealing is on —
+    // the freed slot immediately picks the straggler's work back up.
+    while !running.is_empty() {
+        let mut idx = 0;
+        while idx < running.len() {
+            let now = Instant::now();
+            let r = &mut running[idx];
+            let status = match r.leg.poll() {
+                Ok(s) => s,
+                Err(e) => {
+                    kill_all(&mut running);
+                    return Err(e);
+                }
+            };
+            let failed = match status {
+                LegStatus::Exited { success } => {
+                    let complete = success && leg_manifest_ok(&cfg.dir, &cfg.name, r.spec);
+                    if complete {
+                        running.remove(idx);
+                        continue;
+                    }
+                    Some(if success {
+                        format!("leg {} exited 0 without a usable shard manifest", r.spec)
+                    } else {
+                        format!("leg {} exited with failure", r.spec)
+                    })
+                }
+                LegStatus::Running => {
+                    let sig = artifact_signature(&cfg.dir, &cfg.name, r.spec);
+                    if sig != r.signature {
+                        r.signature = sig;
+                        r.last_progress = now;
+                    }
+                    let kills = stall_kills.get(&r.spec.index).copied().unwrap_or(0);
+                    let limit = cfg
+                        .stall_timeout
+                        .map(|t| t.saturating_mul(1 << kills.min(10)));
+                    match limit {
+                        Some(limit) if now.duration_since(r.last_progress) > limit => {
+                            let _ = r.leg.kill();
+                            report_stalled.push(r.spec);
+                            *stall_kills.entry(r.spec.index).or_insert(0) += 1;
+                            Some(format!(
+                                "leg {} stalled (no artifact progress for {:.1}s) and was killed",
+                                r.spec,
+                                limit.as_secs_f64()
+                            ))
+                        }
+                        _ => None,
+                    }
+                }
+            };
+            let Some(why) = failed else {
+                idx += 1;
+                continue;
+            };
+            let spec = r.spec;
+            running.remove(idx);
+            let tried = attempts.get(&spec.index).copied().unwrap_or(0);
+            if cfg.steal && tried < cfg.max_attempts {
+                // Steal: relaunch over the surviving store — resumed
+                // chunks are served from disk, never re-simulated.
+                report_rescued.push(spec);
+                if let Err(e) = launch_leg(
+                    cfg,
+                    launcher,
+                    spec,
+                    &mut attempts,
+                    &mut running,
+                    &mut launched,
+                ) {
+                    kill_all(&mut running);
+                    return Err(e);
+                }
+            } else {
+                // The shard is unrecoverable, so the dispatch as a
+                // whole cannot succeed: abort *now* instead of letting
+                // the sibling legs burn compute toward a merge that
+                // will never happen. Their partial stores survive for
+                // a later `--steal` re-dispatch to resume.
+                kill_all(&mut running);
+                return Err(io::Error::other(format!(
+                    "campaign '{}' dispatch failed: {}",
+                    cfg.name,
+                    if cfg.steal {
+                        format!("{why} ({tried} attempts — giving up)")
+                    } else {
+                        format!("{why} (stealing disabled — re-dispatch with --steal to recover)")
+                    }
+                )));
+            }
+        }
+        if !running.is_empty() {
+            std::thread::sleep(cfg.poll_interval);
+        }
+    }
+
+    // Every shard has a clean leg: fold the artifacts back into the
+    // single-host files and prove the merged store backs its manifest.
+    let single = ShardSpec::single();
+    let merge = if cfg.legs == 1 {
+        // Degenerate partition: the lone leg already wrote unsuffixed
+        // files; merging them in place canonicalizes store order and
+        // normalizes provenance, exactly like the n-way path.
+        let manifest = cfg.dir.join(shard::manifest_file(&cfg.name, single));
+        shard::merge_manifests(&cfg.name, &[manifest], &cfg.dir)?
+    } else {
+        shard::merge(&cfg.name, &cfg.dir, &cfg.dir)?
+    };
+    let verify = shard::verify(&cfg.name, &cfg.dir, single)?;
+    if !verify.ok() {
+        return Err(invalid(format!(
+            "merged campaign '{}' fails verification: {}",
+            cfg.name,
+            verify.problems.join("; ")
+        )));
+    }
+    Ok(DispatchReport {
+        legs: cfg.legs,
+        launched,
+        rescued: report_rescued,
+        stalled: report_stalled,
+        merge,
+        verify,
+    })
+}
+
+/// Best-effort cleanup on an error path: no leg may outlive a failed
+/// dispatch and keep appending to the stores.
+fn kill_all(running: &mut Vec<RunningLeg>) {
+    for r in running.iter_mut() {
+        let _ = r.leg.kill();
+    }
+    running.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::manifest::{Manifest, PointRecord};
+    use crate::campaign::store::{self, ChunkId};
+    use crate::campaign::CampaignSettings;
+    use hspa_phy::harq::HarqStats;
+    use std::cell::RefCell;
+    use std::collections::{HashMap, VecDeque};
+
+    const NAME: &str = "mock";
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dispatch-test-{}-{tag}", std::process::id()))
+    }
+
+    fn tiny_config(tag: &str, legs: u32) -> DispatchConfig {
+        let dir = temp_dir(tag);
+        let _ = fs::remove_dir_all(&dir);
+        DispatchConfig {
+            stall_timeout: None,
+            poll_interval: Duration::from_millis(1),
+            ..DispatchConfig::new(NAME, legs, dir)
+        }
+    }
+
+    /// Writes the artifacts a healthy leg of `spec` would leave: a
+    /// 2-point campaign (keys 0 and 1) with one 4-packet chunk per
+    /// owned point.
+    fn write_leg_artifacts(dir: &Path, spec: ShardSpec) {
+        let mut m = Manifest::new(
+            NAME,
+            CampaignSettings {
+                shard: spec,
+                ..Default::default()
+            },
+        );
+        m.points_enumerated = 2;
+        let mut records = Vec::new();
+        for key in [0u64, 1] {
+            if !spec.owns(key) {
+                continue;
+            }
+            m.points.push(PointRecord {
+                index: key,
+                key,
+                label: format!("p{key}"),
+                snr_db: 1.0,
+                packets: 4,
+                max_packets: 4,
+                bler: 0.0,
+                ci: (0.0, 0.5),
+                rel_half_width: 1.0,
+                converged: true,
+                chunks: 1,
+                chunks_from_store: 0,
+            });
+            records.push((
+                ChunkId {
+                    point: key,
+                    first_packet: 0,
+                    n_packets: 4,
+                },
+                HarqStats {
+                    packets: 4,
+                    delivered: 4,
+                    transmissions: 4,
+                    info_bits: 100,
+                    failures_at: vec![0; 4],
+                },
+            ));
+        }
+        fs::create_dir_all(dir).unwrap();
+        store::write_records(&dir.join(shard::store_file(NAME, spec)), &records).unwrap();
+        m.write(&dir.join(shard::manifest_file(NAME, spec)))
+            .unwrap();
+    }
+
+    /// What a scripted mock leg does when polled.
+    #[derive(Clone, Copy)]
+    enum Behavior {
+        /// Write valid artifacts, exit 0.
+        Complete,
+        /// Exit non-zero without artifacts.
+        Fail,
+        /// Exit 0 without writing anything (dispatcher must distrust).
+        LieAboutSuccess,
+        /// Never exit, never touch a file (stall fodder).
+        Hang,
+        /// Look stalled for the given wall-clock time (no file
+        /// activity), then complete — a leg deep inside a long chunk.
+        CompleteAfter(Duration),
+    }
+
+    struct MockLeg {
+        spec: ShardSpec,
+        dir: PathBuf,
+        behavior: Behavior,
+        started: Instant,
+    }
+
+    impl Leg for MockLeg {
+        fn poll(&mut self) -> io::Result<LegStatus> {
+            Ok(match self.behavior {
+                Behavior::Complete => {
+                    write_leg_artifacts(&self.dir, self.spec);
+                    LegStatus::Exited { success: true }
+                }
+                Behavior::Fail => LegStatus::Exited { success: false },
+                Behavior::LieAboutSuccess => LegStatus::Exited { success: true },
+                Behavior::Hang => LegStatus::Running,
+                Behavior::CompleteAfter(after) => {
+                    if self.started.elapsed() < after {
+                        LegStatus::Running
+                    } else {
+                        write_leg_artifacts(&self.dir, self.spec);
+                        LegStatus::Exited { success: true }
+                    }
+                }
+            })
+        }
+
+        fn kill(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Scripted launcher: each shard index pops its next behavior
+    /// (defaulting to `Complete`), so tests can fail the first attempt
+    /// and succeed the rescue.
+    struct MockLauncher {
+        dir: PathBuf,
+        plans: RefCell<HashMap<u32, VecDeque<Behavior>>>,
+        launches: RefCell<Vec<ShardSpec>>,
+    }
+
+    impl MockLauncher {
+        fn new(dir: &Path, plans: &[(u32, &[Behavior])]) -> Self {
+            Self {
+                dir: dir.to_path_buf(),
+                plans: RefCell::new(
+                    plans
+                        .iter()
+                        .map(|(i, b)| (*i, b.iter().copied().collect()))
+                        .collect(),
+                ),
+                launches: RefCell::new(Vec::new()),
+            }
+        }
+    }
+
+    impl Launcher for MockLauncher {
+        fn launch(&self, spec: ShardSpec) -> io::Result<Box<dyn Leg>> {
+            self.launches.borrow_mut().push(spec);
+            let behavior = self
+                .plans
+                .borrow_mut()
+                .get_mut(&spec.index)
+                .and_then(VecDeque::pop_front)
+                .unwrap_or(Behavior::Complete);
+            Ok(Box::new(MockLeg {
+                spec,
+                dir: self.dir.clone(),
+                behavior,
+                started: Instant::now(),
+            }))
+        }
+    }
+
+    #[test]
+    fn healthy_legs_merge_and_verify() {
+        let cfg = tiny_config("healthy", 2);
+        let launcher = MockLauncher::new(&cfg.dir, &[]);
+        let report = dispatch(&cfg, &launcher).expect("dispatch succeeds");
+        assert_eq!(report.launched, 2);
+        assert!(report.rescued.is_empty() && report.stalled.is_empty());
+        assert_eq!(report.merge.points, 2);
+        assert!(report.verify.ok());
+        assert!(cfg.dir.join("mock.manifest.json").exists());
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn failed_leg_without_steal_aborts() {
+        let cfg = DispatchConfig {
+            steal: false,
+            ..tiny_config("nosteal", 2)
+        };
+        let launcher = MockLauncher::new(&cfg.dir, &[(1, &[Behavior::Fail])]);
+        let err = dispatch(&cfg, &launcher).unwrap_err();
+        assert!(err.to_string().contains("--steal"), "{err}");
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn unrecoverable_shard_aborts_siblings_immediately() {
+        // Leg 0 would run forever; leg 1 fails with stealing off. The
+        // dispatch is doomed at that instant and must return (killing
+        // leg 0) instead of waiting on a merge that can never happen —
+        // if this regresses, the test hangs rather than fails.
+        let cfg = DispatchConfig {
+            steal: false,
+            stall_timeout: None,
+            ..tiny_config("abort", 2)
+        };
+        let launcher =
+            MockLauncher::new(&cfg.dir, &[(0, &[Behavior::Hang]), (1, &[Behavior::Fail])]);
+        let err = dispatch(&cfg, &launcher).unwrap_err();
+        assert!(err.to_string().contains("leg 1/2"), "{err}");
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn failed_leg_is_rescued_when_stealing() {
+        let cfg = tiny_config("rescue", 2);
+        let launcher = MockLauncher::new(&cfg.dir, &[(1, &[Behavior::Fail, Behavior::Complete])]);
+        let report = dispatch(&cfg, &launcher).expect("rescue leg completes the shard");
+        assert_eq!(report.launched, 3);
+        assert_eq!(report.rescued, vec![ShardSpec::new(1, 2).unwrap()]);
+        assert!(report.verify.ok());
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn lying_success_without_manifest_is_rescued() {
+        let cfg = tiny_config("liar", 2);
+        let launcher = MockLauncher::new(
+            &cfg.dir,
+            &[(0, &[Behavior::LieAboutSuccess, Behavior::Complete])],
+        );
+        let report = dispatch(&cfg, &launcher).expect("manifest check catches the lie");
+        assert_eq!(report.rescued, vec![ShardSpec::new(0, 2).unwrap()]);
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn stalled_leg_is_killed_and_rescued() {
+        let cfg = DispatchConfig {
+            stall_timeout: Some(Duration::from_millis(30)),
+            ..tiny_config("stall", 2)
+        };
+        let launcher = MockLauncher::new(&cfg.dir, &[(0, &[Behavior::Hang, Behavior::Complete])]);
+        let report = dispatch(&cfg, &launcher).expect("straggler is stall-killed and stolen");
+        let spec = ShardSpec::new(0, 2).unwrap();
+        assert_eq!(report.stalled, vec![spec]);
+        assert_eq!(report.rescued, vec![spec]);
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn stall_timeout_escalates_for_slow_but_healthy_legs() {
+        // The heartbeat is chunk-granular: a leg 40 ms into a long
+        // chunk looks stalled at a 25 ms timeout and is killed — but
+        // the rescue runs at a doubled (50 ms) timeout and must be
+        // allowed to finish instead of looping to the attempt cap.
+        let cfg = DispatchConfig {
+            stall_timeout: Some(Duration::from_millis(25)),
+            ..tiny_config("escalate", 2)
+        };
+        let slow = Behavior::CompleteAfter(Duration::from_millis(40));
+        let launcher = MockLauncher::new(&cfg.dir, &[(0, &[slow, slow])]);
+        let report = dispatch(&cfg, &launcher).expect("doubled timeout lets the chunk finish");
+        let spec = ShardSpec::new(0, 2).unwrap();
+        assert_eq!(report.stalled, vec![spec], "exactly one stall-kill");
+        assert_eq!(report.rescued, vec![spec]);
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn rescue_attempts_are_capped() {
+        let cfg = DispatchConfig {
+            max_attempts: 2,
+            ..tiny_config("cap", 2)
+        };
+        let launcher = MockLauncher::new(
+            &cfg.dir,
+            &[(1, &[Behavior::Fail, Behavior::Fail, Behavior::Fail])],
+        );
+        let err = dispatch(&cfg, &launcher).unwrap_err();
+        assert!(err.to_string().contains("giving up"), "{err}");
+        assert_eq!(
+            launcher.launches.borrow().len(),
+            3,
+            "2 attempts for shard 1"
+        );
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn single_leg_dispatch_canonicalizes_in_place() {
+        let cfg = tiny_config("single", 1);
+        let launcher = MockLauncher::new(&cfg.dir, &[]);
+        let report = dispatch(&cfg, &launcher).expect("degenerate 1-leg dispatch");
+        assert_eq!(report.merge.points, 2);
+        assert!(report.verify.ok());
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn leftover_foreign_family_is_refused_up_front() {
+        let cfg = tiny_config("family", 2);
+        write_leg_artifacts(&cfg.dir, ShardSpec::new(0, 3).unwrap());
+        let launcher = MockLauncher::new(&cfg.dir, &[]);
+        let err = dispatch(&cfg, &launcher).unwrap_err();
+        assert!(err.to_string().contains("leftover shard artifact"), "{err}");
+        assert!(launcher.launches.borrow().is_empty(), "no leg was started");
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn leftover_foreign_store_without_manifest_is_refused_too() {
+        // A killed leg leaves only its `.jsonl` (the manifest is
+        // written at run end) — a store alone must still mark the
+        // stale family.
+        let cfg = tiny_config("family-store", 2);
+        fs::create_dir_all(&cfg.dir).unwrap();
+        let stale = shard::store_file(NAME, ShardSpec::new(1, 3).unwrap());
+        fs::write(cfg.dir.join(stale), "").unwrap();
+        let launcher = MockLauncher::new(&cfg.dir, &[]);
+        let err = dispatch(&cfg, &launcher).unwrap_err();
+        assert!(err.to_string().contains("leftover shard artifact"), "{err}");
+        assert!(launcher.launches.borrow().is_empty(), "no leg was started");
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn leg_count_is_range_checked() {
+        for legs in [0, MAX_LEGS + 1] {
+            let cfg = tiny_config(&format!("range-{legs}"), legs);
+            let launcher = MockLauncher::new(&cfg.dir, &[]);
+            let err = dispatch(&cfg, &launcher).unwrap_err();
+            assert!(err.to_string().contains("legs"), "{err}");
+            assert!(launcher.launches.borrow().is_empty(), "nothing launched");
+        }
+    }
+}

@@ -437,12 +437,12 @@ mod tests {
     #[test]
     fn sharded_manifest_keeps_its_shard_tag() {
         let mut m = sample_manifest();
-        m.settings.shard = ShardSpec::new(1, 3);
+        m.settings.shard = ShardSpec::new(1, 3).unwrap();
         m.points.truncate(1);
         let json = m.render_json();
         assert!(json.contains("\"shard\": \"1/3\""));
         let parsed = Manifest::parse(&json).unwrap();
-        assert_eq!(parsed.settings.shard, ShardSpec::new(1, 3));
+        assert_eq!(parsed.settings.shard, ShardSpec::new(1, 3).unwrap());
         assert_eq!(parsed.points_enumerated, 2);
         assert_eq!(parsed.render_json(), json);
     }

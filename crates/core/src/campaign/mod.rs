@@ -23,7 +23,13 @@
 //!   [`shard::merge`] folds any complete shard set back into files
 //!   byte-identical (manifest) / record-identical (store) to a
 //!   single-host run. [`shard::gc`] and [`shard::verify`] keep
-//!   long-lived stores healthy.
+//!   long-lived stores healthy;
+//! * the **dispatcher** ([`dispatch`]) automates a sharded run: it
+//!   launches the `--shard i/n` legs behind a pluggable [`Launcher`]
+//!   (child processes locally; SSH/queue backends plug into the same
+//!   trait), heartbeat-monitors their artifacts, steals work from dead
+//!   or stalled legs by resuming their stores in a rescue leg, and runs
+//!   merge + verify automatically.
 //!
 //! # Determinism contract
 //!
@@ -62,6 +68,7 @@
 //! ```
 
 pub mod controller;
+pub mod dispatch;
 pub mod hash;
 pub mod manifest;
 pub mod shard;
@@ -80,6 +87,7 @@ use crate::simulator::LinkSimulator;
 use dsp::rng::{derive_seed, STREAM_FAULT_MAP};
 
 pub use controller::{CampaignSettings, PrecisionCheck};
+pub use dispatch::{dispatch, DispatchConfig, DispatchReport, Launcher, Leg, LocalLauncher};
 pub use manifest::{Manifest, ManifestSummary, ManifestTotals};
 pub use shard::ShardSpec;
 pub use store::ResultStore;

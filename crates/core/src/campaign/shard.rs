@@ -50,12 +50,20 @@ impl ShardSpec {
         Self { index: 0, count: 1 }
     }
 
-    /// Builds a spec, panicking on an invalid combination (use the
-    /// `FromStr` impl for fallible parsing of user input).
-    pub fn new(index: u32, count: u32) -> Self {
-        assert!(count >= 1, "shard count must be >= 1");
-        assert!(index < count, "shard index must be < count");
-        Self { index, count }
+    /// Builds a spec, validating `count >= 1` and `index < count`.
+    ///
+    /// Fallible on purpose: the dispatcher constructs specs in a loop
+    /// from flag values, and a bad combination there must surface as an
+    /// error message, not a panic with a backtrace. The `FromStr` impl
+    /// (the `--shard i/n` parser) routes its range check through here so
+    /// both entries reject with the same message.
+    pub fn new(index: u32, count: u32) -> Result<Self, String> {
+        if count == 0 || index >= count {
+            return Err(format!(
+                "expected shard INDEX/COUNT with INDEX < COUNT, got '{index}/{count}'"
+            ));
+        }
+        Ok(Self { index, count })
     }
 
     /// Whether this spec actually splits the point set.
@@ -101,10 +109,7 @@ impl FromStr for ShardSpec {
         let (i, n) = s.split_once('/').ok_or_else(err)?;
         let index: u32 = i.trim().parse().map_err(|_| err())?;
         let count: u32 = n.trim().parse().map_err(|_| err())?;
-        if count == 0 || index >= count {
-            return Err(err());
-        }
-        Ok(Self { index, count })
+        Self::new(index, count).map_err(|_| err())
     }
 }
 
@@ -122,6 +127,35 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// The shard spec encoded in a manifest file name
+/// (`<name>.shard-I-of-N.manifest.json`), or `None` for unsuffixed /
+/// foreign file names.
+fn filename_shard_spec(name: &str, path: &Path) -> Option<ShardSpec> {
+    let stem = path.file_name()?.to_str()?.strip_suffix(".manifest.json")?;
+    artifact_stem_spec(name, stem)
+}
+
+/// The shard spec encoded in **any** shard artifact file name of
+/// `name` — store (`<name>.shard-I-of-N.jsonl`) or manifest
+/// (`<name>.shard-I-of-N.manifest.json`). The dispatcher's pre-flight
+/// scans with this: a killed leg typically leaves only its store (the
+/// manifest is written at run end), and a stale-family store alone is
+/// enough to sabotage a re-dispatch at a different leg count.
+pub fn artifact_shard_spec(name: &str, file_name: &str) -> Option<ShardSpec> {
+    let stem = file_name
+        .strip_suffix(".manifest.json")
+        .or_else(|| file_name.strip_suffix(".jsonl"))?;
+    artifact_stem_spec(name, stem)
+}
+
+/// Parses `<name>.shard-I-of-N` (a file name with its extension already
+/// stripped) into the shard spec.
+fn artifact_stem_spec(name: &str, stem: &str) -> Option<ShardSpec> {
+    let stem = stem.strip_prefix(&format!("{name}.shard-"))?;
+    let (i, n) = stem.split_once("-of-")?;
+    ShardSpec::new(i.parse().ok()?, n.parse().ok()?).ok()
+}
+
 /// Outcome of a [`merge`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MergeReport {
@@ -136,6 +170,10 @@ pub struct MergeReport {
     pub duplicate_chunks: usize,
     /// Malformed store lines skipped (torn tails of killed runs).
     pub malformed_lines: usize,
+    /// Chunk executions the shard legs served from their stores —
+    /// recorded here because the merged manifest normalizes this
+    /// provenance away (see [`merge_manifests`]).
+    pub store_served_chunks: u64,
     /// Path of the merged store.
     pub store_path: PathBuf,
     /// Path of the merged manifest.
@@ -143,10 +181,18 @@ pub struct MergeReport {
 }
 
 /// Discovers the shard manifests of `name` in `dir`
-/// (`<name>.shard-*-of-*.manifest.json`), sorted by shard index.
-pub fn discover_shards(name: &str, dir: &Path) -> io::Result<Vec<PathBuf>> {
+/// (`<name>.shard-*-of-*.manifest.json`) with their filename specs,
+/// sorted by shard index.
+///
+/// A directory holding manifests of **different `of-N` families** (e.g.
+/// `.shard-0-of-2` next to `.shard-1-of-3`, left over from a re-sharded
+/// run) is an error, not a merge candidate: the families partition the
+/// point set differently, so any subset spanning both describes a
+/// nonsense partition. The error tells the operator which families
+/// collided so they can delete the stale one.
+pub fn discover_shard_specs(name: &str, dir: &Path) -> io::Result<Vec<(ShardSpec, PathBuf)>> {
     let prefix = format!("{name}.shard-");
-    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    let mut found: Vec<(ShardSpec, PathBuf)> = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let file_name = entry.file_name();
@@ -157,16 +203,45 @@ pub fn discover_shards(name: &str, dir: &Path) -> io::Result<Vec<PathBuf>> {
         else {
             continue;
         };
-        // `stem` is now "I-of-N"; validate it parses as a shard spec.
+        // `stem` is now "I-of-N"; only a valid shard spec counts as a
+        // shard file (anything else is an unrelated file that happens
+        // to share the prefix).
         let Some((i, n)) = stem.split_once("-of-") else {
             continue;
         };
-        if let (Ok(i), Ok(_)) = (i.parse::<u32>(), n.parse::<u32>()) {
-            found.push((i, entry.path()));
-        }
+        let (Ok(i), Ok(n)) = (i.parse::<u32>(), n.parse::<u32>()) else {
+            continue;
+        };
+        let Ok(spec) = ShardSpec::new(i, n) else {
+            continue;
+        };
+        found.push((spec, entry.path()));
     }
-    found.sort();
-    Ok(found.into_iter().map(|(_, p)| p).collect())
+    let families: BTreeSet<u32> = found.iter().map(|(s, _)| s.count).collect();
+    if families.len() > 1 {
+        return Err(invalid(format!(
+            "mixed shard families for campaign '{name}' in {}: found manifests of {} — \
+             stale leftovers of a re-sharded run; delete every family but the live one \
+             (or merge each family from its own directory)",
+            dir.display(),
+            families
+                .iter()
+                .map(|n| format!("of-{n}"))
+                .collect::<Vec<_>>()
+                .join(" and "),
+        )));
+    }
+    found.sort_by_key(|(s, _)| s.index);
+    Ok(found)
+}
+
+/// The shard manifest paths of `name` in `dir`, sorted by shard index —
+/// [`discover_shard_specs`] without the filename specs.
+pub fn discover_shards(name: &str, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    Ok(discover_shard_specs(name, dir)?
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect())
 }
 
 /// Merges a complete set of shard runs back into the single-host files.
@@ -193,7 +268,21 @@ pub fn merge_manifests(
     }
     let mut parsed: Vec<(PathBuf, Manifest)> = Vec::new();
     for path in manifests {
-        parsed.push((path.clone(), Manifest::read(path)?));
+        let m = Manifest::read(path)?;
+        // A renamed artifact (file says shard I-of-N, content says J/M)
+        // would make the sibling-store lookup below read the wrong
+        // `.jsonl`; refuse it before any statistics are touched.
+        if let Some(file_spec) = filename_shard_spec(&m.name, path) {
+            if file_spec != m.settings.shard {
+                return Err(invalid(format!(
+                    "{}: file is named shard {file_spec} but its manifest records \
+                     shard {} — artifact was renamed or mixed up",
+                    path.display(),
+                    m.settings.shard
+                )));
+            }
+        }
+        parsed.push((path.clone(), m));
     }
 
     // Cross-shard consistency: one campaign, one settings block, one
@@ -242,6 +331,17 @@ pub fn merge_manifests(
     // comes from an untrusted file, so it must not size an allocation.
     let mut points: Vec<_> = parsed.iter().flat_map(|(_, m)| m.points.clone()).collect();
     points.sort_by_key(|p| p.index);
+    // Normalize chunk provenance: how many chunks a leg served from its
+    // own store is a per-run operational detail, and a rescue leg that
+    // resumed a straggler's store (work stealing) would otherwise leave
+    // resume counts a fresh single-host run cannot have. Zeroing them
+    // keeps the merged manifest byte-identical to a single-host run no
+    // matter the resume/steal history that produced the shards.
+    let mut store_served_chunks = 0u64;
+    for p in &mut points {
+        store_served_chunks += p.chunks_from_store as u64;
+        p.chunks_from_store = 0;
+    }
     if !points.iter().map(|p| p.index).eq(0..enumerated) {
         let have: BTreeSet<u64> = points.iter().map(|p| p.index).collect();
         let missing: Vec<u64> = (0..enumerated)
@@ -296,6 +396,7 @@ pub fn merge_manifests(
         chunks: records.len(),
         duplicate_chunks,
         malformed_lines,
+        store_served_chunks,
         store_path,
         manifest_path,
     })
@@ -309,8 +410,7 @@ pub fn merge(name: &str, in_dir: &Path, out_dir: &Path) -> io::Result<MergeRepor
         return Err(io::Error::new(
             io::ErrorKind::NotFound,
             format!(
-                "no '{}' shard manifests in {}",
-                manifest_file(name, ShardSpec::new(0, 2)).replace("0-of-2", "*-of-*"),
+                "no '{name}.shard-*-of-*.manifest.json' shard manifests in {}",
                 in_dir.display()
             ),
         ));
@@ -440,8 +540,12 @@ pub struct GcReport {
     /// Records of live keys that no chunk cover uses (abandoned
     /// schedules, packets beyond the manifest's realized count).
     pub dropped_stale: usize,
-    /// Malformed lines dropped.
+    /// Malformed (torn) lines dropped.
     pub dropped_malformed: usize,
+    /// Corrupt records dropped (parseable lines whose stats violate the
+    /// range invariants, e.g. `delivered > packets` — the ones the
+    /// strict loaders refuse to read past).
+    pub dropped_corrupt: usize,
 }
 
 /// Rewrites the store of `(name, shard)` in `dir` down to the canonical
@@ -453,7 +557,11 @@ pub struct GcReport {
 pub fn gc(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<GcReport> {
     let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
     let store_path = dir.join(store_file(name, shard));
-    let (records, dropped_malformed) = store::load_all(&store_path)?;
+    // Lenient load: gc is the tool the strict loaders point at when they
+    // hit a corrupt record, so it must read past (and drop) the damage.
+    let load = store::load_all_lenient(&store_path)?;
+    let (records, dropped_malformed, dropped_corrupt) =
+        (load.records, load.torn_lines, load.corrupt_records);
 
     let mut by_id: BTreeMap<ChunkId, HarqStats> = BTreeMap::new();
     let mut dropped_duplicates = 0;
@@ -517,6 +625,7 @@ pub fn gc(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<GcReport> {
         dropped_duplicates,
         dropped_stale,
         dropped_malformed,
+        dropped_corrupt,
     })
 }
 
@@ -613,11 +722,26 @@ mod tests {
     #[test]
     fn spec_parsing_and_validation() {
         assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::single());
-        assert_eq!("2/4".parse::<ShardSpec>().unwrap(), ShardSpec::new(2, 4));
+        assert_eq!(
+            "2/4".parse::<ShardSpec>().unwrap(),
+            ShardSpec::new(2, 4).unwrap()
+        );
         for bad in ["", "3", "1/0", "4/4", "5/4", "a/2", "1/b", "-1/2"] {
             assert!(bad.parse::<ShardSpec>().is_err(), "{bad}");
         }
-        assert_eq!(ShardSpec::new(1, 3).to_string(), "1/3");
+        assert_eq!(ShardSpec::new(1, 3).unwrap().to_string(), "1/3");
+    }
+
+    #[test]
+    fn constructor_errors_instead_of_panicking() {
+        // The dispatcher builds specs programmatically, so out-of-range
+        // combinations must be an Err (with the parse wording), never an
+        // assert.
+        for (i, n) in [(0, 0), (1, 0), (2, 2), (5, 4), (u32::MAX, 1)] {
+            let err = ShardSpec::new(i, n).unwrap_err();
+            assert!(err.contains("INDEX < COUNT"), "{i}/{n}: {err}");
+        }
+        assert_eq!(ShardSpec::new(0, 1).unwrap(), ShardSpec::single());
     }
 
     #[test]
@@ -625,7 +749,7 @@ mod tests {
         for count in 1..=5u32 {
             for key in (0u64..200).chain([u64::MAX, u64::MAX - 7]) {
                 let owners: Vec<u32> = (0..count)
-                    .filter(|&i| ShardSpec::new(i, count).owns(key))
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(key))
                     .collect();
                 assert_eq!(owners.len(), 1, "key {key} count {count}: {owners:?}");
             }
@@ -636,11 +760,11 @@ mod tests {
     fn file_names_only_suffix_when_sharded() {
         assert_eq!(store_file("fig6", ShardSpec::single()), "fig6.jsonl");
         assert_eq!(
-            store_file("fig6", ShardSpec::new(0, 2)),
+            store_file("fig6", ShardSpec::new(0, 2).unwrap()),
             "fig6.shard-0-of-2.jsonl"
         );
         assert_eq!(
-            manifest_file("fig6", ShardSpec::new(1, 2)),
+            manifest_file("fig6", ShardSpec::new(1, 2).unwrap()),
             "fig6.shard-1-of-2.manifest.json"
         );
     }
@@ -666,14 +790,10 @@ mod tests {
         assert_eq!(find_cover(&[], 0), Some(vec![]));
     }
 
-    #[test]
-    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
-        let dir = std::env::temp_dir().join(format!("shard-merge-reject-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        fs::create_dir_all(&dir).unwrap();
-        // One shard of a 2-shard set: discovery works, merge refuses.
-        let mut m = Manifest::new("c", super::super::CampaignSettings::default());
-        m.settings.shard = ShardSpec::new(0, 2);
+    /// A minimal single-point shard manifest for file-level tests.
+    fn tiny_manifest(name: &str, spec: ShardSpec) -> Manifest {
+        let mut m = Manifest::new(name, super::super::CampaignSettings::default());
+        m.settings.shard = spec;
         m.points_enumerated = 2;
         m.points.push(crate::campaign::manifest::PointRecord {
             index: 0,
@@ -689,6 +809,16 @@ mod tests {
             chunks: 1,
             chunks_from_store: 0,
         });
+        m
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+        let dir = std::env::temp_dir().join(format!("shard-merge-reject-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // One shard of a 2-shard set: discovery works, merge refuses.
+        let m = tiny_manifest("c", ShardSpec::new(0, 2).unwrap());
         m.write(&dir.join(manifest_file("c", m.settings.shard)))
             .unwrap();
         fs::write(dir.join(store_file("c", m.settings.shard)), "").unwrap();
@@ -696,6 +826,50 @@ mod tests {
         assert_eq!(found.len(), 1);
         let err = merge("c", &dir, &dir.join("out")).unwrap_err();
         assert!(err.to_string().contains("missing indices"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discovery_rejects_mixed_shard_families() {
+        let dir = std::env::temp_dir().join(format!("shard-mixed-family-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // `.shard-0-of-2` next to `.shard-1-of-3`: leftovers of a
+        // re-sharded run must not be merged as one partition.
+        for spec in [ShardSpec::new(0, 2).unwrap(), ShardSpec::new(1, 3).unwrap()] {
+            tiny_manifest("c", spec)
+                .write(&dir.join(manifest_file("c", spec)))
+                .unwrap();
+            fs::write(dir.join(store_file("c", spec)), "").unwrap();
+        }
+        let err = discover_shards("c", &dir).unwrap_err();
+        assert!(err.to_string().contains("mixed shard families"), "{err}");
+        assert!(err.to_string().contains("of-2 and of-3"), "{err}");
+        let err = merge("c", &dir, &dir.join("out")).unwrap_err();
+        assert!(err.to_string().contains("mixed shard families"), "{err}");
+        // A single-family dir (even incomplete) discovers fine.
+        fs::remove_file(dir.join(manifest_file("c", ShardSpec::new(1, 3).unwrap()))).unwrap();
+        assert_eq!(discover_shards("c", &dir).unwrap().len(), 1);
+        // Another campaign's files in the same dir are not a family mix.
+        tiny_manifest("d", ShardSpec::new(0, 3).unwrap())
+            .write(&dir.join(manifest_file("d", ShardSpec::new(0, 3).unwrap())))
+            .unwrap();
+        assert_eq!(discover_shards("c", &dir).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_rejects_renamed_shard_artifacts() {
+        let dir = std::env::temp_dir().join(format!("shard-renamed-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Content says 1/2, file name says 0/2 — the sibling-store
+        // lookup would read the wrong `.jsonl`.
+        let m = tiny_manifest("c", ShardSpec::new(1, 2).unwrap());
+        let wrong_name = dir.join(manifest_file("c", ShardSpec::new(0, 2).unwrap()));
+        m.write(&wrong_name).unwrap();
+        let err = merge_manifests("c", &[wrong_name], &dir.join("out")).unwrap_err();
+        assert!(err.to_string().contains("renamed"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -81,15 +81,26 @@ impl ResultStore {
         let mut records = HashMap::new();
         if resume && exists {
             let reader = BufReader::new(File::open(&path)?);
-            for line in reader.lines() {
+            for (line_no, line) in reader.lines().enumerate() {
                 let line = line?;
-                // Tolerate torn tails from interrupted runs: a line that
-                // does not parse is skipped, not fatal. (I/O errors are
-                // fatal — see above.)
-                if let Some((id, stats)) = parse_record(&line) {
-                    records.insert(id, stats);
+                // Torn tails of interrupted runs are skipped, not fatal;
+                // records that parse but violate the stats invariants
+                // are corruption and must not feed merged statistics.
+                match classify_record(&line) {
+                    Ok((id, stats)) => {
+                        records.insert(id, stats);
+                    }
+                    Err(LineIssue::Torn) => {}
+                    Err(LineIssue::Corrupt(why)) => {
+                        return Err(corrupt_error(&path, line_no, &why));
+                    }
                 }
             }
+            // A killed writer can leave the final line without its
+            // newline. Terminate it now, or the first fresh append of
+            // this (rescue) run would concatenate onto the torn tail
+            // and turn a valid new record into a second torn line.
+            terminate_torn_tail(&path)?;
         }
         Ok(Self {
             path,
@@ -155,21 +166,63 @@ impl ResultStore {
 /// keeping duplicates** (unlike [`ResultStore::open`], which keeps the
 /// last write per [`ChunkId`]). Returns the records plus the count of
 /// malformed lines skipped — the merge/GC admin tooling reports both.
+///
+/// This is the **strict** loader: a record that parses but violates the
+/// stats invariants (`delivered > packets`, or a stats block covering a
+/// different packet count than the chunk range claims) is corruption —
+/// folding it into merged statistics would underflow the failure count
+/// and produce a garbage BLER — so it is an error pointing the operator
+/// at `campaign-admin gc`, never a silent skip. Torn (unparseable)
+/// tails of killed runs remain tolerated and counted.
 pub fn load_all(path: &Path) -> std::io::Result<(Vec<(ChunkId, HarqStats)>, usize)> {
     let reader = BufReader::new(File::open(path)?);
     let mut records = Vec::new();
     let mut malformed = 0usize;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match classify_record(&line) {
+            Ok(rec) => records.push(rec),
+            Err(LineIssue::Torn) => malformed += 1,
+            Err(LineIssue::Corrupt(why)) => return Err(corrupt_error(path, line_no, &why)),
+        }
+    }
+    Ok((records, malformed))
+}
+
+/// What [`load_all_lenient`] read: the surviving records plus tallies
+/// of everything it had to drop.
+#[derive(Debug, Default)]
+pub struct LenientLoad {
+    /// Valid records in file order, duplicates kept.
+    pub records: Vec<(ChunkId, HarqStats)>,
+    /// Unparseable (torn) lines skipped.
+    pub torn_lines: usize,
+    /// Parseable records dropped for violating the range invariants.
+    pub corrupt_records: usize,
+}
+
+/// The **lenient** loader behind `campaign-admin gc`: corrupt records
+/// (the ones [`load_all`] refuses) are dropped and counted instead of
+/// fatal — gc is the tool the strict loaders tell the operator to run,
+/// so it must be able to read past the damage it is asked to remove.
+pub fn load_all_lenient(path: &Path) -> std::io::Result<LenientLoad> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut load = LenientLoad::default();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        match parse_record(&line) {
-            Some(rec) => records.push(rec),
-            None => malformed += 1,
+        match classify_record(&line) {
+            Ok(rec) => load.records.push(rec),
+            Err(LineIssue::Torn) => load.torn_lines += 1,
+            Err(LineIssue::Corrupt(_)) => load.corrupt_records += 1,
         }
     }
-    Ok((records, malformed))
+    Ok(load)
 }
 
 /// Writes a store file containing exactly `records`, in the given
@@ -209,7 +262,53 @@ fn encode_record(id: ChunkId, stats: &HarqStats) -> String {
     )
 }
 
-/// Parses a record line; `None` on any malformed input.
+/// Appends a newline to `path` if its last byte is not one (the tail a
+/// `SIGKILL` mid-`writeln` leaves), so subsequent appends start on a
+/// fresh line. The torn line itself stays in place — it is skipped on
+/// every load and `campaign-admin gc` drops it.
+fn terminate_torn_tail(path: &Path) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+    if file.seek(SeekFrom::End(0))? == 0 {
+        return Ok(());
+    }
+    file.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    file.read_exact(&mut last)?;
+    if last != [b'\n'] {
+        file.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Why a store line was rejected: torn lines (truncated writes — a
+/// field is missing or unparseable) are routine and tolerated; corrupt
+/// records parse fully but violate the stats invariants, so using them
+/// would poison merged statistics.
+enum LineIssue {
+    Torn,
+    Corrupt(String),
+}
+
+/// The error a strict loader raises for a corrupt record — it names the
+/// recovery tool because the strict loaders themselves refuse to read
+/// past the damage.
+fn corrupt_error(path: &Path, line_no: usize, why: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!(
+            "{}:{}: corrupt store record ({why}); run `campaign-admin gc` to drop \
+             corrupt records, or delete the line by hand",
+            path.display(),
+            line_no + 1,
+        ),
+    )
+}
+
+/// Parses the raw fields of a record line; `None` when a field is
+/// missing or unparseable (torn tail). Invariants between the fields
+/// are **not** checked here — that is [`classify_record`]'s job, so the
+/// strict loaders can distinguish a routine torn line from corruption.
 fn parse_record(line: &str) -> Option<(ChunkId, HarqStats)> {
     let point = u64::from_str_radix(&json_str_field(line, "point")?, 16).ok()?;
     let id = ChunkId {
@@ -224,10 +323,25 @@ fn parse_record(line: &str) -> Option<(ChunkId, HarqStats)> {
         info_bits: json_u64_field(line, "info_bits")?,
         failures_at: json_u64_array_field(line, "failures_at")?,
     };
-    if stats.packets != id.n_packets as u64 || stats.delivered > stats.packets {
-        return None;
-    }
     Some((id, stats))
+}
+
+/// Parses and range-validates one store line.
+fn classify_record(line: &str) -> Result<(ChunkId, HarqStats), LineIssue> {
+    let (id, stats) = parse_record(line).ok_or(LineIssue::Torn)?;
+    if stats.packets != id.n_packets as u64 {
+        return Err(LineIssue::Corrupt(format!(
+            "stats cover {} packets but the chunk range claims {}",
+            stats.packets, id.n_packets
+        )));
+    }
+    if stats.delivered > stats.packets {
+        return Err(LineIssue::Corrupt(format!(
+            "delivered {} > packets {} would underflow the failure count",
+            stats.delivered, stats.packets
+        )));
+    }
+    Ok((id, stats))
 }
 
 /// The raw text following `"name":` up to the next `,`/`}`/`]`.
@@ -327,10 +441,69 @@ mod tests {
         };
         let full = encode_record(id, &sample_stats());
         assert!(parse_record(&full[..full.len() / 2]).is_none());
-        // Packet-count mismatch is rejected.
-        let mut wrong = sample_stats();
-        wrong.packets = 9;
-        assert!(parse_record(&encode_record(id, &wrong)).is_none());
+        assert!(matches!(
+            classify_record(&full[..full.len() / 2]),
+            Err(LineIssue::Torn)
+        ));
+    }
+
+    #[test]
+    fn invariant_violations_classify_as_corrupt_not_torn() {
+        let id = ChunkId {
+            point: 1,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        // Packet-count mismatch against the chunk range.
+        let mut wrong_len = sample_stats();
+        wrong_len.packets = 9;
+        assert!(matches!(
+            classify_record(&encode_record(id, &wrong_len)),
+            Err(LineIssue::Corrupt(_))
+        ));
+        // delivered > packets would underflow `packets - delivered`.
+        let mut inverted = sample_stats();
+        inverted.delivered = inverted.packets + 1;
+        let Err(LineIssue::Corrupt(why)) = classify_record(&encode_record(id, &inverted)) else {
+            panic!("delivered > packets must classify as corrupt");
+        };
+        assert!(why.contains("underflow"), "{why}");
+    }
+
+    #[test]
+    fn corrupt_records_are_a_load_error_pointing_at_gc() {
+        let path = temp_store_path("corrupt");
+        let _ = fs::remove_file(&path);
+        let id = ChunkId {
+            point: 3,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        let mut bad = sample_stats();
+        bad.delivered = bad.packets + 4;
+        let good = encode_record(
+            ChunkId {
+                point: 4,
+                first_packet: 0,
+                n_packets: 8,
+            },
+            &sample_stats(),
+        );
+        fs::write(&path, format!("{good}\n{}\n", encode_record(id, &bad))).unwrap();
+
+        // Both strict loaders refuse, naming the recovery tool and the
+        // offending line.
+        let err = load_all(&path).unwrap_err();
+        assert!(err.to_string().contains("campaign-admin gc"), "{err}");
+        assert!(err.to_string().contains(":2:"), "{err}");
+        let err = ResultStore::open(&path, true).unwrap_err();
+        assert!(err.to_string().contains("campaign-admin gc"), "{err}");
+
+        // The lenient loader (gc's entry) drops and counts it.
+        let load = load_all_lenient(&path).unwrap();
+        assert_eq!(load.records.len(), 1);
+        assert_eq!((load.torn_lines, load.corrupt_records), (0, 1));
+        let _ = fs::remove_file(&path);
     }
 
     #[test]
@@ -357,6 +530,36 @@ mod tests {
         // --no-resume truncates.
         let store = ResultStore::open(&path, false).unwrap();
         assert!(store.is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_store_never_appends_onto_a_torn_tail() {
+        // A SIGKILL mid-writeln leaves a final line without its
+        // newline; a rescue leg resuming that store must not weld its
+        // first fresh record onto the torn prefix.
+        let path = temp_store_path("torn-tail");
+        let _ = fs::remove_file(&path);
+        let id = ChunkId {
+            point: 9,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        let torn = &encode_record(id, &sample_stats())[..30];
+        fs::write(&path, torn).unwrap(); // no trailing newline
+        let fresh = ChunkId {
+            point: 10,
+            first_packet: 0,
+            n_packets: 8,
+        };
+        {
+            let mut store = ResultStore::open(&path, true).unwrap();
+            assert!(store.is_empty(), "torn line is not a record");
+            store.put(fresh, &sample_stats()).unwrap();
+        }
+        let (records, malformed) = load_all(&path).unwrap();
+        assert_eq!(malformed, 1, "torn prefix stays torn");
+        assert_eq!(records, vec![(fresh, sample_stats())]);
         let _ = fs::remove_file(&path);
     }
 

@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn with_shard_applies_only_under_a_campaign() {
         use crate::campaign::ShardSpec;
-        let spec = ShardSpec::new(1, 2);
+        let spec = ShardSpec::new(1, 2).unwrap();
         let sharded = ExperimentBudget::smoke()
             .with_campaign(CampaignSettings::default())
             .with_shard(spec);

@@ -86,7 +86,7 @@ fn two_shards_merge_back_to_the_single_host_run() {
 
     let reference = run_grid(&ref_dir, ShardSpec::single());
     for i in 0..2 {
-        let c = run_grid(&shard_dir, ShardSpec::new(i, 2));
+        let c = run_grid(&shard_dir, ShardSpec::new(i, 2).unwrap());
         // A shard's files are suffixed and hold only what it owns.
         assert!(c
             .store_path()
@@ -129,7 +129,7 @@ fn every_point_is_owned_by_exactly_one_shard() {
     }
     let mut owners_per_point: Vec<usize> = vec![0; 6];
     for i in 0..3 {
-        let c = run_grid(&dirs[i as usize], ShardSpec::new(i, 3));
+        let c = run_grid(&dirs[i as usize], ShardSpec::new(i, 3).unwrap());
         let manifest = c.manifest();
         assert_eq!(manifest.points_enumerated, 6);
         for p in &manifest.points {
@@ -250,6 +250,42 @@ fn gc_and_verify_round_trip() {
 }
 
 #[test]
+fn corrupt_store_records_error_loudly_and_gc_recovers() {
+    let dir = temp_dir("corrupt");
+    let _ = fs::remove_dir_all(&dir);
+    let campaign = run_grid(&dir, ShardSpec::single());
+    let store_path = campaign.store_path();
+
+    // A record that parses but claims more deliveries than packets
+    // would underflow `packets - delivered` into a garbage BLER. Every
+    // strict load path must refuse it and point at the recovery tool.
+    let corrupt = "{\"point\":\"00000000000000aa\",\"first\":0,\"len\":8,\"packets\":8,\
+                   \"delivered\":9,\"transmissions\":8,\"info_bits\":100,\"failures_at\":[]}";
+    let mut text = fs::read_to_string(&store_path).unwrap();
+    text.push_str(corrupt);
+    text.push('\n');
+    fs::write(&store_path, text).unwrap();
+
+    for result in [
+        shard::verify(NAME, &dir, ShardSpec::single()).map(|_| ()),
+        shard::stats(NAME, &dir, ShardSpec::single()).map(|_| ()),
+        store::load_all(&store_path).map(|_| ()),
+        resilience_core::campaign::ResultStore::open(&store_path, true).map(|_| ()),
+    ] {
+        let err = result.expect_err("strict path must refuse a corrupt record");
+        assert!(err.to_string().contains("campaign-admin gc"), "{err}");
+    }
+
+    // gc — the tool those errors name — drops exactly the corruption.
+    let gc = shard::gc(NAME, &dir, ShardSpec::single()).unwrap();
+    assert_eq!(gc.dropped_corrupt, 1);
+    assert_eq!(gc.dropped_orphans, 0);
+    let after = shard::verify(NAME, &dir, ShardSpec::single()).unwrap();
+    assert!(after.ok(), "{:?}", after.problems);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn stats_summarizes_store_and_manifest() {
     let dir = temp_dir("stats");
     let _ = fs::remove_dir_all(&dir);
@@ -286,7 +322,7 @@ mod properties {
             let reference = run_grid(&ref_dir, ShardSpec::single());
             let mut manifests = Vec::new();
             for i in 0..n_shards {
-                let spec = ShardSpec::new(i as u32, n_shards as u32);
+                let spec = ShardSpec::new(i as u32, n_shards as u32).unwrap();
                 let c = run_grid(&shard_dir, spec);
                 manifests.push(c.manifest_path());
             }
