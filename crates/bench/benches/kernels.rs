@@ -12,7 +12,10 @@ use dsp::LlrQuantizer;
 use hspa_phy::channel::{ChannelModel, MultipathChannel};
 use hspa_phy::equalizer::MmseEqualizer;
 use hspa_phy::modulation::Modulation;
-use hspa_phy::turbo::{TurboCode, TurboInterleaver};
+use hspa_phy::turbo::{
+    AccuracyTier, DecodeResult, DecoderConfig, TurboBatchScratch, TurboCode, TurboInterleaver,
+    TurboScratch,
+};
 use silicon::fault_map::{FaultKind, FaultMap};
 use silicon::yield_model::yield_accepting;
 
@@ -36,6 +39,59 @@ fn bench_turbo(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("interleaver_build", k), &k, |b, _| {
             b.iter(|| black_box(TurboInterleaver::new(black_box(k)).unwrap()));
         });
+    }
+    group.finish();
+}
+
+/// Scalar vs lockstep SISO: the same decode work fed through the serial
+/// `decode_into` path and through `TurboBatchScratch` at 1, 4 and 8
+/// lanes. Per-iteration work is held constant — a batched iteration
+/// decodes `lanes` codewords — so `time / lanes` is the per-codeword
+/// cost and the lockstep speedup reads directly off the report.
+fn bench_siso_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("siso");
+    let k = 624usize;
+    let code = TurboCode::new(k).unwrap();
+    let mut rng = seeded(k as u64);
+    // Noisy enough that the decoder runs all 6 iterations instead of
+    // stopping at the first agreement — benches the full sweep cost.
+    let lane_llrs: Vec<Vec<f64>> = (0..8)
+        .map(|_| {
+            let bits = random_bits(&mut rng, k);
+            code.encode(&bits)
+                .iter()
+                .map(|&b| {
+                    let x = 1.0 - 2.0 * b as f64;
+                    0.8 * (x + 1.4 * dsp::rng::standard_normal(&mut rng))
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut scratch = TurboScratch::new();
+    let mut out = DecodeResult::new();
+    group.bench_function("scalar_decode6it_624", |b| {
+        b.iter(|| {
+            code.decode_into(black_box(&lane_llrs[0]), 6, &mut scratch, &mut out);
+            black_box(out.iterations_run)
+        });
+    });
+
+    let mut batch = TurboBatchScratch::new();
+    for tier in [AccuracyTier::Exact, AccuracyTier::Fast32] {
+        for &lanes in &[1usize, 4, 8] {
+            let id = BenchmarkId::new(format!("lockstep_{tier}_decode6it_624"), lanes);
+            group.bench_with_input(id, &lanes, |b, &lanes| {
+                b.iter(|| {
+                    batch.begin_batch(code.coded_len());
+                    for llrs in &lane_llrs[..lanes] {
+                        batch.push_lane(black_box(llrs));
+                    }
+                    code.decode_batch(DecoderConfig::new(6, tier), &mut batch, None);
+                    black_box(batch.iterations_run(lanes - 1))
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -112,6 +168,6 @@ fn bench_silicon(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_turbo, bench_equalizer, bench_demapper, bench_silicon
+    targets = bench_turbo, bench_siso_batch, bench_equalizer, bench_demapper, bench_silicon
 }
 criterion_main!(benches);

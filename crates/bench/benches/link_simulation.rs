@@ -7,13 +7,15 @@
 //!    backends and SNRs (the kernel every Monte-Carlo point repeats) —
 //!    with a per-stage breakdown when built with `--features
 //!    bench-instrument`.
-//! 2. Engine throughput (packets/sec) at 1 worker vs
-//!    `max(2, available CPUs)` workers over a realistic operating grid,
-//!    written to `BENCH_engine.json` so future changes have a
-//!    machine-readable perf trajectory (the parallel leg always runs
-//!    with at least two workers so thread scaling is actually
-//!    exercised; the recorded `host_cpus` says how much hardware backed
-//!    it).
+//! 2. Engine throughput (packets/sec) over a realistic operating grid:
+//!    the scalar batch-1 path (comparable to pre-batching baselines),
+//!    the default lockstep wave (`SimulationEngine::DEFAULT_BATCH`
+//!    lanes) for each accuracy tier, and
+//!    `max(2, available CPUs)` workers — all written to
+//!    `BENCH_engine.json` so future changes have a machine-readable
+//!    perf trajectory (the parallel leg always runs with at least two
+//!    workers so thread scaling is actually exercised; the recorded
+//!    `host_cpus` says how much hardware backed it).
 //! 3. Campaign adaptivity on the fig6a (defect × SNR) grid: how many
 //!    packets the Wilson-CI controller needs versus the fixed budget at
 //!    the default precision target (also recorded in the JSON).
@@ -30,6 +32,7 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use hspa_phy::turbo::AccuracyTier;
 use resilience_core::campaign::controller::WILSON_Z;
 use resilience_core::campaign::{Campaign, CampaignSettings, ManifestTotals};
 use resilience_core::config::SystemConfig;
@@ -112,10 +115,15 @@ fn bench_single_packet() {
     }
 }
 
-fn measure_engine(threads: usize, packets_per_point: usize) -> EngineSample {
-    let cfg = SystemConfig::paper_64qam();
+fn measure_engine(
+    threads: usize,
+    batch: usize,
+    tier: AccuracyTier,
+    packets_per_point: usize,
+) -> EngineSample {
+    let cfg = SystemConfig::paper_64qam().with_tier(tier);
     let sim = LinkSimulator::new(cfg);
-    let engine = SimulationEngine::with_threads(threads);
+    let engine = SimulationEngine::with_threads(threads).batch_lanes(batch);
     let storages = [
         StorageConfig::Quantized,
         StorageConfig::unprotected(0.10, cfg.llr_bits),
@@ -203,18 +211,39 @@ fn main() {
     // measure the serial path twice (the committed baseline once
     // recorded exactly that as "parallel": {"threads": 1}).
     let parallel_threads = host_cpus.max(2);
-    let serial = measure_engine(1, packets_per_point);
-    let parallel = measure_engine(parallel_threads, packets_per_point);
+    let batch = resilience_core::engine::SimulationEngine::DEFAULT_BATCH;
+    // `serial` stays the scalar (batch = 1) Exact path — directly
+    // comparable to the committed baselines from before lockstep
+    // batching existed. `batched_serial` is the engine's actual default
+    // configuration and carries its own regression gate in nightly CI.
+    let serial = measure_engine(1, 1, AccuracyTier::Exact, packets_per_point);
+    let batched_serial = measure_engine(1, batch, AccuracyTier::Exact, packets_per_point);
+    let batched_earlystop = measure_engine(1, batch, AccuracyTier::EarlyStop, packets_per_point);
+    let batched_fast32 = measure_engine(1, batch, AccuracyTier::Fast32, packets_per_point);
+    let parallel = measure_engine(
+        parallel_threads,
+        batch,
+        AccuracyTier::Exact,
+        packets_per_point,
+    );
+    let batch_speedup = batched_serial.packets_per_sec() / serial.packets_per_sec();
     let speedup = parallel.packets_per_sec() / serial.packets_per_sec();
-    for s in [&serial, &parallel] {
+    for (label, s) in [
+        ("scalar", &serial),
+        ("batched", &batched_serial),
+        ("batched-earlystop", &batched_earlystop),
+        ("batched-fast32", &batched_fast32),
+        ("parallel", &parallel),
+    ] {
         println!(
-            "bench engine/threads={} {:>10.1} packets/sec ({} packets in {:.2}s)",
+            "bench engine/{label}/threads={} {:>10.1} packets/sec ({} packets in {:.2}s)",
             s.threads,
             s.packets_per_sec(),
             s.packets,
             s.seconds
         );
     }
+    println!("lockstep speedup at {batch} lanes, 1 thread: {batch_speedup:.2}x");
     println!(
         "engine speedup at {} threads ({host_cpus} host CPUs): {speedup:.2}x",
         parallel.threads
@@ -253,6 +282,7 @@ fn main() {
     let _ = writeln!(json, "  \"packets_per_point\": {packets_per_point},");
     let _ = writeln!(json, "  \"grid_points\": 9,");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"batch_lanes\": {batch},");
     let _ = writeln!(
         json,
         "  \"serial\": {{\"threads\": 1, \"packets_per_sec\": {:.2}}},",
@@ -260,10 +290,26 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"parallel\": {{\"threads\": {}, \"packets_per_sec\": {:.2}}},",
+        "  \"batched_serial\": {{\"threads\": 1, \"batch\": {batch}, \"packets_per_sec\": {:.2}}},",
+        batched_serial.packets_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched_earlystop\": {{\"threads\": 1, \"batch\": {batch}, \"packets_per_sec\": {:.2}}},",
+        batched_earlystop.packets_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched_fast32\": {{\"threads\": 1, \"batch\": {batch}, \"packets_per_sec\": {:.2}}},",
+        batched_fast32.packets_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel\": {{\"threads\": {}, \"batch\": {batch}, \"packets_per_sec\": {:.2}}},",
         parallel.threads,
         parallel.packets_per_sec()
     );
+    let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.3},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(
         json,

@@ -8,7 +8,7 @@ use resilience_core::experiments::fig2;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let budget = budget_from_args(&args);
-    let cfg = SystemConfig::paper_64qam();
+    let cfg = SystemConfig::paper_64qam().with_tier(budget.accuracy_tier);
     println!("{}", banner("Fig. 2", "BLER vs HARQ transmission", budget));
     let res = fig2::run(&cfg, budget);
     println!("{}", res.table());

@@ -7,6 +7,11 @@
 //! * `--packets N` / `--max-packets N` — per-point packet budget (the
 //!   escalation **cap** under a campaign);
 //! * `--seed S`, `--threads T` — as before;
+//! * `--batch N` — engine decode batch width (`0`/unset = engine
+//!   default). Bit-identical at every width — a pure throughput knob;
+//! * `--accuracy-tier TIER` — decoder tier (`exact`, `early-stop`,
+//!   `fast32`). Non-default tiers change Monte-Carlo outcomes and get
+//!   their own campaign fingerprints (stores never mix tiers);
 //! * `--precision P` — target relative half-width of the per-point BLER
 //!   confidence interval (default 0.25);
 //! * `--bler-floor F` — BLER below which a point counts as resolved;
@@ -28,6 +33,7 @@
 
 use std::path::Path;
 
+use hspa_phy::turbo::AccuracyTier;
 use resilience_core::campaign::{manifest, Campaign, CampaignSettings, ShardSpec};
 use resilience_core::experiments::ExperimentBudget;
 
@@ -56,6 +62,16 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
             "--threads" => {
                 if let Some(v) = next_parsed::<usize>(&mut it) {
                     budget.threads = v;
+                }
+            }
+            "--batch" => {
+                if let Some(v) = next_parsed::<usize>(&mut it) {
+                    budget.batch = v;
+                }
+            }
+            "--accuracy-tier" => {
+                if let Some(v) = next_parsed::<AccuracyTier>(&mut it) {
+                    budget.accuracy_tier = v;
                 }
             }
             "--precision" => {
@@ -132,8 +148,13 @@ pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
         }
         None => "one-shot".into(),
     };
+    let tier = if budget.accuracy_tier == AccuracyTier::Exact {
+        String::new()
+    } else {
+        format!(", tier {}", budget.accuracy_tier)
+    };
     format!(
-        "=== DAC'12 reproduction — {figure}: {what}\n=== packets/point <= {}, seed = {:#x}, {mode}\n",
+        "=== DAC'12 reproduction — {figure}: {what}\n=== packets/point <= {}, seed = {:#x}, {mode}{tier}\n",
         budget.packets_per_point, budget.seed
     )
 }
@@ -382,6 +403,29 @@ mod tests {
     fn parses_threads() {
         assert_eq!(budget_from_args(&args(&["--threads", "4"])).threads, 4);
         assert_eq!(budget_from_args(&[]).threads, 0, "default is auto");
+    }
+
+    #[test]
+    fn parses_batch_and_tier() {
+        let b = budget_from_args(&args(&["--batch", "4", "--accuracy-tier", "fast32"]));
+        assert_eq!(b.batch, 4);
+        assert_eq!(b.accuracy_tier, AccuracyTier::Fast32);
+        let d = budget_from_args(&[]);
+        assert_eq!(d.batch, 0, "default is the engine's batch width");
+        assert_eq!(d.accuracy_tier, AccuracyTier::Exact);
+        // Malformed values keep the defaults, like every other flag.
+        for bad in [&["--batch", "x"][..], &["--accuracy-tier", "f16"]] {
+            let b = budget_from_args(&args(bad));
+            assert_eq!(b.batch, d.batch, "{bad:?}");
+            assert_eq!(b.accuracy_tier, d.accuracy_tier, "{bad:?}");
+        }
+        // The banner flags a non-default tier; the default stays silent.
+        let text = banner("figX", "t", b);
+        assert!(text.contains("tier fast32"), "{text}");
+        assert!(
+            !banner("figX", "t", d).contains("tier "),
+            "default tier is silent"
+        );
     }
 
     #[test]

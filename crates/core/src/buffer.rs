@@ -66,6 +66,19 @@ impl LlrBuffer for QuantizedLlrBuffer {
         out.extend(self.codes.iter().map(|&c| self.quantizer.dequantize(c)));
     }
 
+    fn store_load(&mut self, data: &mut Vec<f64>) {
+        assert_eq!(data.len(), self.codes.len(), "buffer length mismatch");
+        // One sweep: quantize, store the code, hand the decoded value
+        // straight back — exactly store + load_into without re-walking
+        // the code array.
+        let q = self.quantizer;
+        for (c, l) in self.codes.iter_mut().zip(data.iter_mut()) {
+            let w = q.quantize(*l);
+            *c = w;
+            *l = q.dequantize(w);
+        }
+    }
+
     fn reset(&mut self) {
         self.codes.fill(self.quantizer.quantize(0.0));
     }
@@ -130,29 +143,62 @@ impl LlrBuffer for FaultyLlrBuffer {
             self.memory.words() as usize,
             "buffer length mismatch"
         );
-        for (addr, &l) in llrs.iter().enumerate() {
-            self.memory.write(addr as u32, self.quantizer.quantize(l));
-        }
+        // Bulk path: one tight quantize loop instead of a per-word
+        // bounds-checked write (this runs once per HARQ attempt).
+        let q = self.quantizer;
+        self.memory.fill_from(llrs.iter().map(|&l| q.quantize(l)));
     }
 
     fn load(&self) -> Vec<f64> {
-        (0..self.memory.words())
-            .map(|addr| self.quantizer.dequantize(self.memory.read(addr)))
-            .collect()
+        let mut out = Vec::new();
+        self.load_into(&mut out);
+        out
     }
 
     fn load_into(&self, out: &mut Vec<f64>) {
+        // Fused corrupt + dequantize over plain slices (no per-element
+        // capacity or bounds checks), applying exactly
+        // `FaultMap::corrupt` per word. This is the hottest buffer loop:
+        // it runs twice per HARQ combine.
+        let data = self.memory.pristine_words();
+        let q = self.quantizer;
         out.clear();
-        out.extend(
-            (0..self.memory.words()).map(|addr| self.quantizer.dequantize(self.memory.read(addr))),
+        out.resize(data.len(), 0.0);
+        match self.memory.fault_map().masks() {
+            None => {
+                for (o, &v) in out.iter_mut().zip(data) {
+                    *o = q.dequantize(v);
+                }
+            }
+            Some((xor, clear, set)) => {
+                for ((o, &v), ((&x, &c), &s)) in
+                    out.iter_mut().zip(data).zip(xor.iter().zip(clear).zip(set))
+                {
+                    *o = q.dequantize(((v ^ x) & !c) | s);
+                }
+            }
+        }
+    }
+
+    fn store_load(&mut self, data: &mut Vec<f64>) {
+        assert_eq!(
+            data.len(),
+            self.memory.words() as usize,
+            "buffer length mismatch"
         );
+        // The HARQ combiner's write-then-read round trip as one sweep:
+        // quantize, store the pristine word, and dequantize the
+        // corrupted read-back in place — the same word and mask ops as
+        // store + load_into, minus the second walk over the array.
+        let q = self.quantizer;
+        self.memory
+            .write_read_all(data, |&l| q.quantize(l), |w| q.dequantize(w));
     }
 
     fn reset(&mut self) {
         let zero = self.quantizer.quantize(0.0);
-        for addr in 0..self.memory.words() {
-            self.memory.write(addr, zero);
-        }
+        self.memory
+            .fill_from(std::iter::repeat_n(zero, self.memory.words() as usize));
     }
 }
 

@@ -29,7 +29,12 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// canonical string — or to simulation behavior itself (decoder,
 /// channel, buffer semantics) — so stale stores miss instead of
 /// replaying results computed by older physics.
-pub const FINGERPRINT_VERSION: u32 = 1;
+///
+/// v2: `SystemConfig` grew `accuracy_tier` (its `Debug` repr, and so the
+/// canonical string, changed); stores keyed by v1 predate tiered
+/// decoding and must miss. The batch width is deliberately *not* part of
+/// the fingerprint — batched and unbatched runs are bit-identical.
+pub const FINGERPRINT_VERSION: u32 = 2;
 
 /// Canonical fingerprint of one engine-backed operating point.
 ///
@@ -86,6 +91,12 @@ mod tests {
         let cfg = SystemConfig::fast_test();
         let mut cfg2 = cfg;
         cfg2.decoder_iterations += 1;
+        let tiered = cfg.with_tier(hspa_phy::turbo::AccuracyTier::Fast32);
+        assert_ne!(
+            point_fingerprint(&cfg, &StorageConfig::Perfect, 10.0, 42, None),
+            point_fingerprint(&tiered, &StorageConfig::Perfect, 10.0, 42, None),
+            "accuracy tier must key the store"
+        );
         let s = StorageConfig::Quantized;
         let s2 = StorageConfig::unprotected(0.1, cfg.llr_bits);
         let base = point_fingerprint(&cfg, &s, 10.0, 42, None);

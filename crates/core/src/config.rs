@@ -5,6 +5,7 @@
 
 use dsp::{LlrFormat, LlrQuantizer};
 use hspa_phy::harq::HarqCombining;
+use hspa_phy::turbo::AccuracyTier;
 use hspa_phy::Modulation;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +57,11 @@ pub struct SystemConfig {
     pub channel: ChannelKind,
     /// MMSE equalizer taps (ignored for AWGN).
     pub equalizer_taps: usize,
+    /// Turbo-decoder accuracy tier. `Exact` (the default) is the
+    /// bit-exact `f64` reference; `EarlyStop` adds the CRC-gated
+    /// iteration stop; `Fast32` runs single-precision trellis metrics.
+    /// Part of the campaign point fingerprint — stores never mix tiers.
+    pub accuracy_tier: AccuracyTier,
 }
 
 impl SystemConfig {
@@ -80,6 +86,7 @@ impl SystemConfig {
             combining: HarqCombining::IncrementalRedundancy,
             channel: ChannelKind::PedestrianA,
             equalizer_taps: 15,
+            accuracy_tier: AccuracyTier::Exact,
         }
     }
 
@@ -97,7 +104,14 @@ impl SystemConfig {
             combining: HarqCombining::IncrementalRedundancy,
             channel: ChannelKind::Awgn,
             equalizer_taps: 7,
+            accuracy_tier: AccuracyTier::Exact,
         }
+    }
+
+    /// The same configuration with a different decoder accuracy tier.
+    pub fn with_tier(mut self, tier: AccuracyTier) -> Self {
+        self.accuracy_tier = tier;
+        self
     }
 
     /// Turbo-encoder input length (payload + 24-bit CRC).

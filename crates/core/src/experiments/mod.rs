@@ -20,6 +20,7 @@ pub mod soft_errors;
 use serde::{Deserialize, Serialize};
 
 use hspa_phy::harq::{HarqStats, LlrBuffer};
+use hspa_phy::turbo::AccuracyTier;
 
 use crate::campaign::{Campaign, CampaignPoint, CampaignSettings, CustomCampaignPoint};
 use crate::engine::{CustomPoint, GridResult, PointSpec, SimulationEngine};
@@ -41,6 +42,14 @@ pub struct ExperimentBudget {
     /// `Some`: route the experiment through an adaptive, store-backed
     /// [`Campaign`]; `None`: classic fixed budget on the bare engine.
     pub campaign: Option<CampaignSettings>,
+    /// Decode batch width for the engine (`0` = engine default,
+    /// [`SimulationEngine::DEFAULT_BATCH`]). Results are bit-identical
+    /// for any value — like `threads`, a pure throughput knob.
+    pub batch: usize,
+    /// Turbo-decoder accuracy tier applied to the figure's
+    /// [`crate::config::SystemConfig`]. Non-default tiers change
+    /// Monte-Carlo outcomes and therefore campaign fingerprints.
+    pub accuracy_tier: AccuracyTier,
 }
 
 impl ExperimentBudget {
@@ -51,6 +60,8 @@ impl ExperimentBudget {
             seed: 0xdac1_2012,
             threads: 0,
             campaign: None,
+            batch: 0,
+            accuracy_tier: AccuracyTier::Exact,
         }
     }
 
@@ -61,6 +72,8 @@ impl ExperimentBudget {
             seed: 0xdac1_2012,
             threads: 0,
             campaign: None,
+            batch: 0,
+            accuracy_tier: AccuracyTier::Exact,
         }
     }
 
@@ -96,7 +109,12 @@ impl ExperimentBudget {
 
     /// The sharded Monte-Carlo engine this budget asks for.
     pub fn engine(&self) -> SimulationEngine {
-        SimulationEngine::with_threads(self.threads)
+        let engine = SimulationEngine::with_threads(self.threads);
+        if self.batch >= 1 {
+            engine.batch_lanes(self.batch)
+        } else {
+            engine
+        }
     }
 
     /// The execution path this budget asks for: a fixed-budget engine

@@ -41,12 +41,14 @@ use hspa_phy::equalizer::EqScratch;
 use hspa_phy::harq::{HarqProcess, LlrBuffer};
 use hspa_phy::interleave::ChannelInterleaver;
 use hspa_phy::rate_match::RateMatcher;
-use hspa_phy::turbo::{DecodeResult, TurboCode, TurboScratch};
+use hspa_phy::turbo::{
+    AccuracyTier, DecodeResult, DecoderConfig, TurboBatchScratch, TurboCode, TurboScratch,
+};
 
 use crate::config::{ChannelKind, SystemConfig};
 
 /// Result of simulating one transport block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PacketOutcome {
     /// 1-based transmission on which the CRC passed, or `None`.
     pub success_after: Option<usize>,
@@ -115,6 +117,9 @@ pub struct DspScratch {
     coded: Vec<u8>,
     realization: ChannelRealization,
     turbo: TurboScratch,
+    /// Single-lane batch workspace backing the `Fast32` tier in the
+    /// scalar packet path (the lockstep kernel is the `f32` reference).
+    turbo_batch: TurboBatchScratch,
     decoded: DecodeResult,
     eq: EqScratch,
 }
@@ -127,6 +132,7 @@ impl Default for DspScratch {
             coded: Vec::new(),
             realization: ChannelRealization::empty(),
             turbo: TurboScratch::new(),
+            turbo_batch: TurboBatchScratch::new(),
             decoded: DecodeResult::new(),
             eq: EqScratch::new(),
         }
@@ -186,6 +192,7 @@ impl PacketScratch {
             self.dsp.decoded.llrs.capacity(),
         ];
         self.dsp.turbo.heap_capacities(&mut caps);
+        self.dsp.turbo_batch.heap_capacities(&mut caps);
         self.dsp.eq.heap_capacities(&mut caps);
         caps
     }
@@ -381,20 +388,50 @@ impl LinkSimulator {
                 );
             });
 
-            // Decode with the agreement early-stop (exact reference
-            // semantics). A CRC-checked stop that skips the second SISO
-            // pass exists (`TurboCode::decode_into_with_stop`) and is
-            // faster on marginal packets, but it measurably changes
+            // Decode under the configured accuracy tier. `Exact` keeps
+            // the agreement early-stop (bit-exact reference semantics);
+            // `EarlyStop` adds the CRC-gated iteration stop, which is
+            // faster on marginal packets but measurably changes
             // Monte-Carlo outcomes — an intermediate iteration can hit a
             // CRC-valid block that later iterations walk away from — so
-            // the default path keeps the bit-identical rule.
+            // it is opt-in and keyed into the campaign fingerprint;
+            // `Fast32` runs the single-precision lockstep kernel.
             let crc_ok = stage!(scratch, decode, {
-                core.code.decode_into(
-                    &scratch.combined,
-                    cfg.decoder_iterations,
-                    &mut scratch.dsp.turbo,
-                    &mut scratch.dsp.decoded,
-                );
+                match cfg.accuracy_tier {
+                    AccuracyTier::Exact => {
+                        core.code.decode_into(
+                            &scratch.combined,
+                            cfg.decoder_iterations,
+                            &mut scratch.dsp.turbo,
+                            &mut scratch.dsp.decoded,
+                        );
+                    }
+                    AccuracyTier::EarlyStop => {
+                        core.code.decode_into_with_stop(
+                            &scratch.combined,
+                            cfg.decoder_iterations,
+                            &mut scratch.dsp.turbo,
+                            &mut scratch.dsp.decoded,
+                            &|bits: &[u8]| core.crc.check(bits),
+                        );
+                    }
+                    AccuracyTier::Fast32 => {
+                        let batch = &mut scratch.dsp.turbo_batch;
+                        batch.begin_batch(scratch.combined.len());
+                        batch.push_lane(&scratch.combined);
+                        core.code.decode_batch(
+                            DecoderConfig::new(cfg.decoder_iterations, AccuracyTier::Fast32),
+                            batch,
+                            None,
+                        );
+                        let decoded = &mut scratch.dsp.decoded;
+                        decoded.bits.clear();
+                        decoded.bits.extend_from_slice(batch.bits(0));
+                        decoded.llrs.clear();
+                        decoded.llrs.extend_from_slice(batch.llrs(0));
+                        decoded.iterations_run = batch.iterations_run(0);
+                    }
+                }
                 core.crc.check(&scratch.dsp.decoded.bits)
             });
             if crc_ok {
@@ -408,6 +445,199 @@ impl LinkSimulator {
             success_after: None,
             transmissions_used: cfg.max_transmissions,
         }
+    }
+
+    /// Simulates a wave of `N` transport blocks in lockstep: every lane
+    /// runs the per-lane front end (encode, rate match, channel,
+    /// equalize, demap, HARQ combine) against its own buffer and RNG,
+    /// then all still-active lanes decode together through
+    /// [`TurboCode::decode_batch`]; lanes whose CRC passes (or whose
+    /// retransmission budget is spent) drop out of subsequent attempts.
+    ///
+    /// Lane `l` consumes exactly the RNG/buffer operation sequence of
+    /// `simulate_packet_with(snr_db, &mut buffers[l], &mut rngs[l], ..)`
+    /// and — because batched decoding is bit-identical lane for lane —
+    /// produces exactly the same [`PacketOutcome`], at every wave width.
+    /// The engine relies on this to keep batched campaign results
+    /// byte-identical to unbatched ones.
+    ///
+    /// Decode time is not attributed to per-lane [`StageNanos`] in wave
+    /// mode (one batched decode serves many lanes); front-end stages
+    /// still accumulate per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree or a buffer has the wrong
+    /// capacity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_wave_with<B: LlrBuffer>(
+        &self,
+        snr_db: f64,
+        buffers: &mut [B],
+        rngs: &mut [StdRng],
+        scratches: &mut [PacketScratch],
+        batch: &mut TurboBatchScratch,
+        wave: &mut WaveScratch,
+        out: &mut [PacketOutcome],
+    ) {
+        let core = &*self.core;
+        let cfg = &core.config;
+        let lanes = buffers.len();
+        assert_eq!(rngs.len(), lanes, "one RNG per lane");
+        assert_eq!(scratches.len(), lanes, "one scratch per lane");
+        assert_eq!(out.len(), lanes, "one outcome per lane");
+
+        wave.block_phase.clear();
+        wave.active.clear();
+        for l in 0..lanes {
+            let scratch = &mut scratches[l];
+            let rng = &mut rngs[l];
+            stage!(scratch, encode, {
+                random_bits_into(rng, cfg.payload_bits, &mut scratch.dsp.payload);
+                core.crc
+                    .attach_into(&scratch.dsp.payload, &mut scratch.dsp.block);
+                core.code
+                    .encode_into(&scratch.dsp.block, &mut scratch.dsp.coded);
+            });
+            // New HARQ process per lane (= HarqProcess::start_block).
+            buffers[l].reset();
+            wave.block_phase.push(core.channel.block_phase(rng));
+            out[l] = PacketOutcome {
+                success_after: None,
+                transmissions_used: 0,
+            };
+            wave.active.push(l);
+        }
+
+        for attempt in 0..cfg.max_transmissions {
+            if wave.active.is_empty() {
+                break;
+            }
+            batch.begin_batch(cfg.coded_len());
+            for &l in &wave.active {
+                let scratch = &mut scratches[l];
+                let rng = &mut rngs[l];
+                let rv = cfg.combining.rv(attempt);
+                stage!(scratch, modulate, {
+                    core.rate_matcher
+                        .rate_match_into(&scratch.dsp.coded, rv, &mut scratch.tx_bits);
+                    core.interleaver
+                        .interleave_into(&scratch.tx_bits, &mut scratch.tx_interleaved);
+                    cfg.modulation
+                        .modulate_into(&scratch.tx_interleaved, &mut scratch.symbols);
+                });
+                stage!(scratch, channel, {
+                    core.channel.realize_attempt_into(
+                        snr_db,
+                        wave.block_phase[l],
+                        attempt,
+                        rng,
+                        &mut scratch.dsp.realization,
+                    );
+                    scratch.dsp.realization.apply_into(
+                        &scratch.symbols,
+                        rng,
+                        &mut scratch.received,
+                    );
+                });
+                let eff_noise: f64 = stage!(scratch, equalize, {
+                    if scratch.dsp.realization.taps.len() == 1 {
+                        let h = scratch.dsp.realization.taps[0];
+                        let g = h.norm_sqr();
+                        let inv = h.conj() / (g.max(1e-12));
+                        scratch.equalized.clear();
+                        scratch
+                            .equalized
+                            .extend(scratch.received.iter().map(|&y| y * inv));
+                        scratch.dsp.realization.noise_var / g.max(1e-12)
+                    } else {
+                        scratch
+                            .dsp
+                            .eq
+                            .design(&scratch.dsp.realization, cfg.equalizer_taps)
+                            .expect("MMSE design is PD for positive noise");
+                        scratch
+                            .dsp
+                            .eq
+                            .equalize_into(&scratch.received, &mut scratch.equalized);
+                        scratch.dsp.eq.noise_var()
+                    }
+                });
+                stage!(scratch, demap, {
+                    cfg.modulation.demodulate_soft_into(
+                        &scratch.equalized,
+                        eff_noise.max(1e-9),
+                        &mut scratch.llrs,
+                    );
+                    core.interleaver
+                        .deinterleave_into(&scratch.llrs, &mut scratch.llrs_deinterleaved);
+                });
+                stage!(scratch, harq, {
+                    let mut harq =
+                        HarqProcess::new(&core.rate_matcher, cfg.combining, &mut buffers[l]);
+                    harq.combine_transmission_into(
+                        attempt,
+                        &scratch.llrs_deinterleaved,
+                        &mut scratch.combined,
+                    );
+                });
+                batch.push_lane(&scratch.combined);
+            }
+
+            let dcfg = DecoderConfig::new(cfg.decoder_iterations, cfg.accuracy_tier);
+            // The whole wave decodes in one batched call, so its time is
+            // recorded against lane 0's scratch (per-lane attribution is
+            // meaningless for a lockstep group).
+            stage!(scratches[0], decode, {
+                match cfg.accuracy_tier {
+                    AccuracyTier::EarlyStop => {
+                        let stop = |_lane: usize, bits: &[u8]| core.crc.check(bits);
+                        core.code.decode_batch(dcfg, batch, Some(&stop));
+                    }
+                    AccuracyTier::Exact | AccuracyTier::Fast32 => {
+                        core.code.decode_batch(dcfg, batch, None);
+                    }
+                }
+            });
+
+            wave.next_active.clear();
+            for (i, &l) in wave.active.iter().enumerate() {
+                out[l].transmissions_used = attempt + 1;
+                if core.crc.check(batch.bits(i)) {
+                    out[l].success_after = Some(attempt + 1);
+                } else {
+                    wave.next_active.push(l);
+                }
+            }
+            std::mem::swap(&mut wave.active, &mut wave.next_active);
+        }
+    }
+}
+
+/// Reusable wave-level bookkeeping of
+/// [`LinkSimulator::simulate_wave_with`]: per-lane block phases and the
+/// active-lane worklist. Steady state is allocation-free, pinned by
+/// [`WaveScratch::heap_capacities`].
+#[derive(Debug, Clone, Default)]
+pub struct WaveScratch {
+    block_phase: Vec<f64>,
+    active: Vec<usize>,
+    next_active: Vec<usize>,
+}
+
+impl WaveScratch {
+    /// Fresh scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the capacity of every owned heap buffer to `out`.
+    pub fn heap_capacities(&self, out: &mut Vec<usize>) {
+        out.extend([
+            self.block_phase.capacity(),
+            self.active.capacity(),
+            self.next_active.capacity(),
+        ]);
     }
 }
 

@@ -126,6 +126,7 @@ impl LlrQuantizer {
     /// Non-finite inputs saturate: `+∞ → +clip`, `-∞`/`NaN → -clip`
     /// (NaN is treated pessimistically as a strong wrong decision rather
     /// than silently becoming a mid-scale value).
+    #[inline]
     pub fn quantize(&self, llr: f64) -> u32 {
         let level = self.level_of(llr);
         self.encode_level(level)
@@ -137,11 +138,13 @@ impl LlrQuantizer {
     /// unused extreme `-2^{W-1}` decodes to `-clip - step` so that every
     /// code (including fault-corrupted ones) decodes to *some* value, as
     /// hardware would.
+    #[inline]
     pub fn dequantize(&self, code: u32) -> f64 {
         self.decode_level(code) as f64 * self.step()
     }
 
     /// Maps an LLR to its signed integer level in `[-max, max]`.
+    #[inline]
     fn level_of(&self, llr: f64) -> i32 {
         let max = self.max_level() as f64;
         let x = if llr.is_nan() { -self.clip } else { llr };
@@ -150,6 +153,7 @@ impl LlrQuantizer {
     }
 
     /// Encodes a signed level into the configured binary format.
+    #[inline]
     fn encode_level(&self, level: i32) -> u32 {
         match self.format {
             LlrFormat::TwosComplement => (level as u32) & self.word_mask(),
@@ -165,6 +169,7 @@ impl LlrQuantizer {
     }
 
     /// Decodes a codeword (in the configured format) into a signed level.
+    #[inline]
     pub fn decode_level(&self, code: u32) -> i32 {
         let code = code & self.word_mask();
         match self.format {

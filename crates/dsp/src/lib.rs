@@ -25,6 +25,7 @@ pub mod complex;
 pub mod filter;
 pub mod fixed;
 pub mod linalg;
+pub mod maxstar;
 pub mod rng;
 pub mod sequences;
 pub mod stats;

@@ -37,6 +37,17 @@ pub trait LlrBuffer {
         out.extend(self.load());
     }
 
+    /// Stores `data` and immediately reads the buffer back into the
+    /// same vector — the write-then-read round trip at the heart of
+    /// soft combining, exposed as one call so lossy backends can fuse
+    /// quantization, fault corruption and decode into a single sweep.
+    /// Must behave exactly like [`LlrBuffer::store`] followed by
+    /// [`LlrBuffer::load_into`] on the same vector (the default).
+    fn store_load(&mut self, data: &mut Vec<f64>) {
+        self.store(data);
+        self.load_into(data);
+    }
+
     /// Clears the buffer to zeros (new transport block).
     fn reset(&mut self);
 
@@ -67,6 +78,10 @@ impl<B: LlrBuffer + ?Sized> LlrBuffer for Box<B> {
         (**self).load_into(out);
     }
 
+    fn store_load(&mut self, data: &mut Vec<f64>) {
+        (**self).store_load(data);
+    }
+
     fn reset(&mut self) {
         (**self).reset();
     }
@@ -91,6 +106,10 @@ impl<B: LlrBuffer + ?Sized> LlrBuffer for &mut B {
 
     fn load_into(&self, out: &mut Vec<f64>) {
         (**self).load_into(out);
+    }
+
+    fn store_load(&mut self, data: &mut Vec<f64>) {
+        (**self).store_load(data);
     }
 
     fn reset(&mut self) {
@@ -134,6 +153,12 @@ impl LlrBuffer for PerfectLlrBuffer {
     fn load_into(&self, out: &mut Vec<f64>) {
         out.clear();
         out.extend_from_slice(&self.data);
+    }
+
+    fn store_load(&mut self, data: &mut Vec<f64>) {
+        // Lossless storage reads back exactly what was written, so the
+        // round trip is just the store.
+        self.store(data);
     }
 
     fn reset(&mut self) {
@@ -265,8 +290,7 @@ impl<'a, B: LlrBuffer> HarqProcess<'a, B> {
             self.buffer.load_into(out);
         }
         self.rate_matcher.accumulate(rx_llrs, rv, out);
-        self.buffer.store(out);
-        self.buffer.load_into(out);
+        self.buffer.store_load(out);
     }
 }
 

@@ -106,13 +106,39 @@ impl Modulation {
     /// Panics if `noise_var` is not positive.
     pub fn demodulate_soft_into(self, symbols: &[Complex64], noise_var: f64, out: &mut Vec<f64>) {
         assert!(noise_var > 0.0, "noise variance must be positive");
-        let half = self.bits_per_axis();
         let norm = self.norm();
+        // Hoisted once per call (the values are identical for every
+        // symbol): the un-normalized complex noise variance and the
+        // per-axis LLR denominator it implies.
+        let nv = noise_var * norm * norm;
+        let denom = 2.0 * (nv / 2.0);
         out.clear();
         out.reserve(symbols.len() * self.bits_per_symbol());
-        for &s in symbols {
-            axis_llrs(s.re * norm, half, noise_var * norm * norm, out);
-            axis_llrs(s.im * norm, half, noise_var * norm * norm, out);
+        // Per-constellation unrolled axis demappers: the Gray code of a
+        // fixed 2/4/8-level PAM axis is compile-time constant, so the
+        // min-distance search over each bit's 0-set and 1-set becomes a
+        // branchless `min` tree over fixed subsets — the same minima
+        // (and therefore bit-identical LLRs) as the generic level loop
+        // in `axis_llrs`, at a fraction of its branchy cost.
+        match self {
+            Modulation::Qpsk => {
+                for &s in symbols {
+                    axis_llrs_2pam(s.re * norm, denom, out);
+                    axis_llrs_2pam(s.im * norm, denom, out);
+                }
+            }
+            Modulation::Qam16 => {
+                for &s in symbols {
+                    axis_llrs_4pam(s.re * norm, denom, out);
+                    axis_llrs_4pam(s.im * norm, denom, out);
+                }
+            }
+            Modulation::Qam64 => {
+                for &s in symbols {
+                    axis_llrs_8pam(s.re * norm, denom, out);
+                    axis_llrs_8pam(s.im * norm, denom, out);
+                }
+            }
         }
     }
 
@@ -154,9 +180,59 @@ fn pam_level(bits: &[u8]) -> f64 {
     (l as f64 - 1.0) - 2.0 * idx as f64
 }
 
+/// 2-PAM (QPSK axis): Gray map `[+1, -1]`, one bit whose 0-set is the
+/// positive level.
+#[inline]
+fn axis_llrs_2pam(y: f64, denom: f64, out: &mut Vec<f64>) {
+    let d0 = y - 1.0;
+    let d1 = y - -1.0;
+    out.push((d1 * d1 - d0 * d0) / denom);
+}
+
+/// 4-PAM (16QAM axis): levels `[+3, +1, -1, -3]` carry Gray patterns
+/// `[00, 01, 11, 10]` (MSB first).
+#[inline]
+fn axis_llrs_4pam(y: f64, denom: f64, out: &mut Vec<f64>) {
+    let d0 = y - 3.0;
+    let d1 = y - 1.0;
+    let d2 = y - -1.0;
+    let d3 = y - -3.0;
+    let (q0, q1, q2, q3) = (d0 * d0, d1 * d1, d2 * d2, d3 * d3);
+    // MSB: 0-set {+3, +1}, 1-set {-1, -3}.
+    out.push((q2.min(q3) - q0.min(q1)) / denom);
+    // LSB: 0-set {+3, -3}, 1-set {+1, -1}.
+    out.push((q1.min(q2) - q0.min(q3)) / denom);
+}
+
+/// 8-PAM (64QAM axis): levels `[+7, +5, +3, +1, -1, -3, -5, -7]` carry
+/// Gray patterns `[000, 001, 011, 010, 110, 111, 101, 100]` (MSB
+/// first).
+#[inline]
+fn axis_llrs_8pam(y: f64, denom: f64, out: &mut Vec<f64>) {
+    let d0 = y - 7.0;
+    let d1 = y - 5.0;
+    let d2 = y - 3.0;
+    let d3 = y - 1.0;
+    let d4 = y - -1.0;
+    let d5 = y - -3.0;
+    let d6 = y - -5.0;
+    let d7 = y - -7.0;
+    let (q0, q1, q2, q3) = (d0 * d0, d1 * d1, d2 * d2, d3 * d3);
+    let (q4, q5, q6, q7) = (d4 * d4, d5 * d5, d6 * d6, d7 * d7);
+    // MSB: 0-set is the positive half.
+    out.push((q4.min(q5).min(q6).min(q7) - q0.min(q1).min(q2).min(q3)) / denom);
+    // Middle bit: 0-set {±7, ±5}, 1-set {±3, ±1}.
+    out.push((q2.min(q3).min(q4).min(q5) - q0.min(q1).min(q6).min(q7)) / denom);
+    // LSB: 0-set {+7, +1, -1, -7}, 1-set {+5, +3, -3, -5}.
+    out.push((q1.min(q2).min(q5).min(q6) - q0.min(q3).min(q4).min(q7)) / denom);
+}
+
 /// Per-axis max-log LLRs for a received PAM value `y` on the
 /// un-normalized axis; `noise_var` is the complex-symbol variance in the
-/// same un-normalized units (each axis sees half of it).
+/// same un-normalized units (each axis sees half of it). Kept as the
+/// readable reference the unrolled per-constellation demappers are
+/// checked against in tests.
+#[cfg(test)]
 fn axis_llrs(y: f64, bits: usize, noise_var: f64, out: &mut Vec<f64>) {
     let l = 1usize << bits;
     let axis_var = noise_var / 2.0;
@@ -218,6 +294,24 @@ mod tests {
                         "{m}: duplicate point"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_demappers_match_generic_reference() {
+        let mut rng = seeded(77);
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let half = m.bits_per_axis();
+            let norm = m.norm();
+            for i in 0..200 {
+                let s = complex_gaussian(&mut rng, 1.0) * 3.0;
+                let noise_var = 0.01 + 0.1 * i as f64;
+                let mut reference = Vec::new();
+                axis_llrs(s.re * norm, half, noise_var * norm * norm, &mut reference);
+                axis_llrs(s.im * norm, half, noise_var * norm * norm, &mut reference);
+                let fast = m.demodulate_soft(&[s], noise_var);
+                assert_eq!(fast, reference, "{m} symbol {s}");
             }
         }
     }

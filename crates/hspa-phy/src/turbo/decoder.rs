@@ -42,6 +42,103 @@ type StopCheck<'c> = Option<&'c dyn Fn(&[u8]) -> bool>;
 /// Default extrinsic scaling factor compensating the max-log optimism.
 pub const EXTRINSIC_SCALE: f64 = 0.75;
 
+/// Selectable accuracy/speed tiers of the turbo decoder.
+///
+/// The tier is part of every campaign point's fingerprint (stores never
+/// mix tiers) and each non-default tier pins its own golden corpus in
+/// `tests/decode_golden.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccuracyTier {
+    /// Bit-exact `f64` Max-Log-MAP with the agreement early stop — the
+    /// reference semantics every golden table and CI invariant is pinned
+    /// against. Always the default.
+    #[default]
+    Exact,
+    /// `f64` arithmetic plus the CRC-checked early stop
+    /// ([`MaxLogMapDecoder::decode_into_with_stop`]): iteration ends as
+    /// soon as the hard decisions form a CRC-valid block, skipping the
+    /// second SISO pass when decoder 1 alone converged. Faster on
+    /// marginal packets; an intermediate iteration can accept a
+    /// CRC-valid block that later iterations would walk away from, so
+    /// Monte-Carlo outcomes differ slightly from `Exact`.
+    EarlyStop,
+    /// Single-precision (`f32`) LLR arithmetic throughout the SISO
+    /// sweeps, with the agreement early stop. Halves trellis memory
+    /// traffic and doubles SIMD lane width; posteriors are widened back
+    /// to `f64` on output.
+    Fast32,
+}
+
+impl AccuracyTier {
+    /// Every tier, in fingerprint/documentation order.
+    pub const ALL: [AccuracyTier; 3] = [
+        AccuracyTier::Exact,
+        AccuracyTier::EarlyStop,
+        AccuracyTier::Fast32,
+    ];
+
+    /// Stable CLI/fingerprint token of the tier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccuracyTier::Exact => "exact",
+            AccuracyTier::EarlyStop => "early-stop",
+            AccuracyTier::Fast32 => "fast32",
+        }
+    }
+
+    /// Parses a CLI token (`exact`, `early-stop`/`earlystop`, `fast32`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" => Some(AccuracyTier::Exact),
+            "early-stop" | "earlystop" | "early_stop" => Some(AccuracyTier::EarlyStop),
+            "fast32" | "f32" => Some(AccuracyTier::Fast32),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AccuracyTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for AccuracyTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| {
+            format!("unknown accuracy tier {s:?} (expected exact, early-stop or fast32)")
+        })
+    }
+}
+
+/// Iteration budget plus accuracy tier — the knobs the batched decoder
+/// ([`super::TurboCode::decode_batch`]) and the link simulator thread
+/// from the system configuration down to the SISO kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecoderConfig {
+    /// Maximum turbo iterations (early stops may reduce the count).
+    pub iterations: usize,
+    /// Arithmetic/stopping tier.
+    pub tier: AccuracyTier,
+}
+
+impl DecoderConfig {
+    /// The reference configuration: `iterations` at the `Exact` tier.
+    pub fn exact(iterations: usize) -> Self {
+        Self {
+            iterations,
+            tier: AccuracyTier::Exact,
+        }
+    }
+
+    /// A configuration at an explicit tier.
+    pub fn new(iterations: usize, tier: AccuracyTier) -> Self {
+        Self { iterations, tier }
+    }
+}
+
 /// Decoder output: hard bits, posterior LLRs and convergence info.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DecodeResult {

@@ -19,11 +19,15 @@
 //!   | tail2: x'_K z'_K x'_{K+1} z'_{K+1} x'_{K+2} z'_{K+2} ]
 //! ```
 
+mod batch;
 mod decoder;
 mod interleaver;
 mod rsc;
 
-pub use decoder::{DecodeResult, MaxLogMapDecoder, TurboScratch, EXTRINSIC_SCALE};
+pub use batch::{BatchStopCheck, TurboBatchScratch};
+pub use decoder::{
+    AccuracyTier, DecodeResult, DecoderConfig, MaxLogMapDecoder, TurboScratch, EXTRINSIC_SCALE,
+};
 pub use interleaver::TurboInterleaver;
 pub use rsc::{Rsc, NEXT_STATE, PARITY, RSC_STATES, TAIL_BITS};
 
@@ -185,6 +189,29 @@ impl TurboCode {
         assert_eq!(llrs.len(), self.coded_len(), "LLR length mismatch");
         let decoder = MaxLogMapDecoder::new(self.k, &self.interleaver);
         decoder.decode_into_with_stop(llrs, iterations, scratch, out, stop);
+    }
+
+    /// Decodes every lane staged in `batch` together, in lockstep groups
+    /// of 8/4/2 lanes plus a scalar remainder, under the accuracy tier
+    /// and iteration budget in `cfg`. Lane `l`'s outputs (bits,
+    /// posterior LLR bit patterns, iteration count) are bit-identical to
+    /// the corresponding serial decode of that lane alone — the `Exact`
+    /// tier matches [`TurboCode::decode_into`], `EarlyStop` matches
+    /// [`TurboCode::decode_into_with_stop`] (the optional `stop` check
+    /// receives the lane index alongside the candidate bits), and
+    /// `Fast32` matches its own single-lane `f32` reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` was staged with a codeword length other than
+    /// [`TurboCode::coded_len`].
+    pub fn decode_batch(
+        &self,
+        cfg: DecoderConfig,
+        batch: &mut TurboBatchScratch,
+        stop: BatchStopCheck<'_>,
+    ) {
+        batch::decode_batch(self.k, &self.interleaver, cfg, batch, stop);
     }
 }
 

@@ -85,6 +85,14 @@ impl FaultyMemory {
         self.data[addr as usize]
     }
 
+    /// The pristine backing words (no fault corruption) — bulk readers
+    /// pair this with [`FaultMap::masks`](crate::fault_map::FaultMap::masks)
+    /// to fuse corruption with their per-word decode.
+    #[inline]
+    pub fn pristine_words(&self) -> &[u32] {
+        &self.data
+    }
+
     /// Writes a whole slice starting at address 0.
     ///
     /// # Panics
@@ -110,7 +118,70 @@ impl FaultyMemory {
     /// Panics if `n` exceeds the array size.
     pub fn read_all(&self, n: usize) -> Vec<u32> {
         assert!(n <= self.data.len(), "read beyond memory size");
-        (0..n as u32).map(|a| self.read(a)).collect()
+        let mut out = Vec::with_capacity(n);
+        self.read_stream(n, |v| out.push(v));
+        out
+    }
+
+    /// Streams the first `n` words (fault corruption applied) through
+    /// `f` — the bulk form of [`FaultyMemory::read`], with the per-word
+    /// addressing overhead hoisted out of the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the array size.
+    #[inline]
+    pub fn read_stream(&self, n: usize, f: impl FnMut(u32)) {
+        assert!(n <= self.data.len(), "read beyond memory size");
+        self.map.corrupt_stream(&self.data[..n], f);
+    }
+
+    /// Overwrites words `0..` from an iterator of values (masked to the
+    /// word width like [`FaultyMemory::write`]) — the bulk form of a
+    /// store loop. Values beyond the array size are ignored.
+    #[inline]
+    pub fn fill_from(&mut self, values: impl IntoIterator<Item = u32>) {
+        let mask = word_mask(self.map.bits_per_word());
+        for (slot, v) in self.data.iter_mut().zip(values) {
+            *slot = v & mask;
+        }
+    }
+
+    /// Fused store + read-back over words `0..`: each element of `data`
+    /// is mapped to a word via `to_word` (masked to the word width like
+    /// [`FaultyMemory::write`]), stored, and replaced in place with
+    /// `from_word` of the corrupted read-back — the write-then-read
+    /// round trip of a soft-combining pass in one sweep. Elements beyond
+    /// the array size are ignored, like [`FaultyMemory::fill_from`].
+    #[inline]
+    pub fn write_read_all<T>(
+        &mut self,
+        data: &mut [T],
+        mut to_word: impl FnMut(&T) -> u32,
+        mut from_word: impl FnMut(u32) -> T,
+    ) {
+        let mask = word_mask(self.map.bits_per_word());
+        match self.map.masks() {
+            None => {
+                for (slot, d) in self.data.iter_mut().zip(data.iter_mut()) {
+                    let w = to_word(d) & mask;
+                    *slot = w;
+                    *d = from_word(w);
+                }
+            }
+            Some((xor, clear, set)) => {
+                for ((slot, d), ((&x, &c), &s)) in self
+                    .data
+                    .iter_mut()
+                    .zip(data.iter_mut())
+                    .zip(xor.iter().zip(clear).zip(set))
+                {
+                    let w = to_word(d) & mask;
+                    *slot = w;
+                    *d = from_word(((w ^ x) & !c) | s);
+                }
+            }
+        }
     }
 
     /// Clears all stored words to zero (fault map unchanged).
