@@ -5,8 +5,8 @@
 //!
 //! 1. Per-packet wall-clock of `simulate_packet_with` across storage
 //!    backends and SNRs (the kernel every Monte-Carlo point repeats) —
-//!    with a per-stage breakdown when built with `--features
-//!    bench-instrument`.
+//!    with a per-stage breakdown (stage timing is always on; see
+//!    `resilience_core::telemetry`).
 //! 2. Engine throughput (packets/sec) over a realistic operating grid:
 //!    the scalar batch-1 path (comparable to pre-batching baselines),
 //!    the default lockstep wave (`SimulationEngine::DEFAULT_BATCH`
@@ -94,24 +94,19 @@ fn bench_single_packet() {
             samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let us = samples[reps / 2];
             println!("bench link/{name}/{snr}dB {us:>12.1} us/packet");
-            if cfg!(feature = "bench-instrument") {
-                let s = scratch.stage_nanos;
-                let per_stage = |ns: u64| ns as f64 / 1000.0 / reps as f64;
-                println!(
-                    "      stages (us/packet): encode {:.1} | modulate {:.1} | channel {:.1} | equalize {:.1} | demap {:.1} | harq {:.1} | decode {:.1}",
-                    per_stage(s.encode),
-                    per_stage(s.modulate),
-                    per_stage(s.channel),
-                    per_stage(s.equalize),
-                    per_stage(s.demap),
-                    per_stage(s.harq),
-                    per_stage(s.decode),
-                );
-            }
+            let s = scratch.stage_nanos;
+            let per_stage = |ns: u64| ns as f64 / 1000.0 / reps as f64;
+            println!(
+                "      stages (us/packet): encode {:.1} | modulate {:.1} | channel {:.1} | equalize {:.1} | demap {:.1} | harq {:.1} | decode {:.1}",
+                per_stage(s.encode),
+                per_stage(s.modulate),
+                per_stage(s.channel),
+                per_stage(s.equalize),
+                per_stage(s.demap),
+                per_stage(s.harq),
+                per_stage(s.decode),
+            );
         }
-    }
-    if !cfg!(feature = "bench-instrument") {
-        println!("      (rebuild with --features bench-instrument for a per-stage breakdown)");
     }
 }
 
@@ -217,6 +212,15 @@ fn main() {
     // batching existed. `batched_serial` is the engine's actual default
     // configuration and carries its own regression gate in nightly CI.
     let serial = measure_engine(1, 1, AccuracyTier::Exact, packets_per_point);
+    // Same run, back to back with `serial`: the telemetry tier is only
+    // meaningful as a ratio against a baseline measured on the same
+    // host seconds earlier. Metric *recording* is always on; the flag
+    // additionally enables the exposition surfaces, so this measures
+    // the full telemetry-on configuration. Nightly CI gates the ratio
+    // at >= 0.99 (telemetry must cost < 1%).
+    resilience_core::telemetry::set_enabled(true);
+    let serial_telemetry = measure_engine(1, 1, AccuracyTier::Exact, packets_per_point);
+    resilience_core::telemetry::set_enabled(false);
     let batched_serial = measure_engine(1, batch, AccuracyTier::Exact, packets_per_point);
     let batched_earlystop = measure_engine(1, batch, AccuracyTier::EarlyStop, packets_per_point);
     let batched_fast32 = measure_engine(1, batch, AccuracyTier::Fast32, packets_per_point);
@@ -228,8 +232,10 @@ fn main() {
     );
     let batch_speedup = batched_serial.packets_per_sec() / serial.packets_per_sec();
     let speedup = parallel.packets_per_sec() / serial.packets_per_sec();
+    let telemetry_ratio = serial_telemetry.packets_per_sec() / serial.packets_per_sec();
     for (label, s) in [
         ("scalar", &serial),
+        ("scalar-telemetry", &serial_telemetry),
         ("batched", &batched_serial),
         ("batched-earlystop", &batched_earlystop),
         ("batched-fast32", &batched_fast32),
@@ -243,6 +249,10 @@ fn main() {
             s.seconds
         );
     }
+    println!(
+        "telemetry-on serial throughput: {:.1}% of telemetry-off (same run)",
+        telemetry_ratio * 100.0
+    );
     println!("lockstep speedup at {batch} lanes, 1 thread: {batch_speedup:.2}x");
     println!(
         "engine speedup at {} threads ({host_cpus} host CPUs): {speedup:.2}x",
@@ -287,6 +297,11 @@ fn main() {
         json,
         "  \"serial\": {{\"threads\": 1, \"packets_per_sec\": {:.2}}},",
         serial.packets_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"serial_telemetry\": {{\"threads\": 1, \"packets_per_sec\": {:.2}, \"ratio_vs_serial\": {telemetry_ratio:.4}}},",
+        serial_telemetry.packets_per_sec()
     );
     let _ = writeln!(
         json,
@@ -336,4 +351,15 @@ fn main() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
     std::fs::write(out, &json).expect("write BENCH_engine.json");
     println!("wrote {out}");
+
+    // Prometheus snapshot of everything the bench run recorded — the
+    // nightly workflow uploads this as an artifact so a regression can
+    // be diagnosed from stage counters without a re-run. Not committed.
+    let prom = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_telemetry.prom");
+    std::fs::write(
+        prom,
+        resilience_core::telemetry::snapshot().render_prometheus(),
+    )
+    .expect("write BENCH_telemetry.prom");
+    println!("wrote {prom}");
 }

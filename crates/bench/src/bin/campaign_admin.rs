@@ -6,6 +6,7 @@
 //! campaign-admin gc     --name fig6 [--dir D] [--shard i/n]
 //! campaign-admin verify --name fig6 [--dir D] [--shard i/n]
 //! campaign-admin stats  --name fig6 [--dir D] [--shard i/n]
+//! campaign-admin top    --name fig6 [--dir D] [--once] [--interval SECS]
 //! ```
 //!
 //! * `merge` — gathers every `<name>.shard-*-of-*` store/manifest pair
@@ -19,18 +20,28 @@
 //!   from abandoned schedules and torn lines.
 //! * `verify` — checks the store can reproduce every manifest point
 //!   (chunks tile `0..packets` gaplessly); exits 1 on inconsistency.
-//! * `stats` — human-readable store/manifest summary.
+//! * `stats` — human-readable store/manifest summary (totals come from
+//!   the same `ManifestTotals` aggregation the manifest JSON and `top`
+//!   use, so the three surfaces cannot disagree).
+//! * `top` — tails the live telemetry snapshots a `--telemetry` run
+//!   writes (`<name>.telemetry.json`, one per shard leg) and renders
+//!   per-point progress: packets realized, achieved BLER/CI width,
+//!   convergence, packets/sec and the store-hit ratio. Refreshes every
+//!   `--interval` seconds (default 2) until every snapshot reports
+//!   done; `--once` renders a single frame (CI smoke uses this). Falls
+//!   back to manifest totals when no snapshot exists yet.
 //!
 //! Exit codes: 0 ok, 1 verification failure, 2 usage/I-O error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use resilience_core::campaign::{shard, ShardSpec, DEFAULT_STORE_DIR};
+use resilience_core::campaign::{manifest, shard, ShardSpec, DEFAULT_STORE_DIR};
+use resilience_core::telemetry::LiveSnapshot;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign-admin <merge|gc|verify|stats> --name <campaign> \
-         [--dir DIR] [--out-dir DIR] [--shard I/N]"
+        "usage: campaign-admin <merge|gc|verify|stats|top> --name <campaign> \
+         [--dir DIR] [--out-dir DIR] [--shard I/N] [--once] [--interval SECS]"
     );
     std::process::exit(2);
 }
@@ -49,6 +60,8 @@ fn main() {
     let mut dir = PathBuf::from(DEFAULT_STORE_DIR);
     let mut out_dir: Option<PathBuf> = None;
     let mut spec = ShardSpec::single();
+    let mut once = false;
+    let mut interval_secs = 2u64;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -57,6 +70,13 @@ fn main() {
             "--out-dir" => out_dir = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
             "--shard" => {
                 spec = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--once" => once = true,
+            "--interval" => {
+                interval_secs = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -84,9 +104,9 @@ fn main() {
             );
             if report.store_served_chunks > 0 {
                 println!(
-                    "  note: {} chunk executions were store-resumed by the legs \
-                     (provenance normalized away in the merged manifest)",
-                    report.store_served_chunks
+                    "  note: {} chunk executions ({} packets) were store-resumed by the \
+                     legs (provenance normalized away in the merged manifest)",
+                    report.store_served_chunks, report.store_served_packets
                 );
             }
             println!("  store:    {}", report.store_path.display());
@@ -131,6 +151,133 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("stats {name}"), e));
             print!("{text}");
         }
+        "top" => top(&name, &dir, once, interval_secs),
         _ => usage(),
+    }
+}
+
+/// Discovers the live telemetry snapshots of `name` in `dir` — the
+/// unsuffixed `<name>.telemetry.json` of a single-host run and/or the
+/// `<name>.shard-I-of-N.telemetry.json` files of dispatched legs —
+/// sorted by file name so shard order is stable.
+fn discover_snapshots(name: &str, dir: &Path) -> Vec<LiveSnapshot> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let Some(stem) = p
+                .file_name()
+                .and_then(|f| f.to_str())
+                .and_then(|f| f.strip_suffix(".telemetry.json"))
+            else {
+                return false;
+            };
+            stem == name
+                || stem
+                    .strip_prefix(&format!("{name}.shard-"))
+                    .is_some_and(|rest| rest.contains("-of-"))
+        })
+        .collect();
+    files.sort();
+    files.iter().filter_map(|p| LiveSnapshot::read(p)).collect()
+}
+
+/// Renders one `top` frame over the merged per-shard snapshots.
+fn render_frame(name: &str, snaps: &[LiveSnapshot]) -> String {
+    let sum = |f: fn(&LiveSnapshot) -> u64| snaps.iter().map(f).sum::<u64>();
+    let packets_realized = sum(|s| s.packets_realized);
+    let packets_from_store = sum(|s| s.packets_from_store);
+    let pps: f64 = snaps.iter().map(|s| s.packets_per_sec).sum();
+    let hits = sum(|s| s.store_chunk_hits);
+    let misses = sum(|s| s.store_chunk_misses);
+    let hit_ratio = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let done = snaps.iter().all(|s| s.done);
+    let mut out = format!(
+        "campaign {name} [{}]: {}/{} points converged, {} packets ({} from store), \
+         {:.1} packets/sec, store-hit ratio {:.1}%\n",
+        if done { "done" } else { "live" },
+        sum(|s| s.points_converged),
+        sum(|s| s.points_total),
+        packets_realized,
+        packets_from_store,
+        pps,
+        hit_ratio * 100.0,
+    );
+    out.push_str(&format!(
+        "  {:<36} {:>13} {:>8} {:>7}  {}\n",
+        "point", "packets", "BLER", "rel-hw", "status"
+    ));
+    let mut rows: Vec<_> = snaps.iter().flat_map(|s| s.points.iter()).collect();
+    rows.sort_by(|a, b| a.label.cmp(&b.label));
+    for p in rows {
+        out.push_str(&format!(
+            "  {:<36} {:>6}/{:<6} {:>8.4} {:>7.2}  {}\n",
+            p.label,
+            p.packets,
+            p.max_packets,
+            p.bler,
+            p.half_width,
+            if p.converged { "converged" } else { "running" },
+        ));
+    }
+    out
+}
+
+/// The `top` subcommand: tail live snapshots until every leg reports
+/// done (or forever if legs never finish — Ctrl-C is the exit). With
+/// `--once`, render a single frame. Falls back to manifest totals when
+/// no snapshot exists; exits 2 when there is nothing to show at all.
+fn top(name: &str, dir: &Path, once: bool, interval_secs: u64) -> ! {
+    loop {
+        let snaps = discover_snapshots(name, dir);
+        if snaps.is_empty() {
+            // Fallback: a finished (or telemetry-less) campaign still
+            // has its manifest — show its totals instead of nothing.
+            let manifest_path = dir.join(shard::manifest_file(name, ShardSpec::single()));
+            match manifest::read_summary(&manifest_path) {
+                Some(s) => {
+                    let t = s.totals;
+                    println!(
+                        "campaign {name} [no live snapshot; manifest totals]: \
+                         {}/{} points converged, {} packets, store-hit rate {:.1}% \
+                         ({:.1}% of packets)",
+                        t.points_converged,
+                        t.points_total,
+                        t.realized_packets,
+                        t.store_hit_rate() * 100.0,
+                        t.store_packet_rate() * 100.0,
+                    );
+                    std::process::exit(0);
+                }
+                None => {
+                    if once {
+                        fail(
+                            &format!("top {name}"),
+                            format_args!(
+                                "no telemetry snapshot or manifest in {} — run the campaign \
+                                 with --telemetry",
+                                dir.display()
+                            ),
+                        );
+                    }
+                    // Live mode: the campaign may simply not have
+                    // started yet; keep polling.
+                }
+            }
+        } else {
+            print!("{}", render_frame(name, &snaps));
+            if once || snaps.iter().all(|s| s.done) {
+                std::process::exit(0);
+            }
+            println!();
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval_secs.max(1)));
     }
 }

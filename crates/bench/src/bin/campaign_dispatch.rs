@@ -6,8 +6,15 @@
 //! ```text
 //! campaign-dispatch --name fig6 --bin target/release/fig6a --legs 2 \
 //!     [--steal|--no-steal] [--work-dir D] [--stall-timeout SECS] \
-//!     [--manifest-json PATH] [--quiet] [-- LEG_ARGS...]
+//!     [--manifest-json PATH] [--telemetry] [--quiet] [-- LEG_ARGS...]
 //! ```
+//!
+//! `--telemetry` turns on observability end to end: every leg gets
+//! `--telemetry` appended (so it writes the live snapshot that doubles
+//! as its heartbeat, plus its event log), and the dispatcher itself
+//! logs launches/stall-kills/rescues/merge provenance to
+//! `<name>.dispatch.telemetry.jsonl`. Watch a running dispatch with
+//! `campaign-admin top --name <campaign>`.
 //!
 //! Legs run with their working directory at `--work-dir` (default `.`),
 //! so their artifacts land under `<work-dir>/target/campaign/` — the
@@ -29,14 +36,19 @@ fn main() {
         eprintln!(
             "usage: campaign-dispatch --name <campaign> --bin <figure binary> \
              [--legs N] [--steal|--no-steal] [--work-dir D] \
-             [--stall-timeout SECS] [--manifest-json PATH] [--quiet] \
-             [-- LEG_ARGS...]"
+             [--stall-timeout SECS] [--manifest-json PATH] [--telemetry] \
+             [--quiet] [-- LEG_ARGS...]"
         );
         std::process::exit(2);
     });
 
-    let mut launcher =
-        LocalLauncher::new(&parsed.bin, &parsed.work_dir).with_args(parsed.leg_args.clone());
+    // With --telemetry the legs are told to write their live snapshots
+    // (the dispatcher's primary heartbeat) and event logs.
+    let mut leg_args = parsed.leg_args.clone();
+    if parsed.telemetry && !leg_args.iter().any(|a| a == "--telemetry") {
+        leg_args.push("--telemetry".into());
+    }
+    let mut launcher = LocalLauncher::new(&parsed.bin, &parsed.work_dir).with_args(leg_args);
     if parsed.quiet {
         launcher = launcher.quiet();
     }
@@ -46,6 +58,7 @@ fn main() {
             0 => None,
             secs => Some(Duration::from_secs(secs)),
         },
+        telemetry: parsed.telemetry,
         ..DispatchConfig::new(&parsed.name, parsed.legs, launcher.store_dir())
     };
 

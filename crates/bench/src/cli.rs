@@ -25,6 +25,12 @@
 //!   result store under `target/campaign/`;
 //! * `--manifest-json PATH` — after the run, copy the campaign manifest
 //!   to `PATH` (machine-readable summary for CI assertions);
+//! * `--telemetry` — write live telemetry exposition files under
+//!   `target/campaign/` (`<name>.telemetry.json` live snapshot,
+//!   `<name>.telemetry.jsonl` event log, `<name>.prom` Prometheus text).
+//!   Metric *recording* is always on; the flag only enables the files,
+//!   so results are byte-identical with or without it. `campaign-admin
+//!   top` tails the snapshot;
 //! * `--one-shot` — bypass the campaign layer entirely (classic fixed
 //!   budget on the bare engine).
 //!
@@ -120,6 +126,10 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
                     c.resume = false;
                 }
             }
+            // Process-global on purpose: exposition must stay out of
+            // `CampaignSettings` (settings render into the manifest,
+            // and telemetry may never change manifest bytes).
+            "--telemetry" => resilience_core::telemetry::set_enabled(true),
             "--one-shot" => budget.campaign = None,
             _ => {}
         }
@@ -234,6 +244,10 @@ pub struct DispatchArgs {
     pub stall_timeout_secs: u64,
     /// Copy the merged manifest here after a successful dispatch.
     pub manifest_json: Option<String>,
+    /// Enable telemetry exposition: the dispatcher writes its own event
+    /// log and every leg gets `--telemetry` appended (live snapshots
+    /// double as the legs' heartbeat).
+    pub telemetry: bool,
     /// Silence leg stdout.
     pub quiet: bool,
     /// Arguments forwarded to every leg.
@@ -257,6 +271,7 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
         work_dir: ".".into(),
         stall_timeout_secs: 600,
         manifest_json: None,
+        telemetry: false,
         quiet: false,
         leg_args: Vec::new(),
     };
@@ -289,6 +304,7 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
                     .map_err(|_| "--stall-timeout needs a number of seconds")?
             }
             "--manifest-json" => parsed.manifest_json = Some(value("--manifest-json")?),
+            "--telemetry" => parsed.telemetry = true,
             "--quiet" => parsed.quiet = true,
             "--" => {
                 parsed.leg_args = it.cloned().collect();
@@ -337,14 +353,15 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
 pub fn summary_line(s: &manifest::ManifestSummary) -> String {
     let t = s.totals;
     format!(
-        "campaign {}: {} points ({} converged), store-hit rate: {:.1}% ({}/{} chunks), \
-         packets {}/{} (saved {:.1}% vs fixed budget)",
+        "campaign {}: {} points ({} converged), store-hit rate: {:.1}% ({}/{} chunks, \
+         {:.1}% of packets), packets {}/{} (saved {:.1}% vs fixed budget)",
         s.name,
         t.points_total,
         t.points_converged,
         t.store_hit_rate() * 100.0,
         t.store_chunks,
         t.total_chunks,
+        t.store_packet_rate() * 100.0,
         t.realized_packets,
         t.budget_packets,
         t.saved_vs_fixed() * 100.0,
@@ -577,12 +594,39 @@ mod tests {
                 points_converged: 8,
                 total_chunks: 20,
                 store_chunks: 20,
+                store_packets: 300,
                 realized_packets: 400,
                 budget_packets: 600,
             },
         };
         let line = summary_line(&s);
         assert!(line.contains("store-hit rate: 100.0%"), "{line}");
+        assert!(line.contains("75.0% of packets"), "{line}");
         assert!(line.contains("saved 33.3%"), "{line}");
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        // Figure binaries: `--telemetry` flips the process-global
+        // exposition switch and leaves the budget (and hence the
+        // manifest-rendered settings) untouched.
+        assert!(!resilience_core::telemetry::enabled());
+        let b = budget_from_args(&args(&["--telemetry"]));
+        assert!(resilience_core::telemetry::enabled());
+        assert_eq!(b.campaign, budget_from_args(&[]).campaign);
+        resilience_core::telemetry::set_enabled(false);
+
+        // Dispatcher: `--telemetry` is a plain config bit.
+        let d = dispatch_from_args(&args(&["--name", "c", "--bin", "b", "--telemetry"])).unwrap();
+        assert!(d.telemetry);
+        assert!(
+            !dispatch_from_args(&args(&["--name", "c", "--bin", "b"]))
+                .unwrap()
+                .telemetry
+        );
+        // Legs may receive it verbatim (the dispatcher forwards it).
+        assert!(
+            dispatch_from_args(&args(&["--name", "c", "--bin", "b", "--", "--telemetry"])).is_ok()
+        );
     }
 }

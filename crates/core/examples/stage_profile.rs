@@ -1,10 +1,10 @@
 //! Per-stage time breakdown of the packet hot path.
 //!
-//! Build with the instrumentation feature to get real numbers:
+//! Stage timing is always on (see `telemetry`), so a plain release run
+//! gives real numbers:
 //!
 //! ```text
-//! cargo run --release -p resilience-core --features bench-instrument \
-//!     --example stage_profile
+//! cargo run --release -p resilience-core --example stage_profile
 //! ```
 
 use rand::SeedableRng;

@@ -6,11 +6,11 @@
 //! (the batched `decode` stage is recorded against lane 0 and reported
 //! per packet here).
 //!
-//! Build with the instrumentation feature to get real numbers:
+//! Stage timing is always on (see `telemetry`), so a plain release run
+//! gives real numbers:
 //!
 //! ```text
-//! cargo run --release -p resilience-core --features bench-instrument \
-//!     --example wave_profile [-- <lanes>]
+//! cargo run --release -p resilience-core --example wave_profile [-- <lanes>]
 //! ```
 
 use hspa_phy::turbo::TurboBatchScratch;

@@ -14,13 +14,17 @@
 //!    plugs in at the same trait boundary without touching the
 //!    coordinator.
 //! 2. **Monitor.** Legs are polled for exit and for *progress*: a leg's
-//!    heartbeat is the (size, mtime) signature of its shard store and
-//!    manifest files. A leg that is alive but has not advanced its
-//!    artifacts within the stall timeout is a straggler — it is killed
-//!    so its work can be stolen. The heartbeat is chunk-granular, so
-//!    the timeout doubles for a shard after each stall-kill: a leg that
-//!    was merely deep inside a long chunk gets room to finish on its
-//!    rescue instead of looping to the attempt cap.
+//!    primary heartbeat is the monotonic `seq` of its live telemetry
+//!    snapshot ([`crate::telemetry::LiveSnapshot`]), which advances once
+//!    per scheduling round; when a leg predates telemetry (no snapshot
+//!    file), the dispatcher falls back to the (size, mtime) signature of
+//!    its shard store and manifest files. A leg that is alive but shows
+//!    no progress within the stall timeout is a straggler — it is
+//!    killed so its work can be stolen. The heartbeat is chunk-granular
+//!    at its finest, so the timeout doubles for a shard after each
+//!    stall-kill: a leg that was merely deep inside a long chunk gets
+//!    room to finish on its rescue instead of looping to the attempt
+//!    cap.
 //! 3. **Steal.** When a leg dies (killed, crashed, or stall-killed)
 //!    while steal is enabled, the dispatcher immediately relaunches its
 //!    shard spec in the freed slot as a *rescue leg*. The rescue leg
@@ -51,6 +55,7 @@ use std::time::{Duration, Instant, SystemTime};
 
 use super::shard::{self, MergeReport, ShardSpec, VerifyReport};
 use super::DEFAULT_STORE_DIR;
+use crate::telemetry::{self, read_snapshot_seq, Counter, EventLog, Field, Gauge};
 
 /// Largest accepted leg count. Every leg is launched concurrently up
 /// front (there is no staggering), so an implausible count — a typo'd
@@ -225,6 +230,12 @@ pub struct DispatchConfig {
     pub stall_timeout: Option<Duration>,
     /// Poll cadence of the monitor loop.
     pub poll_interval: Duration,
+    /// Write a dispatcher-side telemetry event log
+    /// (`<name>.dispatch.telemetry.jsonl` in [`DispatchConfig::dir`])
+    /// recording launches, stall-kills, rescues and merge provenance.
+    /// Dispatcher metrics (counters/gauges) are recorded regardless;
+    /// this flag only controls the file.
+    pub telemetry: bool,
 }
 
 impl DispatchConfig {
@@ -239,8 +250,16 @@ impl DispatchConfig {
             max_attempts: 3,
             stall_timeout: Some(Duration::from_secs(600)),
             poll_interval: Duration::from_millis(50),
+            telemetry: false,
         }
     }
+}
+
+/// File name of the dispatcher's own event log — distinct from the leg
+/// event logs ([`shard::events_file`]) so a 1-leg campaign's unsuffixed
+/// log is never clobbered by its supervisor.
+pub fn dispatch_events_file(name: &str) -> String {
+    format!("{name}.dispatch.telemetry.jsonl")
 }
 
 /// Outcome of a [`dispatch`] run.
@@ -277,9 +296,9 @@ impl DispatchReport {
         );
         if self.merge.store_served_chunks > 0 {
             out.push_str(&format!(
-                "  {} chunk executions were resumed from shard stores \
+                "  {} chunk executions ({} packets) were resumed from shard stores \
                  (stolen work, not re-simulated)\n",
-                self.merge.store_served_chunks
+                self.merge.store_served_chunks, self.merge.store_served_packets
             ));
         }
         out.push_str(&format!(
@@ -295,9 +314,11 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// The liveness heartbeat of a leg: the (size, mtime) signature of its
-/// store and manifest files. Any change counts as progress — a fresh
-/// chunk append, a manifest rewrite, even a truncation.
+/// The fallback liveness heartbeat of a leg: the (size, mtime)
+/// signature of its store and manifest files. Any change counts as
+/// progress — a fresh chunk append, a manifest rewrite, even a
+/// truncation. Used when a leg predates telemetry (writes no live
+/// snapshot); the primary heartbeat is the snapshot's `seq`.
 type ArtifactSignature = [Option<(u64, SystemTime)>; 2];
 
 fn artifact_signature(dir: &Path, name: &str, spec: ShardSpec) -> ArtifactSignature {
@@ -329,6 +350,10 @@ struct RunningLeg {
     spec: ShardSpec,
     leg: Box<dyn Leg>,
     signature: ArtifactSignature,
+    /// Last observed live-snapshot `seq` of the leg (`None` until the
+    /// leg writes one — telemetry-less legs stay `None` forever and are
+    /// monitored by `signature` alone).
+    last_seq: Option<u64>,
     last_progress: Instant,
 }
 
@@ -376,6 +401,20 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
         }
     }
 
+    // Dispatcher-side event log (opt-in). Creation failure degrades to
+    // an unlogged dispatch — supervision must not die for observability.
+    let events: Option<EventLog> = if cfg.telemetry {
+        match EventLog::create(&cfg.dir.join(dispatch_events_file(&cfg.name))) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!("dispatch {}: event log create failed: {e}", cfg.name);
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     fn launch_leg(
         cfg: &DispatchConfig,
         launcher: &dyn Launcher,
@@ -383,17 +422,38 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
         attempts: &mut BTreeMap<u32, u32>,
         running: &mut Vec<RunningLeg>,
         launched: &mut u32,
+        events: Option<&EventLog>,
     ) -> io::Result<()> {
         *attempts.entry(spec.index).or_insert(0) += 1;
         *launched += 1;
         let leg = launcher.launch(spec)?;
+        telemetry::counter_add(Counter::LegsLaunched, 1);
+        telemetry::gauge_add(Gauge::LegsRunning, 1);
+        if let Some(log) = events {
+            log.emit(
+                "leg_launched",
+                &[
+                    ("shard", Field::Str(&spec.to_string())),
+                    (
+                        "attempt",
+                        Field::U64(u64::from(attempts.get(&spec.index).copied().unwrap_or(1))),
+                    ),
+                ],
+            );
+        }
         running.push(RunningLeg {
             spec,
             leg,
             signature: artifact_signature(&cfg.dir, &cfg.name, spec),
+            last_seq: read_snapshot_seq(&cfg.dir.join(shard::telemetry_file(&cfg.name, spec))),
             last_progress: Instant::now(),
         });
         Ok(())
+    }
+
+    /// A leg left supervision (completed, failed, or was killed).
+    fn leg_departed() {
+        telemetry::gauge_add(Gauge::LegsRunning, -1);
     }
 
     let mut report_rescued: Vec<ShardSpec> = Vec::new();
@@ -413,6 +473,7 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
             &mut attempts,
             &mut running,
             &mut launched,
+            events.as_ref(),
         ) {
             kill_all(&mut running);
             return Err(e);
@@ -439,6 +500,10 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
                 LegStatus::Exited { success } => {
                     let complete = success && leg_manifest_ok(&cfg.dir, &cfg.name, r.spec);
                     if complete {
+                        if let Some(log) = events.as_ref() {
+                            log.emit("leg_done", &[("shard", Field::Str(&r.spec.to_string()))]);
+                        }
+                        leg_departed();
                         running.remove(idx);
                         continue;
                     }
@@ -449,6 +514,18 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
                     })
                 }
                 LegStatus::Running => {
+                    // Primary heartbeat: the live-snapshot seq, bumped
+                    // once per scheduling round by a telemetry-aware
+                    // leg. The artifact signature stays as a second
+                    // signal (a store append lands mid-round, before
+                    // the next snapshot) and as the only signal for
+                    // legs that predate telemetry.
+                    let seq =
+                        read_snapshot_seq(&cfg.dir.join(shard::telemetry_file(&cfg.name, r.spec)));
+                    if seq.is_some() && seq != r.last_seq {
+                        r.last_seq = seq;
+                        r.last_progress = now;
+                    }
                     let sig = artifact_signature(&cfg.dir, &cfg.name, r.spec);
                     if sig != r.signature {
                         r.signature = sig;
@@ -463,6 +540,16 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
                             let _ = r.leg.kill();
                             report_stalled.push(r.spec);
                             *stall_kills.entry(r.spec.index).or_insert(0) += 1;
+                            telemetry::counter_add(Counter::StallKills, 1);
+                            if let Some(log) = events.as_ref() {
+                                log.emit(
+                                    "stall_kill",
+                                    &[
+                                        ("shard", Field::Str(&r.spec.to_string())),
+                                        ("timeout_ms", Field::U64(limit.as_millis() as u64)),
+                                    ],
+                                );
+                            }
                             Some(format!(
                                 "leg {} stalled (no artifact progress for {:.1}s) and was killed",
                                 r.spec,
@@ -478,12 +565,23 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
                 continue;
             };
             let spec = r.spec;
+            leg_departed();
             running.remove(idx);
             let tried = attempts.get(&spec.index).copied().unwrap_or(0);
             if cfg.steal && tried < cfg.max_attempts {
                 // Steal: relaunch over the surviving store — resumed
                 // chunks are served from disk, never re-simulated.
                 report_rescued.push(spec);
+                telemetry::counter_add(Counter::RescueAttempts, 1);
+                if let Some(log) = events.as_ref() {
+                    log.emit(
+                        "rescue",
+                        &[
+                            ("shard", Field::Str(&spec.to_string())),
+                            ("why", Field::Str(&why)),
+                        ],
+                    );
+                }
                 if let Err(e) = launch_leg(
                     cfg,
                     launcher,
@@ -491,6 +589,7 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
                     &mut attempts,
                     &mut running,
                     &mut launched,
+                    events.as_ref(),
                 ) {
                     kill_all(&mut running);
                     return Err(e);
@@ -530,6 +629,29 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
     } else {
         shard::merge(&cfg.name, &cfg.dir, &cfg.dir)?
     };
+    if let Some(log) = events.as_ref() {
+        // Merge provenance: where the merged chunk set actually came
+        // from — how much was stolen/resumed rather than re-simulated.
+        log.emit(
+            "merge",
+            &[
+                ("shards", Field::U64(merge.shards as u64)),
+                ("points", Field::U64(merge.points as u64)),
+                ("chunks", Field::U64(merge.chunks as u64)),
+                (
+                    "duplicate_chunks",
+                    Field::U64(merge.duplicate_chunks as u64),
+                ),
+                ("store_served_chunks", Field::U64(merge.store_served_chunks)),
+                (
+                    "store_served_packets",
+                    Field::U64(merge.store_served_packets),
+                ),
+                ("rescued", Field::U64(report_rescued.len() as u64)),
+                ("stalled", Field::U64(report_stalled.len() as u64)),
+            ],
+        );
+    }
     let verify = shard::verify(&cfg.name, &cfg.dir, single)?;
     if !verify.ok() {
         return Err(invalid(format!(
@@ -551,6 +673,7 @@ pub fn dispatch(cfg: &DispatchConfig, launcher: &dyn Launcher) -> io::Result<Dis
 /// Best-effort cleanup on an error path: no leg may outlive a failed
 /// dispatch and keep appending to the stores.
 fn kill_all(running: &mut Vec<RunningLeg>) {
+    telemetry::gauge_add(Gauge::LegsRunning, -(running.len() as i64));
     for r in running.iter_mut() {
         let _ = r.leg.kill();
     }
@@ -613,6 +736,7 @@ mod tests {
                 converged: true,
                 chunks: 1,
                 chunks_from_store: 0,
+                packets_from_store: 0,
             });
             records.push((
                 ChunkId {
@@ -649,6 +773,10 @@ mod tests {
         /// Look stalled for the given wall-clock time (no file
         /// activity), then complete — a leg deep inside a long chunk.
         CompleteAfter(Duration),
+        /// Never touch store/manifest, but bump the live telemetry
+        /// snapshot's seq on every poll; complete after the given time.
+        /// Models a telemetry-aware leg whose store writes are sparse.
+        HeartbeatThenComplete(Duration),
     }
 
     struct MockLeg {
@@ -656,6 +784,7 @@ mod tests {
         dir: PathBuf,
         behavior: Behavior,
         started: Instant,
+        seq: u64,
     }
 
     impl Leg for MockLeg {
@@ -670,6 +799,31 @@ mod tests {
                 Behavior::Hang => LegStatus::Running,
                 Behavior::CompleteAfter(after) => {
                     if self.started.elapsed() < after {
+                        LegStatus::Running
+                    } else {
+                        write_leg_artifacts(&self.dir, self.spec);
+                        LegStatus::Exited { success: true }
+                    }
+                }
+                Behavior::HeartbeatThenComplete(after) => {
+                    if self.started.elapsed() < after {
+                        self.seq += 1;
+                        let snap = crate::telemetry::LiveSnapshot {
+                            seq: self.seq,
+                            elapsed_ms: self.started.elapsed().as_millis() as u64,
+                            done: false,
+                            points_total: 1,
+                            points_converged: 0,
+                            packets_realized: 0,
+                            packets_from_store: 0,
+                            packets_simulated: 0,
+                            packets_per_sec: 0.0,
+                            store_chunk_hits: 0,
+                            store_chunk_misses: 0,
+                            points: Vec::new(),
+                        };
+                        snap.write_atomic(&self.dir.join(shard::telemetry_file(NAME, self.spec)))
+                            .unwrap();
                         LegStatus::Running
                     } else {
                         write_leg_artifacts(&self.dir, self.spec);
@@ -722,6 +876,7 @@ mod tests {
                 dir: self.dir.clone(),
                 behavior,
                 started: Instant::now(),
+                seq: 0,
             }))
         }
     }
@@ -822,6 +977,51 @@ mod tests {
         let spec = ShardSpec::new(0, 2).unwrap();
         assert_eq!(report.stalled, vec![spec], "exactly one stall-kill");
         assert_eq!(report.rescued, vec![spec]);
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn snapshot_seq_heartbeat_counts_as_progress() {
+        // The leg never touches store or manifest for 80 ms — far past
+        // the 25 ms stall timeout — but bumps its live-snapshot seq on
+        // every poll. The telemetry heartbeat must keep it alive (the
+        // size+mtime fallback alone would stall-kill it, as
+        // `stall_timeout_escalates_for_slow_but_healthy_legs` shows).
+        let cfg = DispatchConfig {
+            stall_timeout: Some(Duration::from_millis(25)),
+            ..tiny_config("seq-heartbeat", 2)
+        };
+        let launcher = MockLauncher::new(
+            &cfg.dir,
+            &[(
+                0,
+                &[Behavior::HeartbeatThenComplete(Duration::from_millis(80))],
+            )],
+        );
+        let report = dispatch(&cfg, &launcher).expect("heartbeating leg survives");
+        assert!(report.stalled.is_empty(), "no stall-kill: {report:?}");
+        assert!(report.rescued.is_empty());
+        assert!(report.verify.ok());
+        let _ = fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn dispatcher_event_log_records_lifecycle() {
+        let cfg = DispatchConfig {
+            telemetry: true,
+            ..tiny_config("events", 2)
+        };
+        let launcher = MockLauncher::new(&cfg.dir, &[(1, &[Behavior::Fail, Behavior::Complete])]);
+        dispatch(&cfg, &launcher).expect("dispatch succeeds");
+        let log = fs::read_to_string(cfg.dir.join(dispatch_events_file(NAME))).unwrap();
+        for needle in ["leg_launched", "rescue", "leg_done", "\"event\": \"merge\""] {
+            assert!(log.contains(needle), "missing {needle} in:\n{log}");
+        }
+        // Every line is a parseable flat JSON object with a seq field.
+        for line in log.lines() {
+            assert!(line.starts_with("{\"seq\": "), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
         let _ = fs::remove_dir_all(&cfg.dir);
     }
 

@@ -47,6 +47,10 @@ pub struct PointRecord {
     pub chunks: usize,
     /// Of those, chunks served from the result store.
     pub chunks_from_store: usize,
+    /// Packets served from the result store (the packet-weighted view
+    /// of `chunks_from_store` — chunks double in size, so the chunk
+    /// ratio alone understates how much work resume actually saved).
+    pub packets_from_store: usize,
 }
 
 impl PointRecord {
@@ -66,13 +70,14 @@ impl PointRecord {
             converged: o.converged,
             chunks: o.chunks,
             chunks_from_store: o.chunks_from_store,
+            packets_from_store: o.packets_from_store,
         }
     }
 
     /// Renders the record as one manifest line (no trailing comma).
     fn render(&self) -> String {
         format!(
-            "{{\"index\": {}, \"key\": \"{:016x}\", \"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}}}",
+            "{{\"index\": {}, \"key\": \"{:016x}\", \"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}, \"packets_store\": {}}}",
             self.index,
             self.key,
             self.label.replace('"', "'"),
@@ -86,6 +91,7 @@ impl PointRecord {
             self.converged,
             self.chunks,
             self.chunks_from_store,
+            self.packets_from_store,
         )
     }
 
@@ -123,6 +129,9 @@ impl PointRecord {
             converged: json_bool_field(rest, "converged")?,
             chunks: json_u64_field(rest, "chunks")? as usize,
             chunks_from_store: json_u64_field(rest, "chunks_store")? as usize,
+            // Lenient: manifests written before the field existed parse
+            // as zero (the merge then re-renders them with it).
+            packets_from_store: json_u64_field(rest, "packets_store").unwrap_or(0) as usize,
         })
     }
 }
@@ -164,6 +173,7 @@ impl Manifest {
             t.points_converged += u64::from(p.converged);
             t.total_chunks += p.chunks as u64;
             t.store_chunks += p.chunks_from_store as u64;
+            t.store_packets += p.packets_from_store as u64;
             t.realized_packets += p.packets as u64;
             t.budget_packets += p.max_packets as u64;
         }
@@ -213,6 +223,11 @@ impl Manifest {
         out.push_str(&format!(
             "  \"store_hit_rate\": {:.4},\n",
             t.store_hit_rate()
+        ));
+        out.push_str(&format!("  \"store_packets\": {},\n", t.store_packets));
+        out.push_str(&format!(
+            "  \"store_packet_rate\": {:.4},\n",
+            t.store_packet_rate()
         ));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
@@ -296,6 +311,8 @@ pub struct ManifestTotals {
     pub total_chunks: u64,
     /// Chunks served from the result store.
     pub store_chunks: u64,
+    /// Packets served from the result store.
+    pub store_packets: u64,
     /// Packets realized by the adaptive controller.
     pub realized_packets: u64,
     /// Packets a fixed budget would have spent (`Σ max_packets`).
@@ -317,6 +334,15 @@ impl ManifestTotals {
             return 0.0;
         }
         self.store_chunks as f64 / self.total_chunks as f64
+    }
+
+    /// Fraction of realized packets served from the store — the
+    /// packet-weighted hit rate the CI resume-smoke job asserts on.
+    pub fn store_packet_rate(&self) -> f64 {
+        if self.realized_packets == 0 {
+            return 0.0;
+        }
+        self.store_packets as f64 / self.realized_packets as f64
     }
 }
 
@@ -342,6 +368,7 @@ pub fn read_summary(path: &Path) -> Option<ManifestSummary> {
             points_converged: json_u64_field(&json, "points_converged")?,
             total_chunks: json_u64_field(&json, "total_chunks")?,
             store_chunks: json_u64_field(&json, "store_chunks")?,
+            store_packets: json_u64_field(&json, "store_packets").unwrap_or(0),
             realized_packets: json_u64_field(&json, "realized_packets")?,
             budget_packets: json_u64_field(&json, "budget_packets")?,
         },
@@ -369,6 +396,7 @@ mod tests {
             converged: true,
             chunks: 1,
             chunks_from_store: 1,
+            packets_from_store: 32,
         });
         m.points.push(PointRecord {
             index: 1,
@@ -383,6 +411,7 @@ mod tests {
             converged: false,
             chunks: 2,
             chunks_from_store: 0,
+            packets_from_store: 0,
         });
         m
     }
@@ -394,10 +423,12 @@ mod tests {
         assert_eq!(t.points_converged, 1);
         assert_eq!(t.total_chunks, 3);
         assert_eq!(t.store_chunks, 1);
+        assert_eq!(t.store_packets, 32);
         assert_eq!(t.realized_packets, 92);
         assert_eq!(t.budget_packets, 120);
         assert!((t.saved_vs_fixed() - (1.0 - 92.0 / 120.0)).abs() < 1e-12);
         assert!((t.store_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.store_packet_rate() - 32.0 / 92.0).abs() < 1e-12);
     }
 
     #[test]

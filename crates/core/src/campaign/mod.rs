@@ -74,8 +74,9 @@ pub mod manifest;
 pub mod shard;
 pub mod store;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use hspa_phy::harq::{HarqStats, LlrBuffer};
 
@@ -83,6 +84,9 @@ use crate::engine::{ChunkSpec, CustomChunk, GridResult, SimulationEngine};
 use crate::montecarlo::StorageConfig;
 use crate::report::render_table;
 use crate::simulator::LinkSimulator;
+use crate::telemetry::{
+    self, Counter, EventLog, Field, Gauge, Histogram, LiveSnapshot, PointProgress,
+};
 
 use dsp::rng::{derive_seed, STREAM_FAULT_MAP};
 
@@ -157,6 +161,11 @@ pub struct PointOutcome {
     pub chunks: usize,
     /// Of those, chunks served from the store.
     pub chunks_from_store: usize,
+    /// Packets served from the store — the packet-weighted view of
+    /// `chunks_from_store`, which CI's resume assertions need (chunk
+    /// counts weight a 16-packet warmup chunk the same as a 4096-packet
+    /// tail chunk).
+    pub packets_from_store: usize,
 }
 
 impl PointOutcome {
@@ -200,6 +209,14 @@ impl CampaignReport {
     /// Chunk executions in total.
     pub fn chunks_total(&self) -> u64 {
         self.outcomes.iter().map(|o| o.chunks as u64).sum()
+    }
+
+    /// Packets served from the store across all points.
+    pub fn packets_from_store(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.packets_from_store as u64)
+            .sum()
     }
 
     /// Per-point achieved-CI table (label, packets, BLER with its 95 %
@@ -264,7 +281,18 @@ pub struct Campaign {
     store_dir: PathBuf,
     manifest: RefCell<Manifest>,
     /// `--no-resume` truncates the store only on the first open.
-    truncated: std::cell::Cell<bool>,
+    truncated: Cell<bool>,
+    /// Per-instance override of the process-global telemetry exposition
+    /// flag; `None` follows [`telemetry::enabled`]. Deliberately NOT in
+    /// [`CampaignSettings`] — settings render into the manifest, and
+    /// telemetry must never alter manifest bytes.
+    telemetry: Cell<Option<bool>>,
+    /// Live-snapshot sequence number, monotonic across run calls so the
+    /// dispatcher's heartbeat probe never sees it reset.
+    snapshot_seq: Cell<u64>,
+    /// JSONL event log, created lazily on the first run call with
+    /// exposition enabled (so disabled campaigns touch no files).
+    events: RefCell<Option<EventLog>>,
 }
 
 impl Campaign {
@@ -281,7 +309,10 @@ impl Campaign {
             settings,
             engine,
             store_dir: PathBuf::from(DEFAULT_STORE_DIR),
-            truncated: std::cell::Cell::new(false),
+            truncated: Cell::new(false),
+            telemetry: Cell::new(None),
+            snapshot_seq: Cell::new(0),
+            events: RefCell::new(None),
         }
     }
 
@@ -289,6 +320,20 @@ impl Campaign {
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store_dir = dir.into();
         self
+    }
+
+    /// Overrides telemetry *exposition* for this instance (live
+    /// snapshot, event log and Prometheus files under the store
+    /// directory). Metric recording is always on and results are
+    /// byte-identical either way; this flag only controls file output.
+    pub fn with_telemetry(self, on: bool) -> Self {
+        self.telemetry.set(Some(on));
+        self
+    }
+
+    /// Whether this instance writes telemetry exposition files.
+    fn telemetry_enabled(&self) -> bool {
+        self.telemetry.get().unwrap_or_else(telemetry::enabled)
     }
 
     /// The campaign name.
@@ -312,6 +357,24 @@ impl Campaign {
     pub fn manifest_path(&self) -> PathBuf {
         self.store_dir
             .join(shard::manifest_file(&self.name, self.settings.shard))
+    }
+
+    /// Path of the live telemetry snapshot (shard-suffixed).
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.store_dir
+            .join(shard::telemetry_file(&self.name, self.settings.shard))
+    }
+
+    /// Path of the telemetry event log (shard-suffixed).
+    pub fn events_path(&self) -> PathBuf {
+        self.store_dir
+            .join(shard::events_file(&self.name, self.settings.shard))
+    }
+
+    /// Path of the Prometheus-style text snapshot (shard-suffixed).
+    pub fn prom_path(&self) -> PathBuf {
+        self.store_dir
+            .join(shard::prom_file(&self.name, self.settings.shard))
     }
 
     /// Default manifest path of a named campaign under the default store
@@ -494,6 +557,81 @@ impl Campaign {
         self.manifest.borrow().clone()
     }
 
+    /// Builds and atomically writes the live snapshot, plus the
+    /// Prometheus text render of the global registry. Failures are
+    /// warnings: exposition must never take a campaign down.
+    #[allow(clippy::too_many_arguments)]
+    fn write_exposition(
+        &self,
+        done: bool,
+        run_start: Instant,
+        descs: &[PointDesc],
+        owned: &[bool],
+        stats: &[HarqStats],
+        converged: &[bool],
+        packets_hit: &[usize],
+        store: &ResultStore,
+    ) {
+        let elapsed = run_start.elapsed();
+        let mut points = Vec::new();
+        let mut packets_realized = 0u64;
+        let mut packets_from_store = 0u64;
+        let mut points_converged = 0u64;
+        for (i, desc) in descs.iter().enumerate() {
+            if !owned[i] {
+                continue;
+            }
+            let check = PrecisionCheck::of(&stats[i], &self.settings);
+            packets_realized += stats[i].packets;
+            packets_from_store += packets_hit[i] as u64;
+            points_converged += u64::from(converged[i]);
+            points.push(PointProgress {
+                key: desc.key,
+                label: desc.label.clone(),
+                packets: stats[i].packets,
+                max_packets: desc.max_packets as u64,
+                bler: check.bler,
+                half_width: check.rel_half_width,
+                converged: converged[i],
+            });
+        }
+        let packets_simulated = packets_realized - packets_from_store;
+        let secs = elapsed.as_secs_f64();
+        let seq = self.snapshot_seq.get() + 1;
+        self.snapshot_seq.set(seq);
+        let snap = LiveSnapshot {
+            seq,
+            elapsed_ms: elapsed.as_millis() as u64,
+            done,
+            points_total: points.len() as u64,
+            points_converged,
+            packets_realized,
+            packets_from_store,
+            packets_simulated,
+            packets_per_sec: if secs > 0.0 {
+                packets_simulated as f64 / secs
+            } else {
+                0.0
+            },
+            store_chunk_hits: store.hits,
+            store_chunk_misses: store.misses,
+            points,
+        };
+        if let Err(e) = snap.write_atomic(&self.telemetry_path()) {
+            eprintln!(
+                "campaign {}: telemetry snapshot write failed: {e}",
+                self.name
+            );
+        }
+        if let Err(e) = std::fs::write(self.prom_path(), telemetry::snapshot().render_prometheus())
+        {
+            eprintln!(
+                "campaign {}: prometheus snapshot write failed: {e}",
+                self.name
+            );
+        }
+    }
+
     /// The adaptive loop shared by both run paths. `simulate` receives
     /// `(point_index, first_packet, n_packets)` triples for the chunks
     /// the store could not serve and returns their statistics in order.
@@ -526,6 +664,39 @@ impl Campaign {
         let mut converged = vec![false; descs.len()];
         let mut chunks_run = vec![0usize; descs.len()];
         let mut chunks_hit = vec![0usize; descs.len()];
+        let mut packets_hit = vec![0usize; descs.len()];
+
+        let run_start = Instant::now();
+        let expo = self.telemetry_enabled();
+        telemetry::gauge_add(
+            Gauge::PointsTotal,
+            owned.iter().filter(|&&o| o).count() as i64,
+        );
+        if expo {
+            let mut events = self.events.borrow_mut();
+            if events.is_none() {
+                match EventLog::create(&self.events_path()) {
+                    Ok(log) => *events = Some(log),
+                    Err(e) => {
+                        eprintln!("campaign {}: event log create failed: {e}", self.name)
+                    }
+                }
+            }
+            if let Some(log) = events.as_ref() {
+                log.emit(
+                    "run_started",
+                    &[
+                        ("campaign", Field::Str(&self.name)),
+                        ("points", Field::U64(descs.len() as u64)),
+                        (
+                            "owned",
+                            Field::U64(owned.iter().filter(|&&o| o).count() as u64),
+                        ),
+                        ("shard", Field::Str(&self.settings.shard.to_string())),
+                    ],
+                );
+            }
+        }
 
         loop {
             // Points still owed a chunk. The schedule is driven by each
@@ -547,6 +718,10 @@ impl Campaign {
             if due.is_empty() {
                 break;
             }
+            telemetry::counter_add(Counter::ChunksScheduled, due.len() as u64);
+            for &(_, _, len) in &due {
+                telemetry::hist_record(Histogram::ChunkPackets, len as u64);
+            }
 
             // Serve what the store already knows; simulate the rest as
             // one sharded engine batch.
@@ -560,6 +735,7 @@ impl Campaign {
                 chunks_run[i] += 1;
                 if let Some(hit) = store.fetch(id) {
                     chunks_hit[i] += 1;
+                    packets_hit[i] += len;
                     stats[i].merge(&hit);
                 } else {
                     misses.push((i, first, len));
@@ -587,9 +763,76 @@ impl Campaign {
             // they are identical whether chunks were simulated or read
             // back — the resume path cannot change results.
             for &(i, _, _) in &due {
-                if self.settings.converged(&stats[i]) {
+                if !converged[i] && self.settings.converged(&stats[i]) {
                     converged[i] = true;
+                    telemetry::counter_add(Counter::PointsConverged, 1);
+                    telemetry::gauge_add(Gauge::PointsConvergedNow, 1);
                 }
+            }
+
+            if expo {
+                // Wilson-CI trajectory: one event per point touched this
+                // round, so the event log replays how each interval
+                // tightened toward the stopping rule.
+                if let Some(log) = self.events.borrow().as_ref() {
+                    for &(i, first, len) in &due {
+                        let check = PrecisionCheck::of(&stats[i], &self.settings);
+                        log.emit(
+                            "chunk_done",
+                            &[
+                                ("key", Field::Str(&format!("{:016x}", descs[i].key))),
+                                ("label", Field::Str(&descs[i].label)),
+                                ("first_packet", Field::U64(first as u64)),
+                                ("n_packets", Field::U64(len as u64)),
+                                ("packets", Field::U64(stats[i].packets)),
+                                ("bler", Field::F64(check.bler)),
+                                ("ci_lo", Field::F64(check.ci.0)),
+                                ("ci_hi", Field::F64(check.ci.1)),
+                                ("rel_half_width", Field::F64(check.rel_half_width)),
+                                ("converged", Field::Bool(converged[i])),
+                            ],
+                        );
+                    }
+                }
+                self.write_exposition(
+                    false,
+                    run_start,
+                    descs,
+                    &owned,
+                    &stats,
+                    &converged,
+                    &packets_hit,
+                    &store,
+                );
+            }
+        }
+
+        if expo {
+            self.write_exposition(
+                true,
+                run_start,
+                descs,
+                &owned,
+                &stats,
+                &converged,
+                &packets_hit,
+                &store,
+            );
+            if let Some(log) = self.events.borrow().as_ref() {
+                log.emit(
+                    "run_finished",
+                    &[
+                        ("campaign", Field::Str(&self.name)),
+                        (
+                            "converged",
+                            Field::U64(converged.iter().filter(|&&c| c).count() as u64),
+                        ),
+                        (
+                            "packets_realized",
+                            Field::U64(stats.iter().map(|s| s.packets).sum()),
+                        ),
+                    ],
+                );
             }
         }
 
@@ -607,6 +850,7 @@ impl Campaign {
                 converged: converged[i],
                 chunks: chunks_run[i],
                 chunks_from_store: chunks_hit[i],
+                packets_from_store: packets_hit[i],
             })
             .collect();
 

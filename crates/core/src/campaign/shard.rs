@@ -123,6 +123,26 @@ pub fn manifest_file(name: &str, shard: ShardSpec) -> String {
     format!("{name}{}.manifest.json", shard.suffix())
 }
 
+/// Live telemetry snapshot file name of a campaign under a shard spec
+/// (see [`crate::telemetry::LiveSnapshot`]). Written atomically by the
+/// running leg; read by the dispatcher's heartbeat probe and by
+/// `campaign-admin top`.
+pub fn telemetry_file(name: &str, shard: ShardSpec) -> String {
+    format!("{name}{}.telemetry.json", shard.suffix())
+}
+
+/// Telemetry event-log (JSONL) file name of a campaign under a shard
+/// spec.
+pub fn events_file(name: &str, shard: ShardSpec) -> String {
+    format!("{name}{}.telemetry.jsonl", shard.suffix())
+}
+
+/// Prometheus-style text snapshot file name of a campaign under a
+/// shard spec.
+pub fn prom_file(name: &str, shard: ShardSpec) -> String {
+    format!("{name}{}.prom", shard.suffix())
+}
+
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
@@ -174,6 +194,10 @@ pub struct MergeReport {
     /// recorded here because the merged manifest normalizes this
     /// provenance away (see [`merge_manifests`]).
     pub store_served_chunks: u64,
+    /// Packet-weighted view of `store_served_chunks`: packets the shard
+    /// legs served from their stores instead of re-simulating —
+    /// normalized away from the merged manifest for the same reason.
+    pub store_served_packets: u64,
     /// Path of the merged store.
     pub store_path: PathBuf,
     /// Path of the merged manifest.
@@ -338,9 +362,12 @@ pub fn merge_manifests(
     // keeps the merged manifest byte-identical to a single-host run no
     // matter the resume/steal history that produced the shards.
     let mut store_served_chunks = 0u64;
+    let mut store_served_packets = 0u64;
     for p in &mut points {
         store_served_chunks += p.chunks_from_store as u64;
+        store_served_packets += p.packets_from_store as u64;
         p.chunks_from_store = 0;
+        p.packets_from_store = 0;
     }
     if !points.iter().map(|p| p.index).eq(0..enumerated) {
         let have: BTreeSet<u64> = points.iter().map(|p| p.index).collect();
@@ -390,6 +417,7 @@ pub fn merge_manifests(
     let manifest_path = out_dir.join(manifest_file(name, ShardSpec::single()));
     store::write_records(&store_path, &records)?;
     merged.write(&manifest_path)?;
+    crate::telemetry::counter_add(crate::telemetry::Counter::MergesCompleted, 1);
     Ok(MergeReport {
         shards: parsed.len(),
         points: merged.points.len(),
@@ -397,6 +425,7 @@ pub fn merge_manifests(
         duplicate_chunks,
         malformed_lines,
         store_served_chunks,
+        store_served_packets,
         store_path,
         manifest_path,
     })
@@ -666,6 +695,15 @@ pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
         stored_packets,
         store_bytes
     ));
+    // Hit provenance comes from the same `ManifestTotals` aggregation
+    // that `render_json` and `campaign-admin top` use, so the three
+    // surfaces cannot disagree.
+    out.push_str(&format!(
+        "  reuse:    {} chunks / {} packets served from store ({:.1}% of realized)\n",
+        t.store_chunks,
+        t.store_packets,
+        t.store_packet_rate() * 100.0
+    ));
     if malformed > 0 {
         out.push_str(&format!("  warning:  {malformed} malformed store lines\n"));
     }
@@ -808,6 +846,7 @@ mod tests {
             converged: true,
             chunks: 1,
             chunks_from_store: 0,
+            packets_from_store: 0,
         });
         m
     }

@@ -19,6 +19,8 @@ use std::path::{Path, PathBuf};
 
 use hspa_phy::harq::HarqStats;
 
+use crate::telemetry::{self, Counter};
+
 /// Identity of one stored chunk: point key + packet range. Ordered by
 /// `(point, first_packet, n_packets)` — the canonical store order the
 /// merge/GC tooling writes.
@@ -125,15 +127,19 @@ impl ResultStore {
         self.records.is_empty()
     }
 
-    /// Looks up a chunk, counting the outcome toward the hit/miss tally.
+    /// Looks up a chunk, counting the outcome toward the hit/miss tally
+    /// (and the global telemetry hit/miss counters).
     pub fn fetch(&mut self, id: ChunkId) -> Option<HarqStats> {
         match self.records.get(&id) {
             Some(stats) => {
                 self.hits += 1;
+                telemetry::counter_add(Counter::StoreChunkHits, 1);
+                telemetry::counter_add(Counter::StorePacketsServed, id.n_packets as u64);
                 Some(stats.clone())
             }
             None => {
                 self.misses += 1;
+                telemetry::counter_add(Counter::StoreChunkMisses, 1);
                 None
             }
         }
@@ -147,6 +153,7 @@ impl ResultStore {
             .open(&self.path)?;
         writeln!(file, "{}", encode_record(id, stats))?;
         self.records.insert(id, stats.clone());
+        telemetry::counter_add(Counter::StoreChunksWritten, 1);
         Ok(())
     }
 

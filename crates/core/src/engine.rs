@@ -52,6 +52,7 @@ use hspa_phy::turbo::TurboBatchScratch;
 use crate::config::SystemConfig;
 use crate::montecarlo::{build_buffer, StorageConfig};
 use crate::simulator::{LinkSimulator, PacketOutcome, PacketScratch, WaveScratch};
+use crate::telemetry::{self, Counter, Histogram};
 
 /// One Monte-Carlo operating point for [`SimulationEngine::run_batch`].
 #[derive(Debug, Clone, PartialEq)]
@@ -630,6 +631,8 @@ impl<'a> Worker<'a> {
             );
             stats.record(outcome.success_after, self.cfg.max_transmissions);
         }
+        telemetry::counter_add(Counter::PacketsSimulated, shard.count as u64);
+        flush_stage_nanos(&mut self.lane_scratch[0]);
         stats
     }
 
@@ -685,13 +688,34 @@ impl<'a> Worker<'a> {
                 &mut self.wave,
                 &mut self.outcomes[..width],
             );
+            telemetry::counter_add(Counter::WavesDecoded, 1);
+            telemetry::hist_record(Histogram::WaveLaneOccupancy, width as u64);
             for outcome in &self.outcomes {
                 stats.record(outcome.success_after, self.cfg.max_transmissions);
             }
             p += width;
         }
+        telemetry::counter_add(Counter::PacketsSimulated, shard.count as u64);
+        for scratch in &mut self.lane_scratch {
+            flush_stage_nanos(scratch);
+        }
         stats
     }
+}
+
+/// Flushes a scratch's per-stage timing tallies into the global
+/// telemetry counters and resets them — once per shard, so the packet
+/// hot path itself touches no atomics.
+fn flush_stage_nanos(scratch: &mut PacketScratch) {
+    let n = scratch.stage_nanos;
+    telemetry::counter_add(Counter::StageEncodeNanos, n.encode);
+    telemetry::counter_add(Counter::StageModulateNanos, n.modulate);
+    telemetry::counter_add(Counter::StageChannelNanos, n.channel);
+    telemetry::counter_add(Counter::StageEqualizeNanos, n.equalize);
+    telemetry::counter_add(Counter::StageDemapNanos, n.demap);
+    telemetry::counter_add(Counter::StageHarqNanos, n.harq);
+    telemetry::counter_add(Counter::StageDecodeNanos, n.decode);
+    scratch.reset_stage_nanos();
 }
 
 #[cfg(test)]

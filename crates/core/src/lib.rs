@@ -30,6 +30,10 @@
 //! * [`experiments`] — one module per paper figure (Figs. 2–9), each
 //!   producing serializable series plus formatted tables.
 //! * [`report`] — plain-text table rendering shared by binaries.
+//! * [`telemetry`] — always-on lock-free metrics (counters, gauges,
+//!   histograms on per-thread shards), span timing, and the opt-in
+//!   (`--telemetry`) exposition surfaces: live snapshot JSON, JSONL
+//!   event log, Prometheus text.
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@ pub mod experiments;
 pub mod montecarlo;
 pub mod report;
 pub mod simulator;
+pub mod telemetry;
 
 pub use buffer::{EccLlrBuffer, FaultyLlrBuffer, QuantizedLlrBuffer, TransientLlrBuffer};
 pub use campaign::{Campaign, CampaignPoint, CampaignReport, CampaignSettings, ShardSpec};
