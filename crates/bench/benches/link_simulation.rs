@@ -22,6 +22,9 @@
 //! 4. `--target-ci` budget sizing on the same grid: packets needed to
 //!    reach a requested **absolute** Wilson half-width versus the
 //!    worst-case fixed sizing `z²/4w²` classical planning would use.
+//! 5. Result-store open cost at scale: a 10k-point synthetic store,
+//!    JSONL full parse versus indexed segment open + one lookup. The
+//!    nightly workflow gates the recorded speedup at >= 10x.
 //!
 //! Run with `cargo bench --bench link_simulation`. The JSON lands in
 //! `crates/bench/BENCH_engine.json` (the committed perf trajectory; the
@@ -32,9 +35,11 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use hspa_phy::harq::HarqStats;
 use hspa_phy::turbo::AccuracyTier;
 use resilience_core::campaign::controller::WILSON_Z;
-use resilience_core::campaign::{Campaign, CampaignSettings, ManifestTotals};
+use resilience_core::campaign::store::{self, ChunkId};
+use resilience_core::campaign::{Campaign, CampaignSettings, ManifestTotals, ResultStore};
 use resilience_core::config::SystemConfig;
 use resilience_core::engine::SimulationEngine;
 use resilience_core::experiments::{fig6, snr_grid};
@@ -189,6 +194,66 @@ fn measure_target_ci(width: f64) -> (ManifestTotals, usize, f64) {
     (totals, n_worst_case, seconds)
 }
 
+/// Times cold-opening a `points`-record store on both backends: the
+/// JSONL backend must parse every line before it can answer anything,
+/// while the segment backend reads its index sidecar and seeks to the
+/// one requested frame. Returns the median (jsonl, indexed) seconds.
+fn measure_store_open(points: usize) -> (f64, f64) {
+    let dir = std::env::temp_dir().join(format!("bench-store-open-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench store dir");
+    let records: Vec<(ChunkId, HarqStats)> = (0..points)
+        .map(|i| {
+            let id = ChunkId {
+                point: i as u64,
+                first_packet: 0,
+                n_packets: 8,
+            };
+            let stats = HarqStats {
+                packets: 8,
+                delivered: 7,
+                transmissions: 12,
+                failures_at: vec![3, 1, 1, 1],
+                info_bits: 8 * 5114,
+            };
+            (id, stats)
+        })
+        .collect();
+    let jsonl = dir.join("bench-store.jsonl");
+    let seg = dir.join("bench-store.seg");
+    store::write_records(&jsonl, &records).expect("write jsonl store");
+    store::write_records(&seg, &records).expect("write segment store");
+    let probe = records[points / 2].0;
+
+    // Median of repeated opens. The page cache is warm either way, so
+    // what's compared is parse work versus index work — the term that
+    // actually scales with store size.
+    let reps = 9;
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let mut jsonl_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (loaded, torn) = store::load_all(&jsonl).expect("parse jsonl store");
+        jsonl_samples.push(t.elapsed().as_secs_f64());
+        assert_eq!((loaded.len(), torn), (points, 0));
+        black_box(loaded);
+    }
+    let mut seg_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut opened = ResultStore::open(&seg, true).expect("open segment store");
+        let hit = opened.fetch(probe);
+        seg_samples.push(t.elapsed().as_secs_f64());
+        assert_eq!(opened.len(), points);
+        black_box(hit.expect("probe key present"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (median(jsonl_samples), median(seg_samples))
+}
+
 fn main() {
     bench_single_packet();
 
@@ -285,6 +350,16 @@ fn main() {
         ci_secs
     );
 
+    println!("--- result-store open cost (10k-point synthetic store)");
+    let store_points = 10_000;
+    let (jsonl_open, seg_open) = measure_store_open(store_points);
+    let store_speedup = jsonl_open / seg_open.max(1e-12);
+    println!(
+        "bench store-open/{store_points}pts jsonl full parse {:.2} ms | indexed open+lookup {:.3} ms | {store_speedup:.1}x",
+        jsonl_open * 1e3,
+        seg_open * 1e3
+    );
+
     // Machine-readable trajectory for future PRs. Hand-formatted JSON:
     // the offline serde shim intentionally has no serializer.
     let mut json = String::from("{\n");
@@ -337,12 +412,18 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"campaign_target_ci\": {{\"half_width\": {target_width}, \"worst_case_per_point\": {n_worst_case}, \"grid_points\": {}, \"packets_fixed\": {}, \"packets_adaptive\": {}, \"saved_fraction\": {:.4}, \"points_reached_width\": {}}}",
+        "  \"campaign_target_ci\": {{\"half_width\": {target_width}, \"worst_case_per_point\": {n_worst_case}, \"grid_points\": {}, \"packets_fixed\": {}, \"packets_adaptive\": {}, \"saved_fraction\": {:.4}, \"points_reached_width\": {}}},",
         ci_totals.points_total,
         ci_totals.budget_packets,
         ci_totals.realized_packets,
         ci_totals.saved_vs_fixed(),
         ci_totals.points_converged
+    );
+    let _ = writeln!(
+        json,
+        "  \"store_open_10k\": {{\"points\": {store_points}, \"jsonl_parse_ms\": {:.3}, \"indexed_open_ms\": {:.4}, \"speedup\": {store_speedup:.1}}}",
+        jsonl_open * 1e3,
+        seg_open * 1e3
     );
     json.push('}');
     // Write next to the committed trajectory file (not the invocation

@@ -6,6 +6,11 @@
 //! campaign-admin gc     --name fig6 [--dir D] [--shard i/n]
 //! campaign-admin verify --name fig6 [--dir D] [--shard i/n]
 //! campaign-admin stats  --name fig6 [--dir D] [--shard i/n]
+//! campaign-admin query  --name fig6 [--dir D] [--shard i/n] [--key HEX]
+//!                       [--snr LO:HI] [--tier TIER] [--converged BOOL]
+//! campaign-admin export --name fig6 --file OUT   [--dir D] [--shard i/n]
+//! campaign-admin import --name fig6 --file IN    [--dir D] [--shard i/n]
+//!                       [--store-backend jsonl|indexed]
 //! campaign-admin top    --name fig6 [--dir D] [--once] [--interval SECS]
 //! ```
 //!
@@ -23,6 +28,18 @@
 //! * `stats` — human-readable store/manifest summary (totals come from
 //!   the same `ManifestTotals` aggregation the manifest JSON and `top`
 //!   use, so the three surfaces cannot disagree).
+//! * `query` — `stats` restricted to the points matching the typed
+//!   filters (conjoined), plus one line per matching point. `--snr` is
+//!   an inclusive dB range, `--tier` an accuracy tier
+//!   (`exact`/`early-stop`/`fast32`), `--converged` `true`/`false`,
+//!   `--key` a 16-hex-digit point key.
+//! * `export` / `import` — lossless conversion between store backends:
+//!   `export` copies the detected store of `(name, shard)` into
+//!   `--file` (the file extension picks the format — `.jsonl` for
+//!   interchange/debug, `.seg` for the indexed backend); `import` reads
+//!   any store file into the campaign's store under `--store-backend`.
+//!   `export` to `.jsonl` then `import` back is byte-identical end to
+//!   end.
 //! * `top` — tails the live telemetry snapshots a `--telemetry` run
 //!   writes (`<name>.telemetry.json`, one per shard leg) and renders
 //!   per-point progress: packets realized, achieved BLER/CI width,
@@ -35,13 +52,18 @@
 
 use std::path::{Path, PathBuf};
 
-use resilience_core::campaign::{manifest, shard, ShardSpec, DEFAULT_STORE_DIR};
+use hspa_phy::turbo::AccuracyTier;
+use resilience_core::campaign::{
+    manifest, shard, store, BackendKind, QueryFilter, ShardSpec, DEFAULT_STORE_DIR,
+};
 use resilience_core::telemetry::LiveSnapshot;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign-admin <merge|gc|verify|stats|top> --name <campaign> \
-         [--dir DIR] [--out-dir DIR] [--shard I/N] [--once] [--interval SECS]"
+        "usage: campaign-admin <merge|gc|verify|stats|query|export|import|top> \
+         --name <campaign> [--dir DIR] [--out-dir DIR] [--shard I/N] \
+         [--key HEX] [--snr LO:HI] [--tier TIER] [--converged BOOL] \
+         [--file PATH] [--store-backend jsonl|indexed] [--once] [--interval SECS]"
     );
     std::process::exit(2);
 }
@@ -62,6 +84,9 @@ fn main() {
     let mut spec = ShardSpec::single();
     let mut once = false;
     let mut interval_secs = 2u64;
+    let mut filter = QueryFilter::new();
+    let mut file: Option<PathBuf> = None;
+    let mut backend = BackendKind::default();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -77,6 +102,44 @@ fn main() {
             "--once" => once = true,
             "--interval" => {
                 interval_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--key" => {
+                let key = it
+                    .next()
+                    .and_then(|v| u64::from_str_radix(v, 16).ok())
+                    .unwrap_or_else(|| usage());
+                filter = filter.with_key(key);
+            }
+            "--snr" => {
+                let (lo, hi) = it
+                    .next()
+                    .and_then(|v| {
+                        let (lo, hi) = v.split_once(':')?;
+                        Some((lo.parse::<f64>().ok()?, hi.parse::<f64>().ok()?))
+                    })
+                    .unwrap_or_else(|| usage());
+                filter = filter.with_snr_range(lo, hi);
+            }
+            "--tier" => {
+                let tier: AccuracyTier = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                filter = filter.with_tier(tier);
+            }
+            "--converged" => {
+                let converged: bool = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                filter = filter.with_converged(converged);
+            }
+            "--file" => file = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--store-backend" => {
+                backend = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -150,6 +213,60 @@ fn main() {
             let text = shard::stats(&name, &dir, spec)
                 .unwrap_or_else(|e| fail(&format!("stats {name}"), e));
             print!("{text}");
+        }
+        "query" => {
+            let text = shard::query(&name, &dir, spec, &filter)
+                .unwrap_or_else(|e| fail(&format!("query {name}"), e));
+            print!("{text}");
+        }
+        "export" => {
+            let Some(out) = file else {
+                usage();
+            };
+            let (src, _) = shard::detect_store_file(&name, &dir, spec)
+                .unwrap_or_else(|e| fail(&format!("export {name}"), e));
+            let n =
+                store::convert(&src, &out).unwrap_or_else(|e| fail(&format!("export {name}"), e));
+            println!(
+                "exported {n} chunk records: {} -> {}",
+                src.display(),
+                out.display()
+            );
+        }
+        "import" => {
+            let Some(input) = file else {
+                usage();
+            };
+            // Refuse an import that would leave the campaign with two
+            // live backends — detection (gc, stats, merge) would then
+            // error on the ambiguity.
+            let other = dir.join(shard::store_file(
+                &name,
+                spec,
+                match backend {
+                    BackendKind::Jsonl => BackendKind::Indexed,
+                    BackendKind::Indexed => BackendKind::Jsonl,
+                },
+            ));
+            if other.exists() {
+                fail(
+                    &format!("import {name}"),
+                    format_args!(
+                        "{} already exists — delete it first or import with \
+                         --store-backend {}",
+                        other.display(),
+                        BackendKind::for_path(&other),
+                    ),
+                );
+            }
+            let dst = dir.join(shard::store_file(&name, spec, backend));
+            let n =
+                store::convert(&input, &dst).unwrap_or_else(|e| fail(&format!("import {name}"), e));
+            println!(
+                "imported {n} chunk records: {} -> {}",
+                input.display(),
+                dst.display()
+            );
         }
         "top" => top(&name, &dir, once, interval_secs),
         _ => usage(),

@@ -6,8 +6,14 @@
 //! ```text
 //! campaign-dispatch --name fig6 --bin target/release/fig6a --legs 2 \
 //!     [--steal|--no-steal] [--work-dir D] [--stall-timeout SECS] \
-//!     [--manifest-json PATH] [--telemetry] [--quiet] [-- LEG_ARGS...]
+//!     [--manifest-json PATH] [--telemetry] [--store-backend KIND] \
+//!     [--quiet] [-- LEG_ARGS...]
 //! ```
+//!
+//! `--store-backend KIND` (`jsonl` or `indexed`) is forwarded to every
+//! leg, so the whole dispatched campaign writes one store format; the
+//! merge detects the legs' backend from their artifact files either
+//! way.
 //!
 //! `--telemetry` turns on observability end to end: every leg gets
 //! `--telemetry` appended (so it writes the live snapshot that doubles
@@ -37,7 +43,7 @@ fn main() {
             "usage: campaign-dispatch --name <campaign> --bin <figure binary> \
              [--legs N] [--steal|--no-steal] [--work-dir D] \
              [--stall-timeout SECS] [--manifest-json PATH] [--telemetry] \
-             [--quiet] [-- LEG_ARGS...]"
+             [--store-backend jsonl|indexed] [--quiet] [-- LEG_ARGS...]"
         );
         std::process::exit(2);
     });
@@ -47,6 +53,14 @@ fn main() {
     let mut leg_args = parsed.leg_args.clone();
     if parsed.telemetry && !leg_args.iter().any(|a| a == "--telemetry") {
         leg_args.push("--telemetry".into());
+    }
+    // Forward the store backend to the legs (unless the operator pinned
+    // one in the leg args themselves).
+    if let Some(kind) = parsed.store_backend {
+        if !leg_args.iter().any(|a| a == "--store-backend") {
+            leg_args.push("--store-backend".into());
+            leg_args.push(kind.to_string());
+        }
     }
     let mut launcher = LocalLauncher::new(&parsed.bin, &parsed.work_dir).with_args(leg_args);
     if parsed.quiet {

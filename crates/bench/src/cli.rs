@@ -21,6 +21,11 @@
 //! * `--shard I/N` — run only the points of shard `I` (of `N` total) of
 //!   the campaign, into suffixed store/manifest files that
 //!   `campaign-admin merge` folds back into the single-host result;
+//! * `--store-backend KIND` — result-store backend: `jsonl` (default,
+//!   line-oriented interchange format) or `indexed` (append-only binary
+//!   segments with a point-key index — open/resume cost proportional to
+//!   points touched, not file size). A storage knob like `--resume`:
+//!   manifests are byte-identical across backends;
 //! * `--resume` / `--no-resume` — reuse or truncate the persistent
 //!   result store under `target/campaign/`;
 //! * `--manifest-json PATH` — after the run, copy the campaign manifest
@@ -40,7 +45,7 @@
 use std::path::Path;
 
 use hspa_phy::turbo::AccuracyTier;
-use resilience_core::campaign::{manifest, Campaign, CampaignSettings, ShardSpec};
+use resilience_core::campaign::{manifest, BackendKind, Campaign, CampaignSettings, ShardSpec};
 use resilience_core::experiments::ExperimentBudget;
 
 /// Parses command-line arguments into a budget. Unknown arguments are
@@ -116,6 +121,14 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
                     c.shard = v;
                 }
             }
+            "--store-backend" => {
+                if let (Some(v), Some(c)) = (
+                    next_parsed::<BackendKind>(&mut it),
+                    budget.campaign.as_mut(),
+                ) {
+                    c.backend = v;
+                }
+            }
             "--resume" => {
                 if let Some(c) = budget.campaign.as_mut() {
                     c.resume = true;
@@ -151,8 +164,13 @@ pub fn banner(figure: &str, what: &str, budget: ExperimentBudget) -> String {
             } else {
                 String::new()
             };
+            let backend = if c.backend == BackendKind::default() {
+                String::new()
+            } else {
+                format!(", store {}", c.backend)
+            };
             format!(
-                "campaign: {target}, {}{shard}",
+                "campaign: {target}, {}{shard}{backend}",
                 if c.resume { "resume" } else { "no-resume" }
             )
         }
@@ -248,6 +266,9 @@ pub struct DispatchArgs {
     /// log and every leg gets `--telemetry` appended (live snapshots
     /// double as the legs' heartbeat).
     pub telemetry: bool,
+    /// Result-store backend forwarded to every leg as
+    /// `--store-backend KIND` (`None`: legs use their default).
+    pub store_backend: Option<BackendKind>,
     /// Silence leg stdout.
     pub quiet: bool,
     /// Arguments forwarded to every leg.
@@ -272,6 +293,7 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
         stall_timeout_secs: 600,
         manifest_json: None,
         telemetry: false,
+        store_backend: None,
         quiet: false,
         leg_args: Vec::new(),
     };
@@ -305,6 +327,7 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
             }
             "--manifest-json" => parsed.manifest_json = Some(value("--manifest-json")?),
             "--telemetry" => parsed.telemetry = true,
+            "--store-backend" => parsed.store_backend = Some(value("--store-backend")?.parse()?),
             "--quiet" => parsed.quiet = true,
             "--" => {
                 parsed.leg_args = it.cloned().collect();
@@ -491,6 +514,57 @@ mod tests {
         ] {
             assert_eq!(budget_from_args(&args(bad)).campaign.unwrap(), d, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn parses_store_backend() {
+        // Figure binaries: lenient like every campaign knob.
+        let b = budget_from_args(&args(&["--store-backend", "indexed"]));
+        let c = b.campaign.unwrap();
+        assert_eq!(c.backend, BackendKind::Indexed);
+        let text = banner("fig6", "x", b);
+        assert!(text.contains("store indexed"), "{text}");
+        let d = budget_from_args(&[]).campaign.unwrap();
+        assert_eq!(d.backend, BackendKind::Jsonl, "jsonl is the default");
+        assert!(
+            !banner("fig6", "x", budget_from_args(&[])).contains("store "),
+            "default backend is silent"
+        );
+        assert_eq!(
+            budget_from_args(&args(&["--store-backend", "sqlite"]))
+                .campaign
+                .unwrap(),
+            d,
+            "malformed backend keeps the default"
+        );
+
+        // Dispatcher: strict, forwarded to legs.
+        let d = dispatch_from_args(&args(&[
+            "--name",
+            "c",
+            "--bin",
+            "b",
+            "--store-backend",
+            "indexed",
+        ]))
+        .unwrap();
+        assert_eq!(d.store_backend, Some(BackendKind::Indexed));
+        assert_eq!(
+            dispatch_from_args(&args(&["--name", "c", "--bin", "b"]))
+                .unwrap()
+                .store_backend,
+            None
+        );
+        let err = dispatch_from_args(&args(&[
+            "--name",
+            "c",
+            "--bin",
+            "b",
+            "--store-backend",
+            "sqlite",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown store backend"), "{err}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use dsp::stats::wilson_interval;
 use hspa_phy::harq::HarqStats;
 
 use super::shard::ShardSpec;
+use super::store::BackendKind;
 
 /// z-score of the controller's confidence level (95 %).
 pub const WILSON_Z: f64 = 1.96;
@@ -54,6 +55,12 @@ pub struct CampaignSettings {
     /// stable key hashes into the shard and writes suffixed
     /// store/manifest files for [`super::shard::merge`].
     pub shard: ShardSpec,
+    /// Result-store backend (`--store-backend`): JSONL (the
+    /// interchange/debug default) or the indexed segment format. Like
+    /// `resume`, this is a storage knob, not part of the campaign's
+    /// rendered identity — manifests from both backends are
+    /// byte-identical.
+    pub backend: BackendKind,
 }
 
 impl Default for CampaignSettings {
@@ -65,6 +72,7 @@ impl Default for CampaignSettings {
             resume: true,
             target_ci: 0.0,
             shard: ShardSpec::single(),
+            backend: BackendKind::default(),
         }
     }
 }

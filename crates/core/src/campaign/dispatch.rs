@@ -54,6 +54,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant, SystemTime};
 
 use super::shard::{self, MergeReport, ShardSpec, VerifyReport};
+use super::store::BackendKind;
 use super::DEFAULT_STORE_DIR;
 use crate::telemetry::{self, read_snapshot_seq, Counter, EventLog, Field, Gauge};
 
@@ -317,9 +318,12 @@ fn invalid(msg: impl Into<String>) -> io::Error {
 /// The fallback liveness heartbeat of a leg: the (size, mtime)
 /// signature of its store and manifest files. Any change counts as
 /// progress — a fresh chunk append, a manifest rewrite, even a
-/// truncation. Used when a leg predates telemetry (writes no live
-/// snapshot); the primary heartbeat is the snapshot's `seq`.
-type ArtifactSignature = [Option<(u64, SystemTime)>; 2];
+/// truncation. The store is watched under **both** backend file names
+/// (`.jsonl` and `.seg`) — the dispatcher does not know which
+/// `--store-backend` the leg command line carries, and stat'ing a
+/// missing file is cheap. Used when a leg predates telemetry (writes
+/// no live snapshot); the primary heartbeat is the snapshot's `seq`.
+type ArtifactSignature = [Option<(u64, SystemTime)>; 3];
 
 fn artifact_signature(dir: &Path, name: &str, spec: ShardSpec) -> ArtifactSignature {
     let stat = |file: String| {
@@ -327,7 +331,8 @@ fn artifact_signature(dir: &Path, name: &str, spec: ShardSpec) -> ArtifactSignat
         Some((meta.len(), meta.modified().ok()?))
     };
     [
-        stat(shard::store_file(name, spec)),
+        stat(shard::store_file(name, spec, BackendKind::Jsonl)),
+        stat(shard::store_file(name, spec, BackendKind::Indexed)),
         stat(shard::manifest_file(name, spec)),
     ]
 }
@@ -737,6 +742,7 @@ mod tests {
                 chunks: 1,
                 chunks_from_store: 0,
                 packets_from_store: 0,
+                tier: hspa_phy::turbo::AccuracyTier::Exact,
             });
             records.push((
                 ChunkId {
@@ -754,7 +760,11 @@ mod tests {
             ));
         }
         fs::create_dir_all(dir).unwrap();
-        store::write_records(&dir.join(shard::store_file(NAME, spec)), &records).unwrap();
+        store::write_records(
+            &dir.join(shard::store_file(NAME, spec, BackendKind::Jsonl)),
+            &records,
+        )
+        .unwrap();
         m.write(&dir.join(shard::manifest_file(NAME, spec)))
             .unwrap();
     }
@@ -1073,7 +1083,7 @@ mod tests {
         // stale family.
         let cfg = tiny_config("family-store", 2);
         fs::create_dir_all(&cfg.dir).unwrap();
-        let stale = shard::store_file(NAME, ShardSpec::new(1, 3).unwrap());
+        let stale = shard::store_file(NAME, ShardSpec::new(1, 3).unwrap(), BackendKind::Jsonl);
         fs::write(cfg.dir.join(stale), "").unwrap();
         let launcher = MockLauncher::new(&cfg.dir, &[]);
         let err = dispatch(&cfg, &launcher).unwrap_err();

@@ -12,9 +12,11 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
+use hspa_phy::turbo::AccuracyTier;
+
 use super::controller::CampaignSettings;
 use super::shard::ShardSpec;
-use super::store::{json_bool_field, json_f64_field, json_str_field, json_u64_field};
+use super::store::{json_bool_field, json_f64_field, json_str_field, json_u64_field, BackendKind};
 use super::PointOutcome;
 
 /// One point entry of the manifest.
@@ -51,6 +53,10 @@ pub struct PointRecord {
     /// of `chunks_from_store` — chunks double in size, so the chunk
     /// ratio alone understates how much work resume actually saved).
     pub packets_from_store: usize,
+    /// Decoder accuracy tier the point was simulated at — part of the
+    /// point fingerprint, recorded here so `campaign-admin query
+    /// --tier` can filter without re-deriving configs.
+    pub tier: AccuracyTier,
 }
 
 impl PointRecord {
@@ -71,13 +77,14 @@ impl PointRecord {
             chunks: o.chunks,
             chunks_from_store: o.chunks_from_store,
             packets_from_store: o.packets_from_store,
+            tier: o.tier,
         }
     }
 
     /// Renders the record as one manifest line (no trailing comma).
     fn render(&self) -> String {
         format!(
-            "{{\"index\": {}, \"key\": \"{:016x}\", \"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}, \"packets_store\": {}}}",
+            "{{\"index\": {}, \"key\": \"{:016x}\", \"label\": \"{}\", \"snr_db\": {}, \"packets\": {}, \"max\": {}, \"bler\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"rel_hw\": {:.4}, \"converged\": {}, \"chunks\": {}, \"chunks_store\": {}, \"packets_store\": {}, \"tier\": \"{}\"}}",
             self.index,
             self.key,
             self.label.replace('"', "'"),
@@ -92,6 +99,7 @@ impl PointRecord {
             self.chunks,
             self.chunks_from_store,
             self.packets_from_store,
+            self.tier,
         )
     }
 
@@ -132,6 +140,11 @@ impl PointRecord {
             // Lenient: manifests written before the field existed parse
             // as zero (the merge then re-renders them with it).
             packets_from_store: json_u64_field(rest, "packets_store").unwrap_or(0) as usize,
+            // Lenient for the same reason: older manifests predate the
+            // tier field, and `exact` is the historical default.
+            tier: json_str_field(rest, "tier")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(AccuracyTier::Exact),
         })
     }
 }
@@ -165,19 +178,7 @@ impl Manifest {
 
     /// Aggregated totals over all points.
     pub fn totals(&self) -> ManifestTotals {
-        let mut t = ManifestTotals {
-            points_total: self.points.len() as u64,
-            ..ManifestTotals::default()
-        };
-        for p in &self.points {
-            t.points_converged += u64::from(p.converged);
-            t.total_chunks += p.chunks as u64;
-            t.store_chunks += p.chunks_from_store as u64;
-            t.store_packets += p.packets_from_store as u64;
-            t.realized_packets += p.packets as u64;
-            t.budget_packets += p.max_packets as u64;
-        }
-        t
+        ManifestTotals::over(self.points.iter())
     }
 
     /// Renders the manifest as pretty-printed JSON (hand-formatted; the
@@ -257,6 +258,7 @@ impl Manifest {
             target_ci: json_f64_field(json, "target_ci")?,
             shard,
             resume: true,
+            backend: BackendKind::default(),
         };
         let points_enumerated = json_u64_field(json, "points_enumerated")?;
         let body = &json[json.find("\"points\": [")?..];
@@ -320,6 +322,23 @@ pub struct ManifestTotals {
 }
 
 impl ManifestTotals {
+    /// Aggregates totals over any set of manifest points — the engine
+    /// behind [`Manifest::totals`], and what `campaign-admin query`
+    /// uses to summarize a filtered point selection.
+    pub fn over<'a>(points: impl IntoIterator<Item = &'a PointRecord>) -> Self {
+        let mut t = Self::default();
+        for p in points {
+            t.points_total += 1;
+            t.points_converged += u64::from(p.converged);
+            t.total_chunks += p.chunks as u64;
+            t.store_chunks += p.chunks_from_store as u64;
+            t.store_packets += p.packets_from_store as u64;
+            t.realized_packets += p.packets as u64;
+            t.budget_packets += p.max_packets as u64;
+        }
+        t
+    }
+
     /// Fraction of the fixed budget the controller did not need.
     pub fn saved_vs_fixed(&self) -> f64 {
         if self.budget_packets == 0 {
@@ -397,6 +416,7 @@ mod tests {
             chunks: 1,
             chunks_from_store: 1,
             packets_from_store: 32,
+            tier: AccuracyTier::Exact,
         });
         m.points.push(PointRecord {
             index: 1,
@@ -412,6 +432,7 @@ mod tests {
             chunks: 2,
             chunks_from_store: 0,
             packets_from_store: 0,
+            tier: AccuracyTier::EarlyStop,
         });
         m
     }

@@ -11,8 +11,10 @@
 //!   confidence interval on the point's BLER is tight enough, escalating
 //!   hard (waterfall) points up to their maximum budget;
 //! * the **persistent result store** ([`store`]) keeps every simulated
-//!   chunk in a JSONL file keyed by a stable hash of the full point
-//!   configuration ([`hash`]), so re-running a figure skips converged
+//!   chunk keyed by a stable hash of the full point configuration
+//!   ([`hash`]) — behind a [`store::StoreBackend`] trait with a JSONL
+//!   interchange format and an indexed binary segment format
+//!   (`--store-backend`) — so re-running a figure skips converged
 //!   points and interrupted campaigns resume where they stopped;
 //! * the **manifest** ([`manifest`]) summarizes realized budgets,
 //!   achieved confidence intervals and store-hit rates for the bench
@@ -79,6 +81,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use hspa_phy::harq::{HarqStats, LlrBuffer};
+use hspa_phy::turbo::AccuracyTier;
 
 use crate::engine::{ChunkSpec, CustomChunk, GridResult, SimulationEngine};
 use crate::montecarlo::StorageConfig;
@@ -94,7 +97,7 @@ pub use controller::{CampaignSettings, PrecisionCheck};
 pub use dispatch::{dispatch, DispatchConfig, DispatchReport, Launcher, Leg, LocalLauncher};
 pub use manifest::{Manifest, ManifestSummary, ManifestTotals};
 pub use shard::ShardSpec;
-pub use store::ResultStore;
+pub use store::{BackendKind, QueryFilter, ResultStore, StoreBackend};
 
 /// The default on-disk location of campaign stores and manifests.
 pub const DEFAULT_STORE_DIR: &str = "target/campaign";
@@ -166,6 +169,10 @@ pub struct PointOutcome {
     /// counts weight a 16-packet warmup chunk the same as a 4096-packet
     /// tail chunk).
     pub packets_from_store: usize,
+    /// Decoder accuracy tier the point ran at (from the simulator's
+    /// [`crate::config::SystemConfig`]); recorded into the manifest for
+    /// `campaign-admin query --tier`.
+    pub tier: AccuracyTier,
 }
 
 impl PointOutcome {
@@ -346,11 +353,15 @@ impl Campaign {
         &self.settings
     }
 
-    /// Path of the JSONL result store (shard-suffixed under
-    /// `--shard i/n`, so parallel shard runs never collide).
+    /// Path of the result store (shard-suffixed under `--shard i/n` so
+    /// parallel shard runs never collide; the extension names the
+    /// `--store-backend`).
     pub fn store_path(&self) -> PathBuf {
-        self.store_dir
-            .join(shard::store_file(&self.name, self.settings.shard))
+        self.store_dir.join(shard::store_file(
+            &self.name,
+            self.settings.shard,
+            self.settings.backend,
+        ))
     }
 
     /// Path of the manifest file (shard-suffixed under `--shard i/n`).
@@ -851,6 +862,7 @@ impl Campaign {
                 chunks: chunks_run[i],
                 chunks_from_store: chunks_hit[i],
                 packets_from_store: packets_hit[i],
+                tier: cfg.accuracy_tier,
             })
             .collect();
 

@@ -1,15 +1,18 @@
 //! Multi-host sharding coordinator for campaigns.
 //!
 //! A campaign's operating points are already content-hashed
-//! ([`super::hash::point_key`]) and its chunks are self-describing JSONL
+//! ([`super::hash::point_key`]) and its chunks are self-describing store
 //! records, so distributing a grid across hosts needs no broker: every
 //! host runs the *same* binary over the *same* full point list with
 //! `--shard i/n`, and a point belongs to the shard its stable key hashes
 //! into ([`ShardSpec::owns`]). Each shard writes suffixed store/manifest
-//! files (`<name>.shard-i-of-n.{jsonl,manifest.json}`) that never
+//! files (`<name>.shard-i-of-n.{jsonl|seg,manifest.json}`) that never
 //! collide, and [`merge`] folds any complete shard set back into the
 //! files a single-host run would have produced — **byte-identical
-//! manifest included**, which is what CI asserts on every push.
+//! manifest included**, which is what CI asserts on every push. The
+//! store backend behind each leg is detected from which store file
+//! exists, so the admin entry points work unchanged over JSONL and
+//! indexed-segment campaigns.
 //!
 //! Determinism is inherited, not re-proven: a packet's RNG stream
 //! depends only on its absolute position in the seed tree (see
@@ -31,8 +34,8 @@ use std::str::FromStr;
 
 use hspa_phy::harq::HarqStats;
 
-use super::manifest::Manifest;
-use super::store::{self, ChunkId};
+use super::manifest::{Manifest, ManifestTotals, PointRecord};
+use super::store::{self, BackendKind, ChunkId, QueryFilter};
 
 /// The shard a process owns, out of `count` total — parsed from
 /// `--shard index/count`. The default `0/1` means "unsharded".
@@ -113,9 +116,44 @@ impl FromStr for ShardSpec {
     }
 }
 
-/// Store file name of a campaign under a shard spec.
-pub fn store_file(name: &str, shard: ShardSpec) -> String {
-    format!("{name}{}.jsonl", shard.suffix())
+/// Store file name of a campaign under a shard spec and backend (the
+/// extension names the backend: `.jsonl` or `.seg`).
+pub fn store_file(name: &str, shard: ShardSpec, backend: BackendKind) -> String {
+    format!("{name}{}.{}", shard.suffix(), backend.extension())
+}
+
+/// Resolves which backend's store file backs `(name, shard)` in `dir`
+/// by probing the candidate file names — the admin tooling's entry, so
+/// `merge`/`gc`/`verify`/`stats` work unchanged over campaigns run with
+/// either `--store-backend`. Exactly one candidate may exist: both at
+/// once is ambiguous (a backend switch without cleanup) and neither is
+/// a missing store.
+pub fn detect_store_file(
+    name: &str,
+    dir: &Path,
+    shard: ShardSpec,
+) -> io::Result<(PathBuf, BackendKind)> {
+    let jsonl = dir.join(store_file(name, shard, BackendKind::Jsonl));
+    let seg = dir.join(store_file(name, shard, BackendKind::Indexed));
+    match (jsonl.exists(), seg.exists()) {
+        (true, false) => Ok((jsonl, BackendKind::Jsonl)),
+        (false, true) => Ok((seg, BackendKind::Indexed)),
+        (true, true) => Err(invalid(format!(
+            "both {} and {} exist — campaign '{name}' was run with more than one \
+             --store-backend; `campaign-admin export` the live one and delete the other",
+            jsonl.display(),
+            seg.display(),
+        ))),
+        (false, false) => Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no result store for campaign '{name}' (shard {shard}) in {}: neither {} nor {}",
+                dir.display(),
+                jsonl.display(),
+                seg.display(),
+            ),
+        )),
+    }
 }
 
 /// Manifest file name of a campaign under a shard spec.
@@ -156,7 +194,8 @@ fn filename_shard_spec(name: &str, path: &Path) -> Option<ShardSpec> {
 }
 
 /// The shard spec encoded in **any** shard artifact file name of
-/// `name` — store (`<name>.shard-I-of-N.jsonl`) or manifest
+/// `name` — store (`<name>.shard-I-of-N.jsonl` / `.seg`, plus the
+/// segment backend's `.seg.idx` sidecar) or manifest
 /// (`<name>.shard-I-of-N.manifest.json`). The dispatcher's pre-flight
 /// scans with this: a killed leg typically leaves only its store (the
 /// manifest is written at run end), and a stale-family store alone is
@@ -164,7 +203,9 @@ fn filename_shard_spec(name: &str, path: &Path) -> Option<ShardSpec> {
 pub fn artifact_shard_spec(name: &str, file_name: &str) -> Option<ShardSpec> {
     let stem = file_name
         .strip_suffix(".manifest.json")
-        .or_else(|| file_name.strip_suffix(".jsonl"))?;
+        .or_else(|| file_name.strip_suffix(".jsonl"))
+        .or_else(|| file_name.strip_suffix(".seg.idx"))
+        .or_else(|| file_name.strip_suffix(".seg"))?;
     artifact_stem_spec(name, stem)
 }
 
@@ -388,11 +429,20 @@ pub fn merge_manifests(
         )));
     }
 
-    // Gather the stores, dropping exact-duplicate chunk records.
+    // Gather the stores, dropping exact-duplicate chunk records. Each
+    // leg's backend is detected from which store file sits next to its
+    // manifest (legs of one dispatch share a backend, but merge does
+    // not insist on it); the merged store is written in the backend of
+    // the first shard.
     let mut records: Vec<(ChunkId, HarqStats)> = Vec::new();
     let mut malformed_lines = 0;
-    for (path, m) in &parsed {
-        let store_path = path.with_file_name(store_file(name, m.settings.shard));
+    let mut merged_backend = BackendKind::default();
+    for (i, (path, m)) in parsed.iter().enumerate() {
+        let shard_dir = path.parent().unwrap_or(Path::new("."));
+        let (store_path, kind) = detect_store_file(name, shard_dir, m.settings.shard)?;
+        if i == 0 {
+            merged_backend = kind;
+        }
         let (recs, malformed) = store::load_all(&store_path)?;
         malformed_lines += malformed;
         records.extend(recs);
@@ -413,7 +463,7 @@ pub fn merge_manifests(
         points,
     };
     fs::create_dir_all(out_dir)?;
-    let store_path = out_dir.join(store_file(name, ShardSpec::single()));
+    let store_path = out_dir.join(store_file(name, ShardSpec::single(), merged_backend));
     let manifest_path = out_dir.join(manifest_file(name, ShardSpec::single()));
     store::write_records(&store_path, &records)?;
     merged.write(&manifest_path)?;
@@ -453,6 +503,7 @@ fn normalized_settings(m: &Manifest) -> super::CampaignSettings {
     super::CampaignSettings {
         shard: ShardSpec::single(),
         resume: true,
+        backend: BackendKind::default(),
         ..m.settings
     }
 }
@@ -493,7 +544,8 @@ impl VerifyReport {
 /// by store chunks that tile `0..packets` without gaps or overlaps.
 pub fn verify(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<VerifyReport> {
     let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
-    let (records, malformed_lines) = store::load_all(&dir.join(store_file(name, shard)))?;
+    let (store_path, _) = detect_store_file(name, dir, shard)?;
+    let (records, malformed_lines) = store::load_all(&store_path)?;
     let mut report = VerifyReport {
         points: manifest.points.len(),
         malformed_lines,
@@ -585,7 +637,7 @@ pub struct GcReport {
 /// too, which is exactly the trade a GC is asked to make.
 pub fn gc(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<GcReport> {
     let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
-    let store_path = dir.join(store_file(name, shard));
+    let (store_path, _) = detect_store_file(name, dir, shard)?;
     // Lenient load: gc is the tool the strict loaders point at when they
     // hit a corrupt record, so it must read past (and drop) the damage.
     let load = store::load_all_lenient(&store_path)?;
@@ -658,20 +710,45 @@ pub fn gc(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<GcReport> {
     })
 }
 
-/// Renders a human-readable summary of a campaign's store + manifest —
-/// the `campaign-admin stats` output.
-pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
-    let manifest_path = dir.join(manifest_file(name, shard));
-    let store_path = dir.join(store_file(name, shard));
-    let manifest = Manifest::read(&manifest_path)?;
-    let (records, malformed) = store::load_all(&store_path)?;
-    let store_bytes = fs::metadata(&store_path)?.len();
-    let keys: HashSet<u64> = records.iter().map(|(id, _)| id.point).collect();
-    let stored_packets: u64 = records.iter().map(|(_, s)| s.packets).sum();
-    let t = manifest.totals();
+/// Store-side figures of a summary: chunk records, distinct point
+/// keys, stored packets, and (when the whole file is being summarized)
+/// its size on disk.
+struct StoreSummary {
+    records: usize,
+    keys: usize,
+    packets: u64,
+    bytes: Option<u64>,
+}
+
+impl StoreSummary {
+    /// Summarizes one record set (`bytes` stays unset — callers that
+    /// summarize a whole store file fill it from `fs::metadata`).
+    fn of(records: &[(ChunkId, HarqStats)]) -> Self {
+        let keys: HashSet<u64> = records.iter().map(|(id, _)| id.point).collect();
+        Self {
+            records: records.len(),
+            keys: keys.len(),
+            packets: records.iter().map(|(_, s)| s.packets).sum(),
+            bytes: None,
+        }
+    }
+}
+
+/// The campaign header + manifest/budget/store/reuse summary block
+/// shared by `campaign-admin stats` and `campaign-admin query` — one
+/// renderer, so the two surfaces cannot drift apart.
+fn render_summary(
+    name: &str,
+    shard: ShardSpec,
+    qualifier: &str,
+    points_enumerated: u64,
+    t: &ManifestTotals,
+    store: &StoreSummary,
+    malformed: usize,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "campaign {name}{}\n",
+        "campaign {name}{}{qualifier}\n",
         if shard.is_sharded() {
             format!(" (shard {shard})")
         } else {
@@ -680,7 +757,7 @@ pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
     ));
     out.push_str(&format!(
         "  manifest: {} points recorded of {} enumerated, {} converged\n",
-        t.points_total, manifest.points_enumerated, t.points_converged
+        t.points_total, points_enumerated, t.points_converged
     ));
     out.push_str(&format!(
         "  budgets:  {} packets realized of {} fixed ({:.1}% saved)\n",
@@ -688,16 +765,19 @@ pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
         t.budget_packets,
         t.saved_vs_fixed() * 100.0
     ));
-    out.push_str(&format!(
-        "  store:    {} chunk records over {} point keys, {} packets, {} bytes\n",
-        records.len(),
-        keys.len(),
-        stored_packets,
-        store_bytes
-    ));
+    match store.bytes {
+        Some(bytes) => out.push_str(&format!(
+            "  store:    {} chunk records over {} point keys, {} packets, {bytes} bytes\n",
+            store.records, store.keys, store.packets,
+        )),
+        None => out.push_str(&format!(
+            "  store:    {} chunk records over {} point keys, {} packets\n",
+            store.records, store.keys, store.packets,
+        )),
+    }
     // Hit provenance comes from the same `ManifestTotals` aggregation
-    // that `render_json` and `campaign-admin top` use, so the three
-    // surfaces cannot disagree.
+    // that `render_json` and `campaign-admin top` use, so the surfaces
+    // cannot disagree.
     out.push_str(&format!(
         "  reuse:    {} chunks / {} packets served from store ({:.1}% of realized)\n",
         t.store_chunks,
@@ -706,6 +786,77 @@ pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
     ));
     if malformed > 0 {
         out.push_str(&format!("  warning:  {malformed} malformed store lines\n"));
+    }
+    out
+}
+
+/// Renders a human-readable summary of a campaign's store + manifest —
+/// the `campaign-admin stats` output.
+pub fn stats(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<String> {
+    let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
+    let (store_path, _) = detect_store_file(name, dir, shard)?;
+    let (records, malformed) = store::load_all(&store_path)?;
+    let mut store = StoreSummary::of(&records);
+    store.bytes = Some(fs::metadata(&store_path)?.len());
+    Ok(render_summary(
+        name,
+        shard,
+        "",
+        manifest.points_enumerated,
+        &manifest.totals(),
+        &store,
+        malformed,
+    ))
+}
+
+/// Renders the `campaign-admin query` output: the [`stats`] summary
+/// block restricted to the manifest points matching `filter`, followed
+/// by one line per matching point. Store figures count only records
+/// whose point key a matching point references.
+pub fn query(name: &str, dir: &Path, shard: ShardSpec, filter: &QueryFilter) -> io::Result<String> {
+    let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
+    let (store_path, _) = detect_store_file(name, dir, shard)?;
+    let (records, malformed) = store::load_all(&store_path)?;
+    let selected: Vec<&PointRecord> = filter.select(&manifest.points);
+    let live: HashSet<u64> = selected.iter().map(|p| p.key).collect();
+    let matching: Vec<(ChunkId, HarqStats)> = records
+        .into_iter()
+        .filter(|(id, _)| live.contains(&id.point))
+        .collect();
+    let qualifier = format!(
+        " query: {} of {} points match",
+        selected.len(),
+        manifest.points.len()
+    );
+    let mut out = render_summary(
+        name,
+        shard,
+        &qualifier,
+        manifest.points_enumerated,
+        &ManifestTotals::over(selected.iter().copied()),
+        &StoreSummary::of(&matching),
+        malformed,
+    );
+    for p in &selected {
+        out.push_str(&format!(
+            "  point {:>4} {} key {:016x}  snr {:+.2} dB  bler {:.3e} ci [{:.3e}, {:.3e}]  \
+             packets {}/{}  tier {}  {}\n",
+            p.index,
+            p.label,
+            p.key,
+            p.snr_db,
+            p.bler,
+            p.ci.0,
+            p.ci.1,
+            p.packets,
+            p.max_packets,
+            p.tier,
+            if p.converged {
+                "converged"
+            } else {
+                "not converged"
+            },
+        ));
     }
     Ok(out)
 }
@@ -796,15 +947,63 @@ mod tests {
 
     #[test]
     fn file_names_only_suffix_when_sharded() {
-        assert_eq!(store_file("fig6", ShardSpec::single()), "fig6.jsonl");
         assert_eq!(
-            store_file("fig6", ShardSpec::new(0, 2).unwrap()),
+            store_file("fig6", ShardSpec::single(), BackendKind::Jsonl),
+            "fig6.jsonl"
+        );
+        assert_eq!(
+            store_file("fig6", ShardSpec::new(0, 2).unwrap(), BackendKind::Jsonl),
             "fig6.shard-0-of-2.jsonl"
+        );
+        assert_eq!(
+            store_file("fig6", ShardSpec::new(0, 2).unwrap(), BackendKind::Indexed),
+            "fig6.shard-0-of-2.seg"
         );
         assert_eq!(
             manifest_file("fig6", ShardSpec::new(1, 2).unwrap()),
             "fig6.shard-1-of-2.manifest.json"
         );
+    }
+
+    #[test]
+    fn artifact_names_resolve_to_their_shard_spec() {
+        let spec = ShardSpec::new(0, 2).unwrap();
+        for file in [
+            "fig6.shard-0-of-2.jsonl",
+            "fig6.shard-0-of-2.seg",
+            "fig6.shard-0-of-2.seg.idx",
+            "fig6.shard-0-of-2.manifest.json",
+        ] {
+            assert_eq!(artifact_shard_spec("fig6", file), Some(spec), "{file}");
+        }
+        // Unsuffixed (single-host) artifacts carry no shard spec.
+        assert_eq!(artifact_shard_spec("fig6", "fig6.jsonl"), None);
+        assert_eq!(artifact_shard_spec("fig6", "other.shard-0-of-2.seg"), None);
+    }
+
+    #[test]
+    fn store_detection_requires_exactly_one_backend_file() {
+        let dir = std::env::temp_dir().join(format!("shard-detect-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let spec = ShardSpec::single();
+
+        let err = detect_store_file("c", &dir, spec).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound, "{err}");
+
+        fs::write(dir.join(store_file("c", spec, BackendKind::Jsonl)), "").unwrap();
+        let (path, kind) = detect_store_file("c", &dir, spec).unwrap();
+        assert_eq!(kind, BackendKind::Jsonl);
+        assert!(path.ends_with("c.jsonl"));
+
+        fs::write(dir.join(store_file("c", spec, BackendKind::Indexed)), "").unwrap();
+        let err = detect_store_file("c", &dir, spec).unwrap_err();
+        assert!(err.to_string().contains("more than one"), "{err}");
+
+        fs::remove_file(dir.join(store_file("c", spec, BackendKind::Jsonl))).unwrap();
+        let (_, kind) = detect_store_file("c", &dir, spec).unwrap();
+        assert_eq!(kind, BackendKind::Indexed);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -847,6 +1046,7 @@ mod tests {
             chunks: 1,
             chunks_from_store: 0,
             packets_from_store: 0,
+            tier: hspa_phy::turbo::AccuracyTier::Exact,
         });
         m
     }
@@ -860,7 +1060,11 @@ mod tests {
         let m = tiny_manifest("c", ShardSpec::new(0, 2).unwrap());
         m.write(&dir.join(manifest_file("c", m.settings.shard)))
             .unwrap();
-        fs::write(dir.join(store_file("c", m.settings.shard)), "").unwrap();
+        fs::write(
+            dir.join(store_file("c", m.settings.shard, BackendKind::Jsonl)),
+            "",
+        )
+        .unwrap();
         let found = discover_shards("c", &dir).unwrap();
         assert_eq!(found.len(), 1);
         let err = merge("c", &dir, &dir.join("out")).unwrap_err();
@@ -879,7 +1083,7 @@ mod tests {
             tiny_manifest("c", spec)
                 .write(&dir.join(manifest_file("c", spec)))
                 .unwrap();
-            fs::write(dir.join(store_file("c", spec)), "").unwrap();
+            fs::write(dir.join(store_file("c", spec, BackendKind::Jsonl)), "").unwrap();
         }
         let err = discover_shards("c", &dir).unwrap_err();
         assert!(err.to_string().contains("mixed shard families"), "{err}");

@@ -84,7 +84,7 @@ proptest! {
 
         // The uninterrupted reference run.
         let reference = run_campaign(&ref_dir, settings, max_packets);
-        let store_name = shard::store_file(NAME, settings.shard);
+        let store_name = shard::store_file(NAME, settings.shard, settings.backend);
         let full = fs::read_to_string(ref_dir.join(&store_name)).unwrap();
         let lines: Vec<&str> = full.lines().collect();
 

@@ -1,0 +1,242 @@
+//! Cross-backend equivalence of the result-store redesign: the storage
+//! backend is an operational knob, never part of a campaign's identity.
+//! For any settings, a campaign run against the indexed segment backend
+//! must produce a manifest **byte-identical** to the JSONL run's — and
+//! that must survive every workflow that rewrites or replays stores:
+//! resume, shard merge, a rescue over a truncated store, and the
+//! `export`/`import` interchange path.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use resilience_core::campaign::store::{self, ChunkId};
+use resilience_core::campaign::{
+    shard, BackendKind, Campaign, CampaignPoint, CampaignSettings, ShardSpec,
+};
+use resilience_core::config::SystemConfig;
+use resilience_core::engine::SimulationEngine;
+use resilience_core::montecarlo::StorageConfig;
+use resilience_core::simulator::LinkSimulator;
+
+const NAME: &str = "xbackend";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-backend-prop-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn demo_points(cfg: &SystemConfig, max_packets: usize) -> Vec<CampaignPoint> {
+    vec![
+        CampaignPoint {
+            label: "clean high SNR".into(),
+            storage: StorageConfig::Quantized,
+            snr_db: 25.0,
+            max_packets,
+            seed: 31,
+            fault_seed: None,
+        },
+        CampaignPoint {
+            label: "faulty low SNR".into(),
+            storage: StorageConfig::unprotected(0.10, cfg.llr_bits),
+            snr_db: 4.0,
+            max_packets,
+            seed: 32,
+            fault_seed: None,
+        },
+    ]
+}
+
+/// Runs the demo campaign in `dir`, returning its report.
+fn run_campaign(
+    dir: &Path,
+    settings: CampaignSettings,
+    max_packets: usize,
+) -> resilience_core::campaign::CampaignReport {
+    let cfg = SystemConfig::fast_test();
+    let sim = LinkSimulator::new(cfg);
+    let campaign = Campaign::new(NAME, settings, SimulationEngine::serial()).with_store_dir(dir);
+    campaign.run(&sim, &demo_points(&cfg, max_packets))
+}
+
+fn manifest_bytes(dir: &Path, settings: &CampaignSettings) -> Vec<u8> {
+    fs::read(dir.join(shard::manifest_file(NAME, settings.shard))).unwrap()
+}
+
+fn store_path(dir: &Path, settings: &CampaignSettings) -> PathBuf {
+    dir.join(shard::store_file(NAME, settings.shard, settings.backend))
+}
+
+/// The store's record set in canonical (sorted) order.
+fn sorted_records(path: &Path) -> Vec<(ChunkId, hspa_phy::harq::HarqStats)> {
+    let (mut records, torn) = store::load_all(path).unwrap();
+    assert_eq!(torn, 0, "{}: unexpected torn records", path.display());
+    records.sort_by_key(|(id, _)| *id);
+    records
+}
+
+/// Manifest bytes after the degenerate 0/1 merge, which normalizes the
+/// resume-provenance counters away — a resumed run records its store
+/// hits in the manifest, so byte-comparing it against a fresh run only
+/// makes sense post-merge (exactly what the dispatcher relies on).
+fn merged_manifest_bytes(dir: &Path, settings: &CampaignSettings, tag: &str) -> Vec<u8> {
+    let out = dir.join(format!("merged-{tag}"));
+    shard::merge_manifests(
+        NAME,
+        &[dir.join(shard::manifest_file(NAME, settings.shard))],
+        &out,
+    )
+    .unwrap();
+    fs::read(out.join(shard::manifest_file(NAME, ShardSpec::single()))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any chunk schedule: (a) JSONL and indexed runs end with
+    /// byte-identical manifests and identical record sets; (b) resuming
+    /// the indexed store serves everything from disk and leaves the
+    /// manifest untouched; (c) a rescue over a truncated indexed store
+    /// (any cut point) reconverges to the same bytes.
+    #[test]
+    fn indexed_backend_is_byte_identical_to_jsonl(
+        initial_chunk in 1usize..5,
+        max_packets in 1usize..16,
+        cut_code in 0usize..1000,
+    ) {
+        let tag = format!("eq-{initial_chunk}-{max_packets}-{cut_code}");
+        let jsonl_dir = temp_dir(&format!("{tag}-jsonl"));
+        let seg_dir = temp_dir(&format!("{tag}-seg"));
+        let jsonl = CampaignSettings {
+            initial_chunk,
+            backend: BackendKind::Jsonl,
+            ..Default::default()
+        };
+        let seg = CampaignSettings {
+            backend: BackendKind::Indexed,
+            ..jsonl
+        };
+
+        run_campaign(&jsonl_dir, jsonl, max_packets);
+        run_campaign(&seg_dir, seg, max_packets);
+        let reference = manifest_bytes(&jsonl_dir, &jsonl);
+        prop_assert_eq!(
+            &reference,
+            &manifest_bytes(&seg_dir, &seg),
+            "backend choice leaked into the manifest"
+        );
+        let records = sorted_records(&store_path(&jsonl_dir, &jsonl));
+        prop_assert_eq!(&records, &sorted_records(&store_path(&seg_dir, &seg)));
+
+        // Resume: every chunk comes back from the segment index, and
+        // after provenance normalization the manifest bytes still match
+        // the fresh JSONL run's.
+        let normalized = merged_manifest_bytes(&jsonl_dir, &jsonl, "ref");
+        let resumed = run_campaign(&seg_dir, seg, max_packets);
+        prop_assert_eq!(resumed.chunks_from_store(), records.len() as u64);
+        prop_assert_eq!(&normalized, &merged_manifest_bytes(&seg_dir, &seg, "resume"));
+
+        // Rescue: keep only a prefix of the indexed store (what a killed
+        // leg leaves) and reconverge over it.
+        let seg_store = store_path(&seg_dir, &seg);
+        let (full, _) = store::load_all(&seg_store).unwrap();
+        let k = cut_code % (full.len() + 1);
+        store::write_records(&seg_store, &full[..k]).unwrap();
+        let rescued = run_campaign(&seg_dir, seg, max_packets);
+        prop_assert_eq!(rescued.chunks_from_store(), k as u64);
+        prop_assert_eq!(&normalized, &merged_manifest_bytes(&seg_dir, &seg, "rescue"));
+        prop_assert_eq!(&records, &sorted_records(&seg_store));
+
+        let _ = fs::remove_dir_all(&jsonl_dir);
+        let _ = fs::remove_dir_all(&seg_dir);
+    }
+
+    /// Sharded legs on the indexed backend merge to the same bytes as a
+    /// single-host JSONL run — the dispatched-campaign CI invariant,
+    /// now across backends.
+    #[test]
+    fn indexed_shards_merge_to_the_single_host_jsonl_manifest(
+        initial_chunk in 1usize..5,
+        max_packets in 1usize..16,
+    ) {
+        let tag = format!("merge-{initial_chunk}-{max_packets}");
+        let single_dir = temp_dir(&format!("{tag}-single"));
+        let shard_dir = temp_dir(&format!("{tag}-shards"));
+        let single = CampaignSettings {
+            initial_chunk,
+            ..Default::default()
+        };
+        run_campaign(&single_dir, single, max_packets);
+
+        for i in 0..2 {
+            let leg = CampaignSettings {
+                shard: ShardSpec::new(i, 2).unwrap(),
+                backend: BackendKind::Indexed,
+                ..single
+            };
+            run_campaign(&shard_dir, leg, max_packets);
+        }
+        let report = shard::merge(NAME, &shard_dir, &shard_dir).unwrap();
+        prop_assert_eq!(
+            fs::read(&report.manifest_path).unwrap(),
+            manifest_bytes(&single_dir, &single),
+            "merged indexed shards diverge from the single-host run"
+        );
+        // The merged store inherits the legs' backend and holds the
+        // same canonical record set as the single-host store.
+        prop_assert!(report.store_path.extension().is_some_and(|e| e == "seg"));
+        prop_assert_eq!(
+            sorted_records(&report.store_path),
+            sorted_records(&store_path(&single_dir, &single))
+        );
+
+        let _ = fs::remove_dir_all(&single_dir);
+        let _ = fs::remove_dir_all(&shard_dir);
+    }
+
+    /// `export` → `import` → `export` is an identity: the JSONL
+    /// interchange file comes back byte-for-byte, and the re-imported
+    /// segment store backs the campaign exactly like the original.
+    #[test]
+    fn export_import_round_trip_is_lossless(
+        initial_chunk in 1usize..5,
+        max_packets in 1usize..16,
+    ) {
+        let tag = format!("io-{initial_chunk}-{max_packets}");
+        let dir = temp_dir(&tag);
+        let seg = CampaignSettings {
+            initial_chunk,
+            backend: BackendKind::Indexed,
+            ..Default::default()
+        };
+        run_campaign(&dir, seg, max_packets);
+        let seg_store = store_path(&dir, &seg);
+        let reference = merged_manifest_bytes(&dir, &seg, "ref");
+
+        let export1 = dir.join("interchange-1.jsonl");
+        let export2 = dir.join("interchange-2.jsonl");
+        store::convert(&seg_store, &export1).unwrap();
+
+        // Import into a fresh campaign directory, then export again.
+        let dir2 = temp_dir(&format!("{tag}-reimport"));
+        fs::create_dir_all(&dir2).unwrap();
+        let reimported = dir2.join(shard::store_file(NAME, seg.shard, seg.backend));
+        store::convert(&export1, &reimported).unwrap();
+        store::convert(&reimported, &export2).unwrap();
+        prop_assert_eq!(
+            fs::read(&export1).unwrap(),
+            fs::read(&export2).unwrap(),
+            "export -> import -> export must be byte-identical"
+        );
+
+        // The re-imported store resumes the campaign without simulating
+        // a single packet, to the identical normalized manifest.
+        let resumed = run_campaign(&dir2, seg, max_packets);
+        prop_assert_eq!(resumed.chunks_from_store(), sorted_records(&reimported).len() as u64);
+        prop_assert_eq!(&reference, &merged_manifest_bytes(&dir2, &seg, "reimport"));
+
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+}
