@@ -4,7 +4,7 @@
 //! ```text
 //! campaign-admin merge  --name fig6 [--dir D] [--out-dir D2]
 //! campaign-admin gc     --name fig6 [--dir D] [--shard i/n]
-//! campaign-admin verify --name fig6 [--dir D] [--shard i/n]
+//! campaign-admin verify --name fig6 [--dir D] [--shard i/n] [--strict]
 //! campaign-admin stats  --name fig6 [--dir D] [--shard i/n]
 //! campaign-admin query  --name fig6 [--dir D] [--shard i/n] [--key HEX]
 //!                       [--snr LO:HI] [--tier TIER] [--converged BOOL]
@@ -25,6 +25,10 @@
 //!   from abandoned schedules and torn lines.
 //! * `verify` — checks the store can reproduce every manifest point
 //!   (chunks tile `0..packets` gaplessly); exits 1 on inconsistency.
+//!   `--strict` additionally cross-checks each point's recorded
+//!   provenance: `chunks_from_store`/`packets_from_store` must not
+//!   exceed the realized totals, and a point claiming store reuse must
+//!   have store chunks backing it — the audit a chaos run ends with.
 //! * `stats` — human-readable store/manifest summary (totals come from
 //!   the same `ManifestTotals` aggregation the manifest JSON and `top`
 //!   use, so the three surfaces cannot disagree).
@@ -63,7 +67,8 @@ fn usage() -> ! {
         "usage: campaign-admin <merge|gc|verify|stats|query|export|import|top> \
          --name <campaign> [--dir DIR] [--out-dir DIR] [--shard I/N] \
          [--key HEX] [--snr LO:HI] [--tier TIER] [--converged BOOL] \
-         [--file PATH] [--store-backend jsonl|indexed] [--once] [--interval SECS]"
+         [--file PATH] [--store-backend jsonl|indexed] [--strict] \
+         [--once] [--interval SECS]"
     );
     std::process::exit(2);
 }
@@ -87,6 +92,7 @@ fn main() {
     let mut filter = QueryFilter::new();
     let mut file: Option<PathBuf> = None;
     let mut backend = BackendKind::default();
+    let mut strict = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -100,6 +106,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--once" => once = true,
+            "--strict" => strict = true,
             "--interval" => {
                 interval_secs = it
                     .next()
@@ -190,7 +197,7 @@ fn main() {
             );
         }
         "verify" => {
-            let report = shard::verify(&name, &dir, spec)
+            let report = shard::verify_with(&name, &dir, spec, strict)
                 .unwrap_or_else(|e| fail(&format!("verify {name}"), e));
             println!(
                 "verify campaign {name}: {}/{} points covered by the store \

@@ -6,9 +6,26 @@
 //! ```text
 //! campaign-dispatch --name fig6 --bin target/release/fig6a --legs 2 \
 //!     [--steal|--no-steal] [--work-dir D] [--stall-timeout SECS] \
+//!     [--launcher TEMPLATE] [--hosts a,b,c] [--pull TEMPLATE] \
+//!     [--backoff BASE_MS:FACTOR:MAX_MS] [--no-reshard] [--chaos-seed N] \
 //!     [--manifest-json PATH] [--telemetry] [--store-backend KIND] \
 //!     [--quiet] [-- LEG_ARGS...]
 //! ```
+//!
+//! `--launcher TEMPLATE` switches from local child processes to the
+//! remote-capable command launcher: the template (`ssh {host} {cmd}`
+//! canonically; `sh -c {cmd}` in tests) is run per leg with `{host}`
+//! drawn round-robin from `--hosts` and `{cmd}` the quoted leg command.
+//! `--pull TEMPLATE` runs after each leg exits or is killed — the hook
+//! that rsyncs remote artifacts back before the merge.
+//!
+//! `--chaos-seed N` arms the deterministic failpoints: in this
+//! dispatcher (launch failures) and, via the leg environment, in every
+//! launched leg (crashes, hangs, stale heartbeats, torn appends, index
+//! corruption). Failed shards retry under `--backoff`; when slots are
+//! idle a dead shard is re-sharded into parallel slices unless
+//! `--no-reshard`; a shard that exhausts its attempts is abandoned and
+//! the survivors merge into a partial-but-verified manifest.
 //!
 //! `--store-backend KIND` (`jsonl` or `indexed`) is forwarded to every
 //! leg, so the whole dispatched campaign writes one store format; the
@@ -27,13 +44,17 @@
 //! same place a hand-run `--shard i/n` leg writes, which is what lets a
 //! re-dispatch with `--steal` resume a previously killed run's store.
 //!
-//! Exit codes: 0 ok, 1 dispatch/merge/verify failure, 2 usage error.
+//! Exit codes: 0 ok, 1 dispatch/merge/verify failure, 2 usage error,
+//! 3 partial success (shards abandoned; merged manifest verified but
+//! incomplete).
 
 use std::path::Path;
 use std::time::Duration;
 
 use bench::dispatch_from_args;
-use resilience_core::campaign::{dispatch, DispatchConfig, LocalLauncher};
+use resilience_core::campaign::{
+    dispatch, CommandLauncher, DispatchConfig, Launcher, LocalLauncher, DEFAULT_STORE_DIR,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,8 +63,11 @@ fn main() {
         eprintln!(
             "usage: campaign-dispatch --name <campaign> --bin <figure binary> \
              [--legs N] [--steal|--no-steal] [--work-dir D] \
-             [--stall-timeout SECS] [--manifest-json PATH] [--telemetry] \
-             [--store-backend jsonl|indexed] [--quiet] [-- LEG_ARGS...]"
+             [--stall-timeout SECS] [--launcher TEMPLATE] [--hosts a,b,c] \
+             [--pull TEMPLATE] [--backoff BASE_MS:FACTOR:MAX_MS] \
+             [--no-reshard] [--chaos-seed N] [--manifest-json PATH] \
+             [--telemetry] [--store-backend jsonl|indexed] [--quiet] \
+             [-- LEG_ARGS...]"
         );
         std::process::exit(2);
     });
@@ -62,19 +86,53 @@ fn main() {
             leg_args.push(kind.to_string());
         }
     }
-    let mut launcher = LocalLauncher::new(&parsed.bin, &parsed.work_dir).with_args(leg_args);
-    if parsed.quiet {
-        launcher = launcher.quiet();
+    // Arm this process's failpoints too: the launch-io site lives in the
+    // dispatcher, not the legs. The legs get the seed via their
+    // environment, set by the launcher below.
+    if let Some(seed) = parsed.chaos_seed {
+        resilience_core::failpoint::arm(seed);
     }
-    let cfg = DispatchConfig {
+
+    let store_dir = Path::new(&parsed.work_dir).join(DEFAULT_STORE_DIR);
+    let launcher: Box<dyn Launcher> = match &parsed.launcher {
+        Some(template) => {
+            let mut l =
+                CommandLauncher::new(template, &parsed.bin, &parsed.work_dir).with_args(leg_args);
+            if let Some(hosts) = &parsed.hosts {
+                l = l.with_hosts(hosts);
+            }
+            if let Some(pull) = &parsed.pull {
+                l = l.with_pull(pull);
+            }
+            if let Some(seed) = parsed.chaos_seed {
+                l = l.with_chaos_seed(seed);
+            }
+            Box::new(l)
+        }
+        None => {
+            let mut l = LocalLauncher::new(&parsed.bin, &parsed.work_dir).with_args(leg_args);
+            if parsed.quiet {
+                l = l.quiet();
+            }
+            if let Some(seed) = parsed.chaos_seed {
+                l = l.with_chaos_seed(seed);
+            }
+            Box::new(l)
+        }
+    };
+    let mut cfg = DispatchConfig {
         steal: parsed.steal,
+        reshard: parsed.reshard,
         stall_timeout: match parsed.stall_timeout_secs {
             0 => None,
             secs => Some(Duration::from_secs(secs)),
         },
         telemetry: parsed.telemetry,
-        ..DispatchConfig::new(&parsed.name, parsed.legs, launcher.store_dir())
+        ..DispatchConfig::new(&parsed.name, parsed.legs, store_dir)
     };
+    if let Some(backoff) = parsed.backoff {
+        cfg.backoff = backoff;
+    }
 
     println!(
         "=== dispatching campaign '{}': {} legs of {} ({}){}",
@@ -92,7 +150,7 @@ fn main() {
             format!(", leg args: {}", parsed.leg_args.join(" "))
         },
     );
-    let report = dispatch(&cfg, &launcher).unwrap_or_else(|e| {
+    let report = dispatch(&cfg, launcher.as_ref()).unwrap_or_else(|e| {
         eprintln!("campaign-dispatch {}: {e}", parsed.name);
         std::process::exit(1);
     });
@@ -107,5 +165,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("manifest JSON written to {out}");
+    }
+
+    if !report.abandoned.is_empty() {
+        eprintln!(
+            "campaign-dispatch {}: {} shard(s) abandoned — merged manifest is partial",
+            parsed.name,
+            report.abandoned.len()
+        );
+        std::process::exit(3);
     }
 }

@@ -36,6 +36,13 @@
 //!   Metric *recording* is always on; the flag only enables the files,
 //!   so results are byte-identical with or without it. `campaign-admin
 //!   top` tails the snapshot;
+//! * `--chaos-seed N` — arm the deterministic failpoints with seed `N`
+//!   (chaos test suite). Like `--telemetry` this is process-global and
+//!   excluded from campaign identity: injected faults kill or degrade
+//!   the process, they never alter a surviving result byte. The
+//!   `RESILIENCE_CHAOS_SEED` / `RESILIENCE_CHAOS_ATTEMPT` environment
+//!   (what the dispatcher's launchers set for their legs) arms the same
+//!   switch;
 //! * `--one-shot` — bypass the campaign layer entirely (classic fixed
 //!   budget on the bare engine).
 //!
@@ -45,12 +52,18 @@
 use std::path::Path;
 
 use hspa_phy::turbo::AccuracyTier;
-use resilience_core::campaign::{manifest, BackendKind, Campaign, CampaignSettings, ShardSpec};
+use resilience_core::campaign::{
+    manifest, BackendKind, BackoffPolicy, Campaign, CampaignSettings, ShardSpec,
+};
 use resilience_core::experiments::ExperimentBudget;
 
 /// Parses command-line arguments into a budget. Unknown arguments are
 /// ignored so binaries can add their own flags.
 pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
+    // Dispatcher-launched legs inherit their chaos arming through the
+    // environment (the launcher sets it per attempt); a `--chaos-seed`
+    // flag below overrides it for direct invocations.
+    resilience_core::failpoint::arm_from_env();
     let mut budget = ExperimentBudget::full().with_campaign(CampaignSettings::default());
     // Flags with a value: parse it strictly (wrong type/sign keeps the
     // default, exactly like an unknown flag) or leave the default.
@@ -143,6 +156,14 @@ pub fn budget_from_args(args: &[String]) -> ExperimentBudget {
             // `CampaignSettings` (settings render into the manifest,
             // and telemetry may never change manifest bytes).
             "--telemetry" => resilience_core::telemetry::set_enabled(true),
+            // Same identity rule as --telemetry: armed failpoints crash
+            // or degrade the process but never change a surviving
+            // result, so the seed stays out of `CampaignSettings`.
+            "--chaos-seed" => {
+                if let Some(v) = next_parsed::<u64>(&mut it) {
+                    resilience_core::failpoint::arm(v);
+                }
+            }
             "--one-shot" => budget.campaign = None,
             _ => {}
         }
@@ -239,6 +260,8 @@ pub fn finish(args: &[String], budget: &ExperimentBudget, names: &[&str]) {
 /// ```text
 /// campaign-dispatch --name fig6 --bin target/release/fig6a --legs 2 \
 ///     [--steal|--no-steal] [--work-dir D] [--stall-timeout SECS] \
+///     [--launcher TEMPLATE] [--hosts a,b,c] [--pull TEMPLATE] \
+///     [--backoff BASE_MS:FACTOR:MAX_MS] [--no-reshard] [--chaos-seed N] \
 ///     [--manifest-json PATH] [--quiet] [-- LEG_ARGS...]
 /// ```
 ///
@@ -269,6 +292,23 @@ pub struct DispatchArgs {
     /// Result-store backend forwarded to every leg as
     /// `--store-backend KIND` (`None`: legs use their default).
     pub store_backend: Option<BackendKind>,
+    /// Launch-command template for the remote-capable
+    /// `CommandLauncher` (`ssh {host} {cmd}`; tests use `sh -c {cmd}`).
+    /// `None` launches legs as local child processes.
+    pub launcher: Option<String>,
+    /// Comma-separated `{host}` pool for `--launcher` (round-robin).
+    pub hosts: Option<String>,
+    /// Artifact pull-back template run after each `--launcher` leg
+    /// exits or is killed.
+    pub pull: Option<String>,
+    /// Relaunch backoff schedule (`None`: the dispatcher default).
+    pub backoff: Option<BackoffPolicy>,
+    /// Elastic re-sharding of dead shards across idle slots
+    /// (`--no-reshard` turns it off).
+    pub reshard: bool,
+    /// Chaos seed armed into every leg's environment (and the
+    /// dispatcher's own launch failpoint).
+    pub chaos_seed: Option<u64>,
     /// Silence leg stdout.
     pub quiet: bool,
     /// Arguments forwarded to every leg.
@@ -294,6 +334,12 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
         manifest_json: None,
         telemetry: false,
         store_backend: None,
+        launcher: None,
+        hosts: None,
+        pull: None,
+        backoff: None,
+        reshard: true,
+        chaos_seed: None,
         quiet: false,
         leg_args: Vec::new(),
     };
@@ -328,6 +374,18 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
             "--manifest-json" => parsed.manifest_json = Some(value("--manifest-json")?),
             "--telemetry" => parsed.telemetry = true,
             "--store-backend" => parsed.store_backend = Some(value("--store-backend")?.parse()?),
+            "--launcher" => parsed.launcher = Some(value("--launcher")?),
+            "--hosts" => parsed.hosts = Some(value("--hosts")?),
+            "--pull" => parsed.pull = Some(value("--pull")?),
+            "--backoff" => parsed.backoff = Some(value("--backoff")?.parse::<BackoffPolicy>()?),
+            "--no-reshard" => parsed.reshard = false,
+            "--chaos-seed" => {
+                parsed.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|_| "--chaos-seed needs an unsigned integer")?,
+                )
+            }
             "--quiet" => parsed.quiet = true,
             "--" => {
                 parsed.leg_args = it.cloned().collect();
@@ -341,6 +399,9 @@ pub fn dispatch_from_args(args: &[String]) -> Result<DispatchArgs, String> {
     }
     if parsed.bin.is_empty() {
         return Err("--bin <figure binary> is required".into());
+    }
+    if parsed.launcher.is_none() && (parsed.hosts.is_some() || parsed.pull.is_some()) {
+        return Err("--hosts/--pull only apply to a --launcher template".into());
     }
     // Leg args that would break the dispatch contract are rejected, not
     // forwarded: `--shard` is the dispatcher's own to assign;
@@ -657,6 +718,62 @@ mod tests {
             dispatch_from_args(&args(&["--name", "c", "--bin", "b", "--", "--resume"])).is_ok(),
             "--resume is the contract, not a conflict"
         );
+    }
+
+    #[test]
+    fn chaos_and_launcher_flags_parse() {
+        use std::time::Duration;
+
+        // Figure binaries: `--chaos-seed` arms the process-global
+        // failpoint switch and leaves the budget untouched, exactly
+        // like `--telemetry`.
+        assert!(!resilience_core::failpoint::armed());
+        let b = budget_from_args(&args(&["--chaos-seed", "42"]));
+        assert!(resilience_core::failpoint::armed());
+        assert_eq!(b.campaign, budget_from_args(&[]).campaign);
+        resilience_core::failpoint::disarm();
+
+        // Dispatcher: strict config bits, nothing armed at parse time.
+        let d = dispatch_from_args(&args(&[
+            "--name",
+            "c",
+            "--bin",
+            "b",
+            "--launcher",
+            "ssh {host} {cmd}",
+            "--hosts",
+            "alpha,beta",
+            "--pull",
+            "rsync {host}:dir dir",
+            "--backoff",
+            "100:2:5000",
+            "--no-reshard",
+            "--chaos-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(d.launcher.as_deref(), Some("ssh {host} {cmd}"));
+        assert_eq!(d.hosts.as_deref(), Some("alpha,beta"));
+        assert_eq!(d.pull.as_deref(), Some("rsync {host}:dir dir"));
+        let backoff = d.backoff.unwrap();
+        assert_eq!(backoff.base, Duration::from_millis(100));
+        assert_eq!(backoff.max, Duration::from_millis(5000));
+        assert!(!d.reshard);
+        assert_eq!(d.chaos_seed, Some(7));
+        assert!(!resilience_core::failpoint::armed());
+
+        let d = dispatch_from_args(&args(&["--name", "c", "--bin", "b"])).unwrap();
+        assert!(d.reshard, "re-sharding defaults on");
+        assert_eq!((d.launcher, d.backoff, d.chaos_seed), (None, None, None));
+
+        for bad in [
+            &["--name", "c", "--bin", "b", "--backoff", "100:2"][..],
+            &["--name", "c", "--bin", "b", "--chaos-seed", "x"],
+            &["--name", "c", "--bin", "b", "--hosts", "alpha"],
+            &["--name", "c", "--bin", "b", "--pull", "scp x y"],
+        ] {
+            assert!(dispatch_from_args(&args(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

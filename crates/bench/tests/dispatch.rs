@@ -6,7 +6,13 @@
 //!   **byte-identical** to a single-host run at the same settings;
 //! * killing a leg mid-run and re-dispatching with `--steal` recovers
 //!   to the same byte-identical manifest, resuming (never re-simulating)
-//!   every chunk the killed leg had already stored.
+//!   every chunk the killed leg had already stored;
+//! * the remote-capable `--launcher` template (run through `sh -c` here,
+//!   `ssh` in production) produces the same byte-identical manifest as
+//!   the local launcher;
+//! * a dispatch under a seeded chaos schedule (`--chaos-seed`) — leg
+//!   crashes, hangs, torn appends, launch failures — still converges to
+//!   the fault-free manifest, byte for byte.
 //!
 //! The campaign settings are deliberately small (`--packets 24`) so the
 //! debug-profile binaries finish in seconds.
@@ -20,6 +26,14 @@ use std::time::{Duration, Instant};
 /// Campaign knobs shared by every run in this file — legs, reference
 /// and rescue must agree or byte-identity is vacuously broken.
 const CAMPAIGN_ARGS: &[&str] = &["--precision", "0.2", "--packets", "24", "--chunk", "8"];
+
+/// Chaos schedule for the seeded-dispatch test. The schedule is a pure
+/// function of (seed, site, context, check number), so this fires the
+/// same faults on every machine. Seed 20 fails shard 1's first launch
+/// (dispatcher-side I/O fault), crashes shard 0's leg after its first
+/// chunk round, and tears shard 1's first store append — and fires no
+/// hang-type fault, so the test never has to sit out a stall timeout.
+const CHAOS_SEED: &str = "20";
 
 fn fig6a_bin() -> &'static str {
     env!("CARGO_BIN_EXE_fig6a")
@@ -49,9 +63,9 @@ fn single_host_reference(work_dir: &Path) -> PathBuf {
     work_dir.join("target/campaign/fig6.manifest.json")
 }
 
-/// Runs `campaign-dispatch --legs 2` in `work_dir`; returns the merged
-/// manifest path.
-fn dispatch_two_legs(work_dir: &Path) -> PathBuf {
+/// Runs `campaign-dispatch --legs 2` plus `extra` flags in `work_dir`;
+/// returns the merged manifest path and the dispatcher's stdout.
+fn dispatch_two_legs_with(work_dir: &Path, extra: &[&str]) -> (PathBuf, String) {
     let out = Command::new(dispatch_bin())
         .args([
             "--name",
@@ -63,6 +77,7 @@ fn dispatch_two_legs(work_dir: &Path) -> PathBuf {
             "--steal",
             "--quiet",
         ])
+        .args(extra)
         .arg("--work-dir")
         .arg(work_dir)
         .arg("--")
@@ -75,7 +90,15 @@ fn dispatch_two_legs(work_dir: &Path) -> PathBuf {
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr),
     );
-    work_dir.join("target/campaign/fig6.manifest.json")
+    (
+        work_dir.join("target/campaign/fig6.manifest.json"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// [`dispatch_two_legs_with`] with no extra flags.
+fn dispatch_two_legs(work_dir: &Path) -> PathBuf {
+    dispatch_two_legs_with(work_dir, &[]).0
 }
 
 /// The complete (parseable) store lines of a `.jsonl` file.
@@ -111,6 +134,69 @@ fn dispatched_campaign_is_byte_identical_to_single_host() {
     merged_store.sort();
     ref_store.sort();
     assert_eq!(merged_store, ref_store);
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn command_launcher_dispatch_is_byte_identical_to_single_host() {
+    let ref_dir = temp_dir("launcher-ref");
+    let work_dir = temp_dir("launcher-work");
+
+    // The canonical template is `ssh {host} {cmd}`; `sh -c {cmd}` is
+    // the same shape minus the network. `--pull` runs per finished leg
+    // (the artifact rsync hook in production) — `true` proves the hook
+    // path without moving files.
+    let (merged, _) =
+        dispatch_two_legs_with(&work_dir, &["--launcher", "sh -c {cmd}", "--pull", "true"]);
+    let reference = single_host_reference(&ref_dir);
+
+    assert_eq!(
+        fs::read(&merged).unwrap(),
+        fs::read(&reference).unwrap(),
+        "command-launcher merged manifest must be byte-identical to single-host"
+    );
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&work_dir);
+}
+
+#[test]
+fn chaos_seeded_dispatch_converges_to_the_fault_free_manifest() {
+    let ref_dir = temp_dir("chaos-ref");
+    let work_dir = temp_dir("chaos-work");
+
+    // The seed is chosen so the deterministic schedule actually bites
+    // (at least one leg fails and is rescued); retries run clean, so
+    // with the default 3-attempt cap no shard can be abandoned and the
+    // dispatch must succeed. `--telemetry` gives the legs heartbeats
+    // for the stall monitor; the timeout is generous because a healthy
+    // debug-build leg goes several seconds between heartbeat writes.
+    let (merged, stdout) = dispatch_two_legs_with(
+        &work_dir,
+        &[
+            "--chaos-seed",
+            CHAOS_SEED,
+            "--telemetry",
+            "--stall-timeout",
+            "30",
+            "--backoff",
+            "10:2:100",
+        ],
+    );
+    let reference = single_host_reference(&ref_dir);
+
+    assert_eq!(
+        fs::read(&merged).unwrap(),
+        fs::read(&reference).unwrap(),
+        "chaos-schedule merged manifest must be byte-identical to fault-free\n\
+         dispatcher stdout:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains(", 0 rescued,") || stdout.contains("re-split"),
+        "seed {CHAOS_SEED} fired no failure at all — pick a livelier seed:\n{stdout}"
+    );
 
     let _ = fs::remove_dir_all(&ref_dir);
     let _ = fs::remove_dir_all(&work_dir);

@@ -94,7 +94,10 @@ use crate::telemetry::{
 use dsp::rng::{derive_seed, STREAM_FAULT_MAP};
 
 pub use controller::{CampaignSettings, PrecisionCheck};
-pub use dispatch::{dispatch, DispatchConfig, DispatchReport, Launcher, Leg, LocalLauncher};
+pub use dispatch::{
+    dispatch, BackoffPolicy, CommandLauncher, DispatchConfig, DispatchReport, Launcher, Leg,
+    LocalLauncher,
+};
 pub use manifest::{Manifest, ManifestSummary, ManifestTotals};
 pub use shard::ShardSpec;
 pub use store::{BackendKind, QueryFilter, ResultStore, StoreBackend};
@@ -583,6 +586,17 @@ impl Campaign {
         packets_hit: &[usize],
         store: &ResultStore,
     ) {
+        // heartbeat-artifact-goes-stale: skip the snapshot + Prometheus
+        // writes so the artifacts' mtimes freeze while the leg keeps
+        // simulating — exactly the failure the stall monitor watches for.
+        if crate::failpoint::armed()
+            && crate::failpoint::should_fire(
+                crate::failpoint::Site::HeartbeatStale,
+                &self.settings.shard.to_string(),
+            )
+        {
+            return;
+        }
         let elapsed = run_start.elapsed();
         let mut points = Vec::new();
         let mut packets_realized = 0u64;
@@ -767,6 +781,26 @@ impl Campaign {
                         eprintln!("campaign {}: store append failed: {e}", self.name);
                     }
                     stats[i].merge(chunk_stats);
+                }
+            }
+
+            // Chaos hooks fire between chunk rounds, after the store
+            // appends above — everything already simulated is durable, so
+            // a rescue leg resumes instead of re-simulating.
+            if crate::failpoint::armed() {
+                let ctx = self.settings.shard.to_string();
+                if crate::failpoint::should_fire(crate::failpoint::Site::LegCrash, &ctx) {
+                    eprintln!("campaign {}: failpoint leg-crash", self.name);
+                    std::process::exit(41);
+                }
+                if crate::failpoint::should_fire(crate::failpoint::Site::LegHang, &ctx) {
+                    eprintln!(
+                        "campaign {}: failpoint leg-hang (awaiting stall kill)",
+                        self.name
+                    );
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_secs(3600));
+                    }
                 }
             }
 

@@ -39,18 +39,33 @@ use super::store::{self, BackendKind, ChunkId, QueryFilter};
 
 /// The shard a process owns, out of `count` total — parsed from
 /// `--shard index/count`. The default `0/1` means "unsharded".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// A spec may additionally carry a **slice**: when the dispatcher
+/// re-shards a dead leg's remaining work, shard `i/n` is split into `m`
+/// sub-shards written `i/n:j/m`. A slice leg enumerates the same global
+/// grid as its parent but owns only every `m`-th of the parent's keys
+/// ([`ShardSpec::owns`]), so the slices of a shard partition it exactly
+/// and the merged manifest stays byte-identical to a single-host run.
+/// Slices never nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ShardSpec {
     /// Zero-based shard index (`< count`).
     pub index: u32,
     /// Total shard count (`>= 1`).
     pub count: u32,
+    /// Sub-shard assignment `(slice_index, slice_count)` within the
+    /// shard, or `None` for a whole shard.
+    pub slice: Option<(u32, u32)>,
 }
 
 impl ShardSpec {
     /// The unsharded (single-host) spec, `0/1`.
     pub fn single() -> Self {
-        Self { index: 0, count: 1 }
+        Self {
+            index: 0,
+            count: 1,
+            slice: None,
+        }
     }
 
     /// Builds a spec, validating `count >= 1` and `index < count`.
@@ -66,28 +81,73 @@ impl ShardSpec {
                 "expected shard INDEX/COUNT with INDEX < COUNT, got '{index}/{count}'"
             ));
         }
-        Ok(Self { index, count })
+        Ok(Self {
+            index,
+            count,
+            slice: None,
+        })
+    }
+
+    /// Builds slice `j` of `m` of this shard — the re-sharding
+    /// constructor. A slice of a slice is refused: one level exactly
+    /// partitions a dead shard, and nesting would let file suffixes
+    /// grow without bound across repeated failures.
+    pub fn slice_of(self, slice_index: u32, slice_count: u32) -> Result<Self, String> {
+        if self.slice.is_some() {
+            return Err(format!(
+                "shard {self} is already a slice — slices never nest"
+            ));
+        }
+        if slice_count == 0 || slice_index >= slice_count {
+            return Err(format!(
+                "expected slice INDEX/COUNT with INDEX < COUNT, got '{slice_index}/{slice_count}'"
+            ));
+        }
+        Ok(Self {
+            slice: Some((slice_index, slice_count)),
+            ..self
+        })
+    }
+
+    /// The whole shard this spec belongs to (itself when not a slice).
+    pub fn parent(&self) -> Self {
+        Self {
+            slice: None,
+            ..*self
+        }
     }
 
     /// Whether this spec actually splits the point set.
     pub fn is_sharded(&self) -> bool {
-        self.count > 1
+        self.count > 1 || self.slice.is_some()
     }
 
     /// Whether this shard owns the point with the given stable key.
-    /// Ownership is a pure function of `(key, count)` — every host
-    /// partitions identically without coordination.
+    /// Ownership is a pure function of `(key, count, slice)` — every
+    /// host partitions identically without coordination. The slices of
+    /// a shard split the parent's key sequence round-robin, so for any
+    /// `m` they partition exactly the keys the parent owns.
     pub fn owns(&self, key: u64) -> bool {
-        key % u64::from(self.count.max(1)) == u64::from(self.index)
+        if key % u64::from(self.count.max(1)) != u64::from(self.index) {
+            return false;
+        }
+        match self.slice {
+            Some((j, m)) => {
+                (key / u64::from(self.count.max(1))) % u64::from(m.max(1)) == u64::from(j)
+            }
+            None => true,
+        }
     }
 
     /// The file-stem suffix of this shard's store/manifest (empty when
-    /// unsharded, so single-host paths are unchanged).
+    /// unsharded, so single-host paths are unchanged). A slice always
+    /// carries the full suffix — even of a `0/1` parent — so slice
+    /// artifacts never collide with whole-shard ones.
     pub fn suffix(&self) -> String {
-        if self.is_sharded() {
-            format!(".shard-{}-of-{}", self.index, self.count)
-        } else {
-            String::new()
+        match self.slice {
+            Some((j, m)) => format!(".shard-{}-of-{}.slice-{j}-of-{m}", self.index, self.count),
+            None if self.count > 1 => format!(".shard-{}-of-{}", self.index, self.count),
+            None => String::new(),
         }
     }
 }
@@ -100,7 +160,11 @@ impl Default for ShardSpec {
 
 impl fmt::Display for ShardSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}", self.index, self.count)
+        write!(f, "{}/{}", self.index, self.count)?;
+        if let Some((j, m)) = self.slice {
+            write!(f, ":{j}/{m}")?;
+        }
+        Ok(())
     }
 }
 
@@ -108,11 +172,25 @@ impl FromStr for ShardSpec {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || format!("expected --shard INDEX/COUNT with INDEX < COUNT, got '{s}'");
-        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let err =
+            || format!("expected --shard INDEX/COUNT[:SLICE/SLICES] with INDEX < COUNT, got '{s}'");
+        let (shard, slice) = match s.split_once(':') {
+            Some((shard, slice)) => (shard, Some(slice)),
+            None => (s, None),
+        };
+        let (i, n) = shard.split_once('/').ok_or_else(err)?;
         let index: u32 = i.trim().parse().map_err(|_| err())?;
         let count: u32 = n.trim().parse().map_err(|_| err())?;
-        Self::new(index, count).map_err(|_| err())
+        let spec = Self::new(index, count).map_err(|_| err())?;
+        match slice {
+            None => Ok(spec),
+            Some(slice) => {
+                let (j, m) = slice.split_once('/').ok_or_else(err)?;
+                let j: u32 = j.trim().parse().map_err(|_| err())?;
+                let m: u32 = m.trim().parse().map_err(|_| err())?;
+                spec.slice_of(j, m).map_err(|_| err())
+            }
+        }
     }
 }
 
@@ -209,12 +287,23 @@ pub fn artifact_shard_spec(name: &str, file_name: &str) -> Option<ShardSpec> {
     artifact_stem_spec(name, stem)
 }
 
-/// Parses `<name>.shard-I-of-N` (a file name with its extension already
-/// stripped) into the shard spec.
+/// Parses `<name>.shard-I-of-N[.slice-J-of-M]` (a file name with its
+/// extension already stripped) into the shard spec.
 fn artifact_stem_spec(name: &str, stem: &str) -> Option<ShardSpec> {
     let stem = stem.strip_prefix(&format!("{name}.shard-"))?;
-    let (i, n) = stem.split_once("-of-")?;
-    ShardSpec::new(i.parse().ok()?, n.parse().ok()?).ok()
+    let (shard, slice) = match stem.split_once(".slice-") {
+        Some((shard, slice)) => (shard, Some(slice)),
+        None => (stem, None),
+    };
+    let (i, n) = shard.split_once("-of-")?;
+    let spec = ShardSpec::new(i.parse().ok()?, n.parse().ok()?).ok()?;
+    match slice {
+        None => Some(spec),
+        Some(slice) => {
+            let (j, m) = slice.split_once("-of-")?;
+            spec.slice_of(j.parse().ok()?, m.parse().ok()?).ok()
+        }
+    }
 }
 
 /// Outcome of a [`merge`] call.
@@ -243,6 +332,12 @@ pub struct MergeReport {
     pub store_path: PathBuf,
     /// Path of the merged manifest.
     pub manifest_path: PathBuf,
+    /// Global point indices absent from the merge (first 64). Empty
+    /// except for a partial merge
+    /// ([`merge_manifests_allowing_partial`]) of an abandoned dispatch.
+    pub missing_points: Vec<u64>,
+    /// Total count of missing points (the list above is capped).
+    pub missing_points_total: u64,
 }
 
 /// Discovers the shard manifests of `name` in `dir`
@@ -256,7 +351,6 @@ pub struct MergeReport {
 /// nonsense partition. The error tells the operator which families
 /// collided so they can delete the stale one.
 pub fn discover_shard_specs(name: &str, dir: &Path) -> io::Result<Vec<(ShardSpec, PathBuf)>> {
-    let prefix = format!("{name}.shard-");
     let mut found: Vec<(ShardSpec, PathBuf)> = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -264,20 +358,13 @@ pub fn discover_shard_specs(name: &str, dir: &Path) -> io::Result<Vec<(ShardSpec
         let Some(stem) = file_name
             .to_str()
             .and_then(|f| f.strip_suffix(".manifest.json"))
-            .and_then(|f| f.strip_prefix(&prefix))
         else {
             continue;
         };
-        // `stem` is now "I-of-N"; only a valid shard spec counts as a
-        // shard file (anything else is an unrelated file that happens
-        // to share the prefix).
-        let Some((i, n)) = stem.split_once("-of-") else {
-            continue;
-        };
-        let (Ok(i), Ok(n)) = (i.parse::<u32>(), n.parse::<u32>()) else {
-            continue;
-        };
-        let Ok(spec) = ShardSpec::new(i, n) else {
+        // Only a valid shard (or slice) spec counts as a shard file —
+        // anything else is an unrelated file that happens to share the
+        // `<name>.shard-` prefix.
+        let Some(spec) = artifact_stem_spec(name, stem) else {
             continue;
         };
         found.push((spec, entry.path()));
@@ -296,7 +383,7 @@ pub fn discover_shard_specs(name: &str, dir: &Path) -> io::Result<Vec<(ShardSpec
                 .join(" and "),
         )));
     }
-    found.sort_by_key(|(s, _)| s.index);
+    found.sort_by_key(|(s, _)| *s);
     Ok(found)
 }
 
@@ -324,6 +411,23 @@ pub fn merge_manifests(
     name: &str,
     manifests: &[PathBuf],
     out_dir: &Path,
+) -> io::Result<MergeReport> {
+    merge_manifests_allowing_partial(name, manifests, out_dir, false)
+}
+
+/// [`merge_manifests`] with an escape hatch for abandoned dispatches:
+/// with `allow_partial`, a shard set that misses points (because some
+/// shard exhausted its attempt cap) still merges — the merged manifest
+/// simply lists fewer points than it enumerates, and the report names
+/// the missing global indices. Duplicate or out-of-range points are
+/// **always** errors; only missing ones are forgiven. A partial merge
+/// still passes [`verify`] (which checks the points that are listed),
+/// so a degraded campaign's surviving results remain trustworthy.
+pub fn merge_manifests_allowing_partial(
+    name: &str,
+    manifests: &[PathBuf],
+    out_dir: &Path,
+    allow_partial: bool,
 ) -> io::Result<MergeReport> {
     if manifests.is_empty() {
         return Err(io::Error::new(
@@ -372,7 +476,7 @@ pub fn merge_manifests(
                 m.settings.shard.count
             )));
         }
-        if !seen_shards.insert(m.settings.shard.index) {
+        if !seen_shards.insert(m.settings.shard) {
             return Err(invalid(format!(
                 "{at}: duplicate shard {}",
                 m.settings.shard
@@ -410,23 +514,45 @@ pub fn merge_manifests(
         p.chunks_from_store = 0;
         p.packets_from_store = 0;
     }
+    let mut missing_points: Vec<u64> = Vec::new();
+    let mut missing_points_total = 0u64;
     if !points.iter().map(|p| p.index).eq(0..enumerated) {
         let have: BTreeSet<u64> = points.iter().map(|p| p.index).collect();
-        let missing: Vec<u64> = (0..enumerated)
+        // Duplicate indices (the same point recorded by two shards — a
+        // broken partition, e.g. a slice set merged next to its parent)
+        // and out-of-range indices are corruption regardless of
+        // `allow_partial`; only *missing* points are forgivable.
+        if points.len() != have.len() {
+            return Err(invalid(format!(
+                "shard set is not a disjoint partition: {} point records but only {} \
+                 distinct indices — some point was recorded by more than one shard",
+                points.len(),
+                have.len(),
+            )));
+        }
+        if let Some(&beyond) = have.range(enumerated..).next() {
+            return Err(invalid(format!(
+                "point index {beyond} is out of range: only {enumerated} points enumerated"
+            )));
+        }
+        missing_points = (0..enumerated)
             .filter(|i| !have.contains(i))
-            .take(16)
+            .take(64)
             .collect();
-        return Err(invalid(format!(
-            "shard set is not a complete partition: {} of {enumerated} points, \
-             missing indices {missing:?}{} (duplicates: {})",
-            points.len(),
-            if (missing.len() as u64) < enumerated.saturating_sub(have.len() as u64) {
-                ", …"
-            } else {
-                ""
-            },
-            points.len() != have.len(),
-        )));
+        missing_points_total = enumerated - have.len() as u64;
+        if !allow_partial {
+            let shown: Vec<u64> = missing_points.iter().copied().take(16).collect();
+            return Err(invalid(format!(
+                "shard set is not a complete partition: {} of {enumerated} points, \
+                 missing indices {shown:?}{}",
+                points.len(),
+                if (shown.len() as u64) < missing_points_total {
+                    ", …"
+                } else {
+                    ""
+                },
+            )));
+        }
     }
 
     // Gather the stores, dropping exact-duplicate chunk records. Each
@@ -478,6 +604,8 @@ pub fn merge_manifests(
         store_served_packets,
         store_path,
         manifest_path,
+        missing_points,
+        missing_points_total,
     })
 }
 
@@ -495,6 +623,58 @@ pub fn merge(name: &str, in_dir: &Path, out_dir: &Path) -> io::Result<MergeRepor
         ));
     }
     merge_manifests(name, &manifests, out_dir)
+}
+
+/// Splits a dead shard's result store into `slices` slice stores — the
+/// storage half of elastic re-sharding.
+///
+/// Every record of the parent's store moves to the slice that owns its
+/// point key (same backend, suffixed file names), so each relaunched
+/// slice leg resumes the dead leg's surviving work instead of
+/// re-simulating it. The parent's store, sidecar, manifest and live
+/// telemetry snapshot are then removed: the records now live in the
+/// slice stores, and a leftover parent store would hand a later
+/// `--steal` re-dispatch two overlapping sources of truth. A parent
+/// that died before creating a store partitions trivially (the slices
+/// start fresh). Loading is lenient — the parent died mid-write, so a
+/// torn tail must not block its own rescue.
+pub fn partition_store_into_slices(
+    name: &str,
+    dir: &Path,
+    parent: ShardSpec,
+    slices: u32,
+) -> io::Result<Vec<ShardSpec>> {
+    let specs: Vec<ShardSpec> = (0..slices)
+        .map(|j| parent.slice_of(j, slices))
+        .collect::<Result<_, _>>()
+        .map_err(invalid)?;
+    let (store_path, backend) = match detect_store_file(name, dir, parent) {
+        Ok(found) => found,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(specs),
+        Err(e) => return Err(e),
+    };
+    let load = store::load_all_lenient(&store_path)?;
+    for spec in &specs {
+        let records: Vec<(ChunkId, HarqStats)> = load
+            .records
+            .iter()
+            .filter(|(id, _)| spec.owns(id.point))
+            .cloned()
+            .collect();
+        store::write_records(&dir.join(store_file(name, *spec, backend)), &records)?;
+    }
+    fs::remove_file(&store_path)?;
+    if backend == BackendKind::Indexed {
+        let _ = fs::remove_file(store_path.with_extension("seg.idx"));
+    }
+    for stale in [
+        manifest_file(name, parent),
+        telemetry_file(name, parent),
+        prom_file(name, parent),
+    ] {
+        let _ = fs::remove_file(dir.join(stale));
+    }
+    Ok(specs)
 }
 
 /// The settings identity shards must agree on (everything except the
@@ -543,6 +723,22 @@ impl VerifyReport {
 /// manifest: every manifest point with realized packets must be covered
 /// by store chunks that tile `0..packets` without gaps or overlaps.
 pub fn verify(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<VerifyReport> {
+    verify_with(name, dir, shard, false)
+}
+
+/// [`verify`] with an optional **strict** pass that additionally checks
+/// per-point store-provenance consistency — the invariants a rescued or
+/// re-sharded merge must preserve: a point cannot have served more
+/// chunks (or packets) from the store than it ran in total, and chunk
+/// and packet provenance must agree on whether *any* resume happened
+/// (every stored chunk carries at least one packet). Merged manifests
+/// normalize provenance to zero, which trivially satisfies all three.
+pub fn verify_with(
+    name: &str,
+    dir: &Path,
+    shard: ShardSpec,
+    strict: bool,
+) -> io::Result<VerifyReport> {
     let manifest = Manifest::read(&dir.join(manifest_file(name, shard)))?;
     let (store_path, _) = detect_store_file(name, dir, shard)?;
     let (records, malformed_lines) = store::load_all(&store_path)?;
@@ -605,6 +801,30 @@ pub fn verify(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<VerifyRepo
         }
         let used_here = used.get(key).map_or(0, BTreeSet::len);
         report.stale_chunks += chunks.len() - used_here;
+    }
+    if strict {
+        for p in &manifest.points {
+            let at = format!("point {} '{}' (key {:016x})", p.index, p.label, p.key);
+            if p.chunks_from_store > p.chunks {
+                report.problems.push(format!(
+                    "{at}: {} chunks served from store but only {} chunks ran",
+                    p.chunks_from_store, p.chunks
+                ));
+            }
+            if p.packets_from_store > p.packets {
+                report.problems.push(format!(
+                    "{at}: {} packets served from store but only {} packets realized",
+                    p.packets_from_store, p.packets
+                ));
+            }
+            if (p.chunks_from_store == 0) != (p.packets_from_store == 0) {
+                report.problems.push(format!(
+                    "{at}: store provenance disagrees — {} chunks but {} packets \
+                     served from store (every stored chunk carries packets)",
+                    p.chunks_from_store, p.packets_from_store
+                ));
+            }
+        }
     }
     Ok(report)
 }
@@ -1113,6 +1333,319 @@ mod tests {
         m.write(&wrong_name).unwrap();
         let err = merge_manifests("c", &[wrong_name], &dir.join("out")).unwrap_err();
         assert!(err.to_string().contains("renamed"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_specs_parse_render_and_name_artifacts() {
+        let spec = "1/2:0/3".parse::<ShardSpec>().unwrap();
+        assert_eq!(spec, ShardSpec::new(1, 2).unwrap().slice_of(0, 3).unwrap());
+        assert_eq!(spec.to_string(), "1/2:0/3");
+        assert!(spec.is_sharded());
+        assert_eq!(spec.parent(), ShardSpec::new(1, 2).unwrap());
+        assert_eq!(spec.suffix(), ".shard-1-of-2.slice-0-of-3");
+        // A slice of the unsharded spec still gets a full suffix, so
+        // its artifacts cannot collide with the single-host files.
+        let single_slice = ShardSpec::single().slice_of(1, 2).unwrap();
+        assert_eq!(single_slice.suffix(), ".shard-0-of-1.slice-1-of-2");
+        assert_eq!(single_slice.to_string(), "0/1:1/2");
+        for bad in ["1/2:3/3", "1/2:0/0", "1/2:a/2", "1/2:", "1/2:1"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad}");
+        }
+        assert!(spec.slice_of(0, 2).is_err(), "slices never nest");
+        // Round-trip through the artifact-name parsers.
+        for file in [
+            "fig6.shard-1-of-2.slice-0-of-3.jsonl",
+            "fig6.shard-1-of-2.slice-0-of-3.seg",
+            "fig6.shard-1-of-2.slice-0-of-3.seg.idx",
+            "fig6.shard-1-of-2.slice-0-of-3.manifest.json",
+        ] {
+            assert_eq!(artifact_shard_spec("fig6", file), Some(spec), "{file}");
+        }
+        assert_eq!(
+            artifact_shard_spec("fig6", "fig6.shard-1-of-2.slice-9-of-3.jsonl"),
+            None,
+            "out-of-range slice is not an artifact"
+        );
+    }
+
+    #[test]
+    fn slices_partition_their_parent_exactly() {
+        for count in 1..=4u32 {
+            for index in 0..count {
+                let parent = ShardSpec::new(index, count).unwrap();
+                for m in 1..=4u32 {
+                    for key in (0u64..300).chain([u64::MAX, u64::MAX - 11]) {
+                        let owners = (0..m)
+                            .filter(|&j| parent.slice_of(j, m).unwrap().owns(key))
+                            .count();
+                        assert_eq!(
+                            owners,
+                            usize::from(parent.owns(key)),
+                            "key {key} parent {parent} m {m}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_store_into_slices_moves_every_record_once() {
+        let dir = std::env::temp_dir().join(format!("shard-partition-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let parent = ShardSpec::new(1, 2).unwrap();
+        // Keys 1, 3, 5, 7 belong to shard 1/2; two chunks for one key.
+        let stats = |packets: u64| hspa_phy::harq::HarqStats {
+            packets,
+            delivered: packets,
+            transmissions: packets,
+            info_bits: 10,
+            failures_at: vec![0; packets as usize],
+        };
+        let records: Vec<(ChunkId, hspa_phy::harq::HarqStats)> = [1u64, 3, 5, 7]
+            .iter()
+            .flat_map(|&key| {
+                [
+                    (
+                        ChunkId {
+                            point: key,
+                            first_packet: 0,
+                            n_packets: 4,
+                        },
+                        stats(4),
+                    ),
+                    (
+                        ChunkId {
+                            point: key,
+                            first_packet: 4,
+                            n_packets: 4,
+                        },
+                        stats(4),
+                    ),
+                ]
+            })
+            .collect();
+        let parent_store = dir.join(store_file("c", parent, BackendKind::Jsonl));
+        store::write_records(&parent_store, &records).unwrap();
+
+        let slices = partition_store_into_slices("c", &dir, parent, 2).unwrap();
+        assert_eq!(slices.len(), 2);
+        assert!(!parent_store.exists(), "parent store must be retired");
+        let mut moved: Vec<(ChunkId, hspa_phy::harq::HarqStats)> = Vec::new();
+        for (j, slice) in slices.iter().enumerate() {
+            assert_eq!(*slice, parent.slice_of(j as u32, 2).unwrap());
+            let (recs, malformed) =
+                store::load_all(&dir.join(store_file("c", *slice, BackendKind::Jsonl))).unwrap();
+            assert_eq!(malformed, 0);
+            for (id, _) in &recs {
+                assert!(slice.owns(id.point), "slice {slice} holds foreign key");
+            }
+            moved.extend(recs);
+        }
+        moved.sort_by_key(|(id, _)| *id);
+        let mut expected = records.clone();
+        expected.sort_by_key(|(id, _)| *id);
+        assert_eq!(moved, expected, "every record moves to exactly one slice");
+
+        // A parent that never created a store partitions trivially.
+        let ghost = ShardSpec::new(0, 2).unwrap();
+        let slices = partition_store_into_slices("c", &dir, ghost, 3).unwrap();
+        assert_eq!(slices.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_manifests_merge_like_their_parent() {
+        // Shard 0/2 completed whole; shard 1/2 died and was re-sharded
+        // into two slices. The merged result must equal what the
+        // two-parent merge would have produced.
+        let dir = std::env::temp_dir().join(format!("shard-slice-merge-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        // Global enumeration: two points, keys 2 (shard 0) and 3
+        // (shard 1). Shard 1's only point lands in slice (3/2)%2 = 1.
+        let make = |spec: ShardSpec, index: u64, key: u64| {
+            let mut m = tiny_manifest("c", spec);
+            m.points[0].index = index;
+            m.points[0].key = key;
+            m.points[0].label = format!("p{key}");
+            m
+        };
+        let s0 = ShardSpec::new(0, 2).unwrap();
+        let slice0 = ShardSpec::new(1, 2).unwrap().slice_of(0, 2).unwrap();
+        let slice1 = ShardSpec::new(1, 2).unwrap().slice_of(1, 2).unwrap();
+        let mut paths = Vec::new();
+        for (spec, points) in [
+            (s0, vec![(0u64, 2u64)]),
+            (slice0, vec![]),
+            (slice1, vec![(1, 3)]),
+        ] {
+            let mut m = tiny_manifest("c", spec);
+            m.points.clear();
+            for (index, key) in points {
+                let donor = make(spec, index, key);
+                m.points.push(donor.points[0].clone());
+            }
+            let path = dir.join(manifest_file("c", spec));
+            m.write(&path).unwrap();
+            fs::write(dir.join(store_file("c", spec, BackendKind::Jsonl)), "").unwrap();
+            paths.push(path);
+        }
+        let report = merge_manifests("c", &paths, &dir.join("out")).unwrap();
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.points, 2);
+        assert!(report.missing_points.is_empty());
+        let merged = Manifest::read(&report.manifest_path).unwrap();
+        assert_eq!(merged.settings.shard, ShardSpec::single());
+        assert_eq!(merged.points.len(), 2);
+
+        // An empty-slice manifest does not break discovery either.
+        let discovered = discover_shard_specs("c", &dir).unwrap();
+        assert_eq!(
+            discovered.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![s0, slice0, slice1]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_merge_forgives_missing_points_only() {
+        let dir = std::env::temp_dir().join(format!("shard-partial-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Only shard 0 of 2 finished; its manifest enumerates 2 points
+        // but records just its own (index 0).
+        let m = tiny_manifest("c", ShardSpec::new(0, 2).unwrap());
+        let path = dir.join(manifest_file("c", m.settings.shard));
+        m.write(&path).unwrap();
+        // The surviving shard's store covers its one point (key 2,
+        // packets 0..4), so the partial merge must still verify.
+        store::write_records(
+            &dir.join(store_file("c", m.settings.shard, BackendKind::Jsonl)),
+            &[(
+                ChunkId {
+                    point: 2,
+                    first_packet: 0,
+                    n_packets: 4,
+                },
+                hspa_phy::harq::HarqStats {
+                    packets: 4,
+                    delivered: 4,
+                    transmissions: 4,
+                    info_bits: 10,
+                    failures_at: vec![0; 4],
+                },
+            )],
+        )
+        .unwrap();
+
+        let err = merge_manifests_allowing_partial(
+            "c",
+            std::slice::from_ref(&path),
+            &dir.join("out"),
+            false,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("not a complete partition"),
+            "{err}"
+        );
+
+        let report = merge_manifests_allowing_partial(
+            "c",
+            std::slice::from_ref(&path),
+            &dir.join("out"),
+            true,
+        )
+        .unwrap();
+        assert_eq!(report.points, 1);
+        assert_eq!(report.missing_points, vec![1]);
+        assert_eq!(report.missing_points_total, 1);
+        // The partial manifest still verifies: listed points are backed.
+        let v = verify_with("c", &dir.join("out"), ShardSpec::single(), true).unwrap();
+        assert!(v.ok(), "{:?}", v.problems);
+
+        // Duplicates stay fatal even in partial mode.
+        let dup = dir.join("dup");
+        fs::create_dir_all(&dup).unwrap();
+        let m2 = tiny_manifest("c", ShardSpec::new(1, 2).unwrap());
+        // Same global index 0 as shard 0's point — a broken partition.
+        let path2 = dup.join(manifest_file("c", m2.settings.shard));
+        m2.write(&path2).unwrap();
+        fs::write(
+            dup.join(store_file("c", m2.settings.shard, BackendKind::Jsonl)),
+            "",
+        )
+        .unwrap();
+        let err =
+            merge_manifests_allowing_partial("c", &[path.clone(), path2], &dir.join("out2"), true)
+                .unwrap_err();
+        assert!(
+            err.to_string().contains("not a disjoint partition"),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_verify_flags_inconsistent_provenance() {
+        let dir = std::env::temp_dir().join(format!("shard-strict-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let spec = ShardSpec::single();
+        let mut m = tiny_manifest("c", spec);
+        // 1 chunk ran but 2 claim store provenance; packets agree-ish.
+        m.points[0].chunks = 1;
+        m.points[0].chunks_from_store = 2;
+        m.points[0].packets_from_store = 8;
+        m.write(&dir.join(manifest_file("c", spec))).unwrap();
+        // A store that covers the point so the base pass is clean.
+        store::write_records(
+            &dir.join(store_file("c", spec, BackendKind::Jsonl)),
+            &[(
+                ChunkId {
+                    point: 2,
+                    first_packet: 0,
+                    n_packets: 4,
+                },
+                hspa_phy::harq::HarqStats {
+                    packets: 4,
+                    delivered: 4,
+                    transmissions: 4,
+                    info_bits: 10,
+                    failures_at: vec![0; 4],
+                },
+            )],
+        )
+        .unwrap();
+        assert!(verify("c", &dir, spec).unwrap().ok(), "base pass is clean");
+        let strict = verify_with("c", &dir, spec, true).unwrap();
+        assert!(!strict.ok());
+        assert!(
+            strict
+                .problems
+                .iter()
+                .any(|p| p.contains("served from store")),
+            "{:?}",
+            strict.problems
+        );
+        // Consistent provenance passes strict.
+        m.points[0].chunks_from_store = 1;
+        m.points[0].packets_from_store = 4;
+        m.write(&dir.join(manifest_file("c", spec))).unwrap();
+        assert!(verify_with("c", &dir, spec, true).unwrap().ok());
+        // chunks>0 with packets==0 disagrees.
+        m.points[0].packets_from_store = 0;
+        m.write(&dir.join(manifest_file("c", spec))).unwrap();
+        let strict = verify_with("c", &dir, spec, true).unwrap();
+        assert!(
+            strict.problems.iter().any(|p| p.contains("disagrees")),
+            "{:?}",
+            strict.problems
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -60,7 +60,12 @@ impl JsonlBackend {
                     Ok((id, stats)) => {
                         records.insert(id, stats);
                     }
-                    Err(LineIssue::Torn) => {}
+                    Err(LineIssue::Torn) => {
+                        crate::telemetry::counter_add(
+                            crate::telemetry::Counter::StoreTornTailsDropped,
+                            1,
+                        );
+                    }
                     Err(LineIssue::Corrupt(why)) => {
                         return Err(corrupt_error(path, line_no + 1, &why));
                     }
@@ -110,7 +115,21 @@ impl StoreBackend for JsonlBackend {
             .create(true)
             .append(true)
             .open(&self.path)?;
-        writeln!(file, "{}", encode_record(id, stats))?;
+        let line = encode_record(id, stats);
+        if crate::failpoint::armed() {
+            let ctx = self.path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if crate::failpoint::should_fire(crate::failpoint::Site::AppendTorn, ctx) {
+                // Tear the record mid-write and die, like a SIGKILL
+                // landing inside `writeln!`: the half record becomes the
+                // file's tail. Continuing instead of exiting would weld
+                // the next append onto the torn prefix — precisely the
+                // corruption the resume path is hardened against.
+                file.write_all(&line.as_bytes()[..line.len() / 2])?;
+                file.flush()?;
+                std::process::exit(43);
+            }
+        }
+        writeln!(file, "{line}")?;
         self.records.insert(id, stats.clone());
         Ok(())
     }

@@ -153,6 +153,7 @@ impl SegmentBackend {
                 .write(true)
                 .open(path)?
                 .set_len(backend.end)?;
+            crate::telemetry::counter_add(crate::telemetry::Counter::StoreTornTailsDropped, 1);
         }
 
         // Frames inherited from the sidecar are trusted here and
@@ -223,6 +224,19 @@ impl SegmentBackend {
     /// Atomically rewrites the index sidecar to checkpoint the current
     /// in-memory frame list.
     fn write_index(&self) -> std::io::Result<()> {
+        if crate::failpoint::armed() {
+            let ctx = self
+                .index_path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("");
+            if crate::failpoint::should_fire(crate::failpoint::Site::IndexCorrupt, ctx) {
+                // Silent sidecar rot: a corrupt checkpoint must degrade
+                // the next open to a full scan, never lose a record.
+                fs::write(&self.index_path, b"RIDX0001 rotted checkpoint")?;
+                return Ok(());
+            }
+        }
         let mut out = Vec::with_capacity(16 + self.frames.len() * 32);
         out.extend_from_slice(IDX_MAGIC);
         out.extend_from_slice(&self.end.to_le_bytes());
@@ -326,6 +340,7 @@ impl StoreBackend for SegmentBackend {
         match read {
             Ok(FrameRead::Ok(frame_id, stats, _)) if frame_id == id => Some(stats),
             _ => {
+                crate::telemetry::counter_add(crate::telemetry::Counter::StoreIndexStaleMisses, 1);
                 eprintln!(
                     "warning: {}: unreadable frame at offset {offset} for chunk \
                      {:016x}/{}+{}; treating as a store miss",
@@ -345,6 +360,17 @@ impl StoreBackend for SegmentBackend {
             .create(true)
             .append(true)
             .open(&self.path)?;
+        if crate::failpoint::armed() {
+            let ctx = self.path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if crate::failpoint::should_fire(crate::failpoint::Site::AppendTorn, ctx) {
+                // Tear the frame mid-write and die, like a SIGKILL
+                // mid-append: the half frame becomes the segment tail,
+                // which the next open truncates away.
+                file.write_all(&frame[..frame.len() / 2])?;
+                file.flush()?;
+                std::process::exit(43);
+            }
+        }
         file.write_all(&frame)?;
         self.frames.push((id, self.end));
         self.lookup.insert(id, self.end);

@@ -29,6 +29,9 @@
 //!   machines with bit-identical merged results.
 //! * [`experiments`] — one module per paper figure (Figs. 2–9), each
 //!   producing serializable series plus formatted tables.
+//! * [`failpoint`] — deterministic fault injection (seeded, replayable)
+//!   compiled into the dispatcher, launchers and store backends for the
+//!   chaos test suite; zero overhead unarmed.
 //! * [`report`] — plain-text table rendering shared by binaries.
 //! * [`telemetry`] — always-on lock-free metrics (counters, gauges,
 //!   histograms on per-thread shards), span timing, and the opt-in
@@ -51,6 +54,7 @@ pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod experiments;
+pub mod failpoint;
 pub mod montecarlo;
 pub mod report;
 pub mod simulator;

@@ -79,6 +79,23 @@ pub enum Counter {
     RescueAttempts,
     /// Dispatcher: completed merges of shard artifacts.
     MergesCompleted,
+    /// Store: torn trailing records dropped while opening for resume
+    /// (the tail a killed writer left mid-append).
+    StoreTornTailsDropped,
+    /// Segment store: index-sidecar entries that pointed at unreadable
+    /// frames and were served as misses instead.
+    StoreIndexStaleMisses,
+    /// Dispatcher: leg launches that failed with an I/O error before
+    /// the leg process existed.
+    LaunchFailures,
+    /// Dispatcher: relaunches delayed by the exponential-backoff policy.
+    BackoffWaits,
+    /// Dispatcher: dead shards split into slice sub-shards (elastic
+    /// re-sharding events, not slice legs — one split may launch many).
+    ReshardSplits,
+    /// Dispatcher: shards abandoned after exhausting the attempt cap
+    /// (the campaign degrades to a partial merge).
+    ShardsAbandoned,
     /// Nanoseconds in the encode stage.
     StageEncodeNanos,
     /// Nanoseconds in the modulate stage.
@@ -97,7 +114,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in exposition order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 25] = [
         Counter::PacketsSimulated,
         Counter::WavesDecoded,
         Counter::StoreChunkHits,
@@ -110,6 +127,12 @@ impl Counter {
         Counter::StallKills,
         Counter::RescueAttempts,
         Counter::MergesCompleted,
+        Counter::StoreTornTailsDropped,
+        Counter::StoreIndexStaleMisses,
+        Counter::LaunchFailures,
+        Counter::BackoffWaits,
+        Counter::ReshardSplits,
+        Counter::ShardsAbandoned,
         Counter::StageEncodeNanos,
         Counter::StageModulateNanos,
         Counter::StageChannelNanos,
@@ -136,6 +159,12 @@ impl Counter {
             Counter::StallKills => "stall_kills",
             Counter::RescueAttempts => "rescue_attempts",
             Counter::MergesCompleted => "merges_completed",
+            Counter::StoreTornTailsDropped => "store_torn_tails_dropped",
+            Counter::StoreIndexStaleMisses => "store_index_stale_misses",
+            Counter::LaunchFailures => "launch_failures",
+            Counter::BackoffWaits => "backoff_waits",
+            Counter::ReshardSplits => "reshard_splits",
+            Counter::ShardsAbandoned => "shards_abandoned",
             Counter::StageEncodeNanos => "stage_encode_nanos",
             Counter::StageModulateNanos => "stage_modulate_nanos",
             Counter::StageChannelNanos => "stage_channel_nanos",
