@@ -34,32 +34,39 @@ pub const WILSON_Z: f64 = 1.96;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignSettings {
     /// Target relative half-width of the BLER confidence interval.
+    // identity: excluded(stopping-rule knob; decides when to stop sampling, never what any chunk contains)
     pub precision: f64,
     /// BLER below which a point counts as resolved: once the interval's
     /// upper bound drops under this floor, no more packets are spent.
+    // identity: excluded(stopping-rule knob; chunk contents are keyed per chunk, not per floor)
     pub bler_floor: f64,
     /// Packets of the first chunk (and the minimum evidence before any
     /// stopping decision).
+    // identity: excluded(schedule granularity; chunk streams are seeded per packet index, so regrouping is identity-neutral)
     pub initial_chunk: usize,
     /// Reuse stored chunks from a previous run (`--resume`, the
     /// default); `false` truncates the store first (`--no-resume`).
+    // identity: excluded(storage lifecycle flag; resumed and fresh runs produce byte-identical chunks)
     pub resume: bool,
     /// Absolute 95 % Wilson half-width target (`--target-ci`). When
     /// positive it replaces the relative stopping rule: a point stops as
     /// soon as its interval half-width drops to this value, and chunk
     /// sizing jumps straight to the Wilson-estimated sample count
     /// instead of blind doubling. `0.0` (the default) disables the mode.
+    // identity: excluded(stopping-rule knob; alternative stop criterion over the same chunk stream)
     pub target_ci: f64,
     /// The shard this process owns (`--shard i/n`). The default `0/1`
     /// runs every point; any other value runs only the points whose
     /// stable key hashes into the shard and writes suffixed
     /// store/manifest files for [`super::shard::merge`].
+    // identity: excluded(work partitioning; shard ownership selects which points run, not their results)
     pub shard: ShardSpec,
     /// Result-store backend (`--store-backend`): JSONL (the
     /// interchange/debug default) or the indexed segment format. Like
     /// `resume`, this is a storage knob, not part of the campaign's
     /// rendered identity — manifests from both backends are
     /// byte-identical.
+    // identity: excluded(storage knob; both backends render byte-identical manifests)
     pub backend: BackendKind,
 }
 

@@ -469,6 +469,7 @@ impl Launcher for CommandLauncher {
         let host = self.next_host();
         let cmd = self.leg_command(spec, attempt);
         let argv = expand_template(&self.template, &host, Some(&cmd));
+        // lint: allow(no-unwrap, infallible: expand_template always emits at least the program token and emptiness is rejected above)
         let (program, rest) = argv.split_first().expect("checked non-empty");
         let child = Command::new(program)
             .args(rest)

@@ -109,12 +109,14 @@ pub const DEFAULT_STORE_DIR: &str = "target/campaign";
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignPoint {
     /// Human-readable label for manifests and tables.
+    // identity: excluded(presentation only; renaming a point must keep resuming its stored chunks)
     pub label: String,
     /// LLR-storage backend under test.
     pub storage: StorageConfig,
     /// Operating SNR (dB).
     pub snr_db: f64,
     /// Maximum packet budget (the fixed-budget equivalent).
+    // identity: excluded(budget cap; chunks are keyed per packet index, so raising the cap extends rather than invalidates)
     pub max_packets: usize,
     /// Seed of this point's stream subtree.
     pub seed: u64,
@@ -130,12 +132,15 @@ pub struct CampaignPoint {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CustomCampaignPoint {
     /// Human-readable label for manifests and tables.
+    // identity: excluded(presentation only; renaming a point must keep resuming its stored chunks)
     pub label: String,
     /// Canonical description of the custom buffer configuration.
+    // identity: hashed(passed to custom_fingerprint as the descriptor string replacing the storage field)
     pub fingerprint: String,
     /// Operating SNR (dB).
     pub snr_db: f64,
     /// Maximum packet budget.
+    // identity: excluded(budget cap; chunks are keyed per packet index, so raising the cap extends rather than invalidates)
     pub max_packets: usize,
     /// Seed of this point's stream subtree.
     pub seed: u64,
@@ -412,6 +417,7 @@ impl Campaign {
         // without it would re-simulate every chunk and double-append
         // once the file becomes accessible again.
         ResultStore::open(self.store_path(), resume).unwrap_or_else(|e| {
+            // lint: allow(no-panic, deliberate fatal: running without the store would re-simulate and double-append on recovery)
             panic!(
                 "campaign {}: cannot open result store {}: {e}",
                 self.name,
@@ -691,6 +697,7 @@ impl Campaign {
         let mut chunks_hit = vec![0usize; descs.len()];
         let mut packets_hit = vec![0usize; descs.len()];
 
+        // determinism: wallclock(telemetry only; elapsed time feeds event-log timestamps, never results)
         let run_start = Instant::now();
         let expo = self.telemetry_enabled();
         telemetry::gauge_add(

@@ -575,6 +575,7 @@ pub fn merge_manifests_allowing_partial(
     }
     records.sort_by_key(|(id, _)| (id.point, id.first_packet, id.n_packets));
     let before = records.len();
+    // determinism: unordered-ok(insert-only dedup filter over the already-sorted record list)
     let mut seen: HashSet<ChunkId> = HashSet::with_capacity(before);
     records.retain(|(id, _)| seen.insert(*id));
     let duplicate_chunks = before - records.len();
@@ -748,7 +749,9 @@ pub fn verify_with(
         ..Default::default()
     };
 
+    // determinism: unordered-ok(keyed gets plus an order-insensitive sum over the stale-chunk tally)
     let mut by_key: HashMap<u64, Vec<(usize, usize)>> = HashMap::new();
+    // determinism: unordered-ok(dedup membership plus an order-insensitive orphan count)
     let mut seen: HashSet<ChunkId> = HashSet::new();
     for (id, _) in &records {
         if !seen.insert(*id) {
@@ -764,6 +767,7 @@ pub fn verify_with(
     // Orphans are counted over the deduplicated record set (a repeated
     // orphan line is one orphan + one duplicate), so verify's tallies
     // agree with what gc would drop for the same store.
+    // determinism: unordered-ok(membership test only)
     let live_keys: HashSet<u64> = manifest.points.iter().map(|p| p.key).collect();
     report.orphan_chunks = seen
         .iter()
@@ -772,6 +776,7 @@ pub fn verify_with(
 
     // `used` counts, per key, how many distinct chunks some point cover
     // consumed — the rest of that key's chunks are stale.
+    // determinism: unordered-ok(keyed access only; per-key sets are ordered BTreeSets)
     let mut used: HashMap<u64, BTreeSet<(usize, usize)>> = HashMap::new();
     for point in &manifest.points {
         if point.packets == 0 {
@@ -874,6 +879,7 @@ pub fn gc(name: &str, dir: &Path, shard: ShardSpec) -> io::Result<GcReport> {
 
     // Realized packets per live key (a key can recur across run calls;
     // the deepest realization wins).
+    // determinism: unordered-ok(iteration only fills an ordered keep-set; kept records are emitted in BTree order)
     let mut realized: HashMap<u64, usize> = HashMap::new();
     for p in &manifest.points {
         let r = realized.entry(p.key).or_insert(0);
@@ -944,6 +950,7 @@ impl StoreSummary {
     /// Summarizes one record set (`bytes` stays unset — callers that
     /// summarize a whole store file fill it from `fs::metadata`).
     fn of(records: &[(ChunkId, HarqStats)]) -> Self {
+        // determinism: unordered-ok(cardinality only)
         let keys: HashSet<u64> = records.iter().map(|(id, _)| id.point).collect();
         Self {
             records: records.len(),
@@ -1038,6 +1045,7 @@ pub fn query(name: &str, dir: &Path, shard: ShardSpec, filter: &QueryFilter) -> 
     let (store_path, _) = detect_store_file(name, dir, shard)?;
     let (records, malformed) = store::load_all(&store_path)?;
     let selected: Vec<&PointRecord> = filter.select(&manifest.points);
+    // determinism: unordered-ok(membership test only; output order comes from the record list)
     let live: HashSet<u64> = selected.iter().map(|p| p.key).collect();
     let matching: Vec<(ChunkId, HarqStats)> = records
         .into_iter()

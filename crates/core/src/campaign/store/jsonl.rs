@@ -19,6 +19,7 @@ use super::{
 #[derive(Debug)]
 pub struct JsonlBackend {
     path: PathBuf,
+    // determinism: unordered-ok(keyed access only; never iterated — exports re-read the file in line order)
     records: HashMap<ChunkId, HarqStats>,
 }
 
@@ -48,6 +49,7 @@ impl JsonlBackend {
             // that only the first miss would have created.
             File::create(path)?;
         }
+        // determinism: unordered-ok(keyed access only; never iterated)
         let mut records = HashMap::new();
         if resume && exists {
             let reader = BufReader::new(File::open(path)?);
@@ -88,6 +90,7 @@ impl JsonlBackend {
     pub fn attach(path: &Path) -> Self {
         Self {
             path: path.to_path_buf(),
+            // determinism: unordered-ok(keyed access only; never iterated)
             records: HashMap::new(),
         }
     }

@@ -63,6 +63,7 @@ pub struct SegmentBackend {
     /// Indexed frames in segment order, duplicates kept.
     frames: Vec<(ChunkId, u64)>,
     /// Latest frame offset per chunk (resume semantics: last write wins).
+    // determinism: unordered-ok(keyed access only; never iterated — scans walk the ordered frames vec)
     lookup: HashMap<ChunkId, u64>,
     /// Logical end of the segment — the next append offset.
     end: u64,
@@ -181,6 +182,7 @@ impl SegmentBackend {
             index_path: path.with_extension("seg.idx"),
             file: None,
             frames: Vec::new(),
+            // determinism: unordered-ok(keyed access only; never iterated)
             lookup: HashMap::new(),
             end: SEG_HEADER,
         }
@@ -206,6 +208,7 @@ impl SegmentBackend {
             return None;
         }
         for entry in body.chunks_exact(32) {
+            // lint: allow(no-unwrap, infallible: chunks_exact(32) guarantees every 8-byte sub-slice exists)
             let word = |i: usize| u64::from_le_bytes(entry[i * 8..(i + 1) * 8].try_into().unwrap());
             let id = ChunkId {
                 point: word(0),
@@ -295,6 +298,7 @@ impl SegmentBackend {
                     // The length field still frames the damage, so the
                     // scan can step over it to the next boundary.
                     let payload_len =
+                        // lint: allow(no-unwrap, infallible: a 4-byte slice always converts to [u8; 4])
                         u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
                     pos += FRAME_HEADER + payload_len;
                 }
@@ -328,6 +332,7 @@ impl StoreBackend for SegmentBackend {
             file.seek(SeekFrom::Start(offset))?;
             let mut header = [0u8; FRAME_HEADER];
             file.read_exact(&mut header)?;
+            // lint: allow(no-unwrap, infallible: a 4-byte slice always converts to [u8; 4])
             let payload_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
             if payload_len > MAX_PAYLOAD {
                 return Ok(FrameRead::Corrupt("implausible frame length".into()));
@@ -429,7 +434,9 @@ fn read_frame(bytes: &[u8]) -> FrameRead {
     if bytes.len() < FRAME_HEADER {
         return FrameRead::Torn;
     }
+    // lint: allow(no-unwrap, infallible: the FRAME_HEADER length check above guarantees both 4-byte slices)
     let payload_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    // lint: allow(no-unwrap, infallible: the FRAME_HEADER length check above guarantees both 4-byte slices)
     let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
     if payload_len > MAX_PAYLOAD {
         return FrameRead::Corrupt(format!("implausible frame length {payload_len}"));
@@ -444,6 +451,7 @@ fn read_frame(bytes: &[u8]) -> FrameRead {
     if payload_len < PAYLOAD_FIXED || !(payload_len - PAYLOAD_FIXED).is_multiple_of(8) {
         return FrameRead::Corrupt(format!("malformed frame payload of {payload_len} bytes"));
     }
+    // lint: allow(no-unwrap, infallible: the payload shape checks above guarantee every 8-byte word slice)
     let word = |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
     let n_failures = word(7) as usize;
     if n_failures * 8 != payload_len - PAYLOAD_FIXED {

@@ -569,6 +569,7 @@ struct Worker<'a> {
     /// Buffer-sharing group per point (`None`: one group per point).
     groups: Option<&'a [usize]>,
     make_buffer: &'a (dyn Fn(usize, u64) -> Box<dyn LlrBuffer + Send> + Sync),
+    // determinism: unordered-ok(keyed entry access only; never iterated)
     buffers: HashMap<usize, Vec<Box<dyn LlrBuffer + Send>>>,
     batch_lanes: usize,
     lane_scratch: Vec<PacketScratch>,
@@ -593,6 +594,7 @@ impl<'a> Worker<'a> {
             specs,
             groups,
             make_buffer,
+            // determinism: unordered-ok(keyed entry access only; never iterated)
             buffers: HashMap::new(),
             batch_lanes,
             lane_scratch: vec![PacketScratch::new()],

@@ -94,6 +94,7 @@ impl Site {
 struct Plan {
     seed: u64,
     attempt: u32,
+    // determinism: unordered-ok(per-(site, ctx) counters via keyed entry access; never iterated)
     hits: HashMap<(Site, String), u64>,
 }
 
@@ -119,6 +120,7 @@ pub fn arm_with_attempt(seed: u64, attempt: u32) {
     *plan = Some(Plan {
         seed,
         attempt: attempt.max(1),
+        // determinism: unordered-ok(keyed entry access only; never iterated)
         hits: HashMap::new(),
     });
     ARMED.store(true, Ordering::Release);

@@ -49,6 +49,8 @@
 //! println!("throughput {:.2}", stats.normalized_throughput());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod campaign;
 pub mod config;

@@ -211,6 +211,7 @@ impl PacketScratch {
 /// tallies into the global telemetry counters once per shard).
 macro_rules! stage {
     ($scratch:expr, $field:ident, $body:expr) => {{
+        // determinism: wallclock(stage timing telemetry; nanos feed counters, never the decoded bits)
         let __stage_start = std::time::Instant::now();
         let result = $body;
         $scratch.stage_nanos.$field += __stage_start.elapsed().as_nanos() as u64;

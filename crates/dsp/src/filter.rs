@@ -101,6 +101,7 @@ pub fn convolve(signal: &[Complex64], taps: &[f64]) -> Vec<Complex64> {
 }
 
 /// Full linear convolution of a complex signal with complex taps.
+// alloc: cold(allocating convenience wrapper; the hot path calls convolve_complex_into)
 pub fn convolve_complex(signal: &[Complex64], taps: &[Complex64]) -> Vec<Complex64> {
     let mut out = Vec::new();
     convolve_complex_into(signal, taps, &mut out);

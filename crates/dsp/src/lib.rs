@@ -21,6 +21,8 @@
 //! assert!((db_to_linear(3.0) - 1.995).abs() < 1e-2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod filter;
 pub mod fixed;

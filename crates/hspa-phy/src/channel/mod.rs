@@ -143,6 +143,7 @@ pub trait ChannelModel {
 pub struct AwgnChannel;
 
 impl ChannelModel for AwgnChannel {
+    // alloc: cold(allocating trait path; hot-path callers use realize_attempt_into)
     fn realize(&self, snr_db: f64, _rng: &mut StdRng) -> ChannelRealization {
         ChannelRealization {
             taps: vec![Complex64::ONE],
@@ -334,6 +335,7 @@ impl StaticIsiChannel {
 }
 
 impl ChannelModel for StaticIsiChannel {
+    // alloc: cold(allocating trait path; hot-path callers use realize_attempt_into)
     fn realize(&self, snr_db: f64, _rng: &mut StdRng) -> ChannelRealization {
         ChannelRealization {
             taps: self.taps.clone(),

@@ -40,6 +40,7 @@ pub struct EqScratch {
 
 impl EqScratch {
     /// Fresh workspace; buffers grow to steady-state size on first use.
+    // alloc: cold(constructor; a worker builds its scratch once and reuses it every transmission)
     pub fn new() -> Self {
         Self {
             c: CMatrix::zeros(1, 1),

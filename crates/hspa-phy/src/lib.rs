@@ -43,6 +43,8 @@
 //! # Ok::<(), hspa_phy::turbo::TurboError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod channel;
 pub mod crc;

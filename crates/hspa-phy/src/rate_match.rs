@@ -146,6 +146,7 @@ impl RateMatcher {
     /// The transmission index map for redundancy version `rv`:
     /// `output[j] = codeword[map[j]]`. Repetition repeats indices;
     /// puncturing omits them.
+    // alloc: cold(cache fill behind OnceLock; runs once per redundancy version, then reused)
     pub fn index_map(&self, rv: RedundancyVersion) -> Vec<usize> {
         // Stream boundaries in the TurboCode::encode layout:
         // sys = [0, k) ∪ tail1 systematic positions, but tails are stored

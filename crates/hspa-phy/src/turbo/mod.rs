@@ -104,6 +104,7 @@ impl TurboCode {
     /// # Panics
     ///
     /// Panics if `bits.len() != K` or any value is non-binary.
+    // alloc: cold(allocating convenience wrapper; the hot path calls encode_into)
     pub fn encode(&self, bits: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.coded_len());
         self.encode_into(bits, &mut out);

@@ -1,0 +1,19 @@
+//! Annotation-syntax fixture: every malformed escape hatch is itself a
+//! finding — a silencing annotation with no recorded reason is worse
+//! than none.
+
+// identity: excluded //~ ERROR annotation-syntax
+pub const MISSING_CALL: u8 = 0;
+
+// alloc: cold() //~ ERROR annotation-syntax
+pub const EMPTY_REASON: u8 = 1;
+
+// determinism: trust-me(it is fine) //~ ERROR annotation-syntax
+pub const UNKNOWN_MODE: u8 = 2;
+
+// lint: allow(no-unwrap) //~ ERROR annotation-syntax
+pub const ALLOW_WITHOUT_REASON: u8 = 3;
+
+// SAFETY:
+//~^ ERROR annotation-syntax
+pub const EMPTY_SAFETY: u8 = 4;

@@ -1,0 +1,16 @@
+//! Wallclock fixture: clock reads and ambient entropy in simulation
+//! code fire; the annotated watchdog read does not.
+
+pub fn stamp() -> u64 {
+    let started = std::time::Instant::now(); //~ ERROR wallclock
+    let epoch = std::time::SystemTime::now(); //~ ERROR wallclock
+    let mut rng = rand::thread_rng(); //~ ERROR wallclock
+    let _ = (started, epoch, &mut rng);
+    0
+}
+
+pub fn stalled(deadline_secs: u64) -> bool {
+    // determinism: wallclock(stall watchdog; compares wall time, never feeds results)
+    let now = std::time::Instant::now();
+    now.elapsed().as_secs() > deadline_secs
+}

@@ -1,0 +1,10 @@
+//! Hash-order fixture: an unannotated `HashMap` in an order-sensitive
+//! module fires; the `use` line and the justified field do not.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    map: HashMap<u64, u64>, //~ ERROR hash-order
+    // determinism: unordered-ok(keyed lookups only; never iterated)
+    cache: HashMap<u64, u64>,
+}

@@ -1,0 +1,30 @@
+//! Hot-path allocation fixture: allocations reachable from the root
+//! fire (directly and through a callee); the function-level cold
+//! annotation prunes the setup path.
+
+pub fn simulate_packet_with(scratch: &mut Scratch) -> u32 {
+    if scratch.buf.is_empty() {
+        *scratch = build_scratch();
+    }
+    let header = Vec::new(); //~ ERROR hot-path-alloc
+    let _ = header;
+    helper(scratch)
+}
+
+fn helper(scratch: &mut Scratch) -> u32 {
+    let msg = format!("packet {}", scratch.id); //~ ERROR hot-path-alloc
+    msg.len() as u32
+}
+
+// alloc: cold(worker setup; runs once per worker, not per packet)
+fn build_scratch() -> Scratch {
+    Scratch {
+        buf: vec![0u8; 64],
+        id: 0,
+    }
+}
+
+pub struct Scratch {
+    pub buf: Vec<u8>,
+    pub id: u64,
+}

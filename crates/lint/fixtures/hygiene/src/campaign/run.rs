@@ -1,0 +1,29 @@
+//! Error-hygiene fixture: unwrap/expect/panic in hardened library code
+//! fire; the annotated infallible conversion and test code do not.
+
+pub fn load(path: &str) -> u32 {
+    let data = std::fs::read(path).unwrap(); //~ ERROR no-unwrap
+    let n = parse(&data).expect("parse"); //~ ERROR no-unwrap
+    if n == 0 {
+        panic!("empty store"); //~ ERROR no-panic
+    }
+    n
+}
+
+pub fn checked(bytes: &[u8]) -> u32 {
+    assert!(bytes.len() >= 4);
+    // lint: allow(no-unwrap, infallible: a 4-byte slice always converts to [u8; 4])
+    u32::from_le_bytes(bytes[..4].try_into().unwrap())
+}
+
+fn parse(_data: &[u8]) -> Option<u32> {
+    Some(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!("4".parse::<u32>().unwrap(), 4);
+    }
+}

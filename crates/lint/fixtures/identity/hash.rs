@@ -1,0 +1,6 @@
+//! Fingerprint fixture: `seed` enters through a format capture,
+//! `snr_db` as a body identifier, `storage` through its `{:?}` repr.
+
+pub fn point_fingerprint(storage: &Cfg, snr_db: f64, seed: u64) -> String {
+    format!("v1|{storage:?}|snr={:016x}|seed={seed}", snr_db.to_bits())
+}

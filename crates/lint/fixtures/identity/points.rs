@@ -1,0 +1,22 @@
+//! Identity-coverage fixture: one uncovered field, one annotated
+//! exclusion, and a debug-hashed type that both misses the `Debug`
+//! derive and carries a manual impl.
+
+pub struct Point {
+    pub seed: u64,
+    pub snr_db: f64,
+    pub label: String, //~ ERROR identity-coverage
+    // identity: excluded(budget cap; chunks are keyed per packet index, never by the cap)
+    pub max_packets: usize,
+}
+
+#[derive(Clone)]
+pub struct Cfg { //~ ERROR identity-coverage
+    pub bits: u8,
+}
+
+impl core::fmt::Debug for Cfg { //~ ERROR identity-coverage
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("Cfg")
+    }
+}

@@ -1,0 +1,13 @@
+//! Telemetry-catalog fixture: `Misses` is catalogued but never
+//! referenced (dead metric); `Stalls` is referenced but missing from
+//! `ALL` (exposition would skip it).
+
+pub enum Counter {
+    Hits,
+    Misses, //~ ERROR telemetry-catalog
+    Stalls, //~ ERROR telemetry-catalog
+}
+
+impl Counter {
+    pub const ALL: [Counter; 2] = [Counter::Hits, Counter::Misses];
+}

@@ -1,0 +1,9 @@
+//! References `Hits` and `Stalls`; one literal event name (fine) and
+//! one computed name (fires).
+
+pub fn tick(log: &Log, which: &str) {
+    add(Counter::Hits);
+    add(Counter::Stalls);
+    log.emit("merge-complete", &[]);
+    log.emit(which, &[]); //~ ERROR telemetry-catalog
+}

@@ -1,0 +1,14 @@
+//~ ERROR unsafe-hygiene
+//! Unsafe-hygiene fixture: the crate root misses
+//! `#![forbid(unsafe_code)]` (anchored at line 1) and the first unsafe
+//! block has no `SAFETY:` justification.
+
+pub fn peek(v: &[u8], i: usize) -> u8 {
+    unsafe { *v.get_unchecked(i) } //~ ERROR unsafe-hygiene
+}
+
+pub fn peek_justified(v: &[u8], i: usize) -> u8 {
+    assert!(i < v.len());
+    // SAFETY: the assert above bounds i within v
+    unsafe { *v.get_unchecked(i) }
+}

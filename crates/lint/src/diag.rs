@@ -1,0 +1,43 @@
+//! Machine-readable diagnostics: one line per finding,
+//! `path:line: [lint-id] message`.
+
+use std::fmt;
+use std::path::PathBuf;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the lint root, `/`-separated.
+    pub file: PathBuf,
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<PathBuf>,
+        line: u32,
+        lint: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            lint,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}

@@ -1,0 +1,43 @@
+//! `resilience-lint` — the workspace contract linter.
+//!
+//! `cargo clippy` cannot know this repository's domain invariants: that
+//! campaign store keys come from an FNV fingerprint whose coverage is a
+//! design decision per field, that manifests must be bit-identical at
+//! any thread/shard/backend/chaos configuration, that the decode hot
+//! path is allocation-free, and that the campaign layer never panics on
+//! fallible input. This crate enforces those contracts statically, with
+//! a hand-rolled lexer (no registry access, so no `syn`/dylint) and an
+//! inline-annotation escape hatch that always requires a written
+//! reason. See [`annot`] for the annotation grammar and [`config`] for
+//! what applies where.
+//!
+//! Lints: `identity-coverage`, `wallclock`, `hash-order`,
+//! `hot-path-alloc`, `no-unwrap`, `no-panic`, `unsafe-hygiene`,
+//! `telemetry-catalog`, `annotation-syntax`.
+
+#![forbid(unsafe_code)]
+
+pub mod annot;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod workspace;
+
+pub use config::{IdentityMode, IdentityStruct, LintConfig, TelemetryConfig};
+pub use diag::Diagnostic;
+pub use workspace::{SourceFile, Workspace};
+
+/// Loads every `.rs` file under `cfg.root` and runs all lints.
+pub fn run(cfg: &LintConfig) -> std::io::Result<Vec<Diagnostic>> {
+    let ws = Workspace::load(cfg)?;
+    Ok(run_on(cfg, &ws))
+}
+
+/// Runs all lints over an already-loaded workspace.
+pub fn run_on(cfg: &LintConfig, ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lints::run_all(cfg, ws, &mut out);
+    out
+}

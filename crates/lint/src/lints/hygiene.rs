@@ -1,0 +1,160 @@
+//! Error and unsafe hygiene: `no-unwrap`, `no-panic`, `unsafe-hygiene`.
+
+use crate::annot::AnnKind;
+use crate::config::{is_test_path, under_any, LintConfig};
+use crate::diag::Diagnostic;
+use crate::workspace::{SourceFile, Workspace};
+
+/// `.unwrap()` / `.expect(` / `panic!` are forbidden in hardened
+/// library code (campaign paths): convert to contextual errors, or
+/// annotate the provably-infallible remainder.
+pub fn no_unwrap_no_panic(cfg: &LintConfig, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !under_any(&file.rel, &cfg.hardened) || is_test_path(&file.rel) {
+        return;
+    }
+    for i in 0..file.lexed.tokens.len() {
+        if file.model.in_test(i) {
+            continue;
+        }
+        if file.punct_at(i, '.') && file.punct_at(i + 2, '(') {
+            if let Some(m @ ("unwrap" | "expect")) = file.ident_at(i + 1) {
+                let line = file.line_of(i + 1);
+                if !file.anns.allows(line, "no-unwrap") {
+                    out.push(Diagnostic::new(
+                        &file.rel,
+                        line,
+                        "no-unwrap",
+                        format!(
+                            "`.{m}()` in hardened library code — return a contextual error, \
+                             or annotate `// lint: allow(no-unwrap, <reason>)` if provably \
+                             infallible"
+                        ),
+                    ));
+                }
+            }
+        }
+        if file.ident_at(i) == Some("panic") && file.punct_at(i + 1, '!') {
+            let line = file.line_of(i);
+            if !file.anns.allows(line, "no-panic") {
+                out.push(Diagnostic::new(
+                    &file.rel,
+                    line,
+                    "no-panic",
+                    "`panic!` in hardened library code — return a contextual error, or \
+                     annotate `// lint: allow(no-panic, <reason>)` for a deliberate fatal \
+                     exit",
+                ));
+            }
+        }
+    }
+}
+
+/// Every `unsafe` token needs a `// SAFETY:` justification on the same
+/// line or in the comment block directly above.
+pub fn unsafe_blocks(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for i in 0..file.lexed.tokens.len() {
+        if file.ident_at(i) != Some("unsafe") || file.model.in_use(i) {
+            continue;
+        }
+        let line = file.line_of(i);
+        if !file.anns.has(line, &AnnKind::Safety) {
+            out.push(Diagnostic::new(
+                &file.rel,
+                line,
+                "unsafe-hygiene",
+                "`unsafe` without a `// SAFETY:` justification",
+            ));
+        }
+    }
+}
+
+/// The configured crate roots must pin the no-unsafe status of their
+/// whole crate with `#![forbid(unsafe_code)]`.
+pub fn forbid_unsafe_attrs(cfg: &LintConfig, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for rel in &cfg.forbid_unsafe_crates {
+        match ws.file(rel) {
+            Some(f) if f.model.has_forbid_unsafe => {}
+            Some(_) => out.push(Diagnostic::new(
+                rel,
+                1,
+                "unsafe-hygiene",
+                "crate root is required to carry `#![forbid(unsafe_code)]`",
+            )),
+            None => out.push(Diagnostic::new(
+                rel,
+                1,
+                "unsafe-hygiene",
+                "configured crate root not found in workspace",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use std::path::PathBuf;
+
+    fn hardened_cfg() -> LintConfig {
+        let mut cfg = LintConfig::bare(".");
+        cfg.hardened = vec![PathBuf::from("src")];
+        cfg
+    }
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::from_source("src/lib.rs", src);
+        let mut out = Vec::new();
+        no_unwrap_no_panic(&hardened_cfg(), &file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire() {
+        let out = diags("fn f() { x.unwrap(); y.expect(\"msg\"); }\n");
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.lint == "no-unwrap"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        assert!(diags("fn f() { x.unwrap_or(0); x.unwrap_or_default(); }\n").is_empty());
+    }
+
+    #[test]
+    fn annotated_unwrap_is_allowed() {
+        let out = diags("fn f() { x.unwrap(); // lint: allow(no-unwrap, len checked)\n }\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_mod_is_exempt() {
+        let out = diags("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); panic!(\"b\"); }\n}\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_fires_and_annotation_silences() {
+        assert_eq!(diags("fn f() { panic!(\"boom\"); }\n").len(), 1);
+        assert!(diags(
+            "fn f() {\n // lint: allow(no-panic, fatal by design)\n panic!(\"boom\");\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let file = SourceFile::from_source("src/lib.rs", "fn f() { unsafe { g() } }\n");
+        let mut out = Vec::new();
+        unsafe_blocks(&file, &mut out);
+        assert_eq!(out.len(), 1);
+
+        let ok = SourceFile::from_source(
+            "src/lib.rs",
+            "fn f() {\n // SAFETY: g has no preconditions\n unsafe { g() }\n}\n",
+        );
+        out.clear();
+        unsafe_blocks(&ok, &mut out);
+        assert!(out.is_empty());
+    }
+}

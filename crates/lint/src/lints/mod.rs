@@ -1,0 +1,38 @@
+//! The lint passes. Each submodule owns one contract family; `run_all`
+//! drives them over a loaded workspace and returns sorted, deduplicated
+//! diagnostics.
+
+pub mod alloc;
+pub mod determinism;
+pub mod hygiene;
+pub mod identity;
+pub mod telemetry;
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Keywords that can be followed by `(` without being a call.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "let", "move", "fn",
+    "where", "impl", "dyn", "pub", "crate", "super", "self", "Self", "mut", "ref", "break",
+    "continue", "unsafe", "const", "static", "type", "use", "mod", "struct", "enum", "trait",
+];
+
+pub fn run_all(cfg: &LintConfig, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        for (line, msg) in &file.anns.problems {
+            out.push(Diagnostic::new(&file.rel, *line, "annotation-syntax", msg));
+        }
+        hygiene::no_unwrap_no_panic(cfg, file, out);
+        hygiene::unsafe_blocks(file, out);
+        determinism::wallclock(cfg, file, out);
+        determinism::hash_order(cfg, file, out);
+    }
+    hygiene::forbid_unsafe_attrs(cfg, ws, out);
+    identity::check(cfg, ws, out);
+    alloc::check(cfg, ws, out);
+    telemetry::check(cfg, ws, out);
+    out.sort();
+    out.dedup();
+}

@@ -1,0 +1,252 @@
+//! `telemetry-catalog`: the metric catalog must stay closed and live.
+//!
+//! The compiler enforces that `name()` matches every variant, but the
+//! manual `ALL` arrays driving exposition are just data — a variant
+//! missing there silently disappears from every snapshot dump. And a
+//! variant nothing increments is a dead metric that dashboards will
+//! chart as an eternal zero. Both are catalog drift this lint catches,
+//! plus: structured-event names passed to `emit` must be string
+//! literals so the event vocabulary stays greppable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::workspace::Workspace;
+
+pub fn check(cfg: &LintConfig, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(tc) = &cfg.telemetry else {
+        return;
+    };
+    let Some(tf) = ws.file(&tc.file) else {
+        out.push(Diagnostic::new(
+            &tc.file,
+            1,
+            "telemetry-catalog",
+            "configured telemetry file not found in workspace",
+        ));
+        return;
+    };
+
+    // `const ALL: [Ty; N] = [...]` catalogs in the telemetry file.
+    let mut catalogs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let toks = &tf.lexed.tokens;
+    for i in 0..toks.len() {
+        if tf.ident_at(i) != Some("const")
+            || tf.ident_at(i + 1) != Some("ALL")
+            || !tf.punct_at(i + 2, ':')
+            || !tf.punct_at(i + 3, '[')
+        {
+            continue;
+        }
+        let Some(ty) = tf.ident_at(i + 4) else {
+            continue;
+        };
+        // Skip to the initializer bracket and collect its identifiers.
+        let mut j = i + 5;
+        while j < toks.len() && !tf.punct_at(j, '=') {
+            j += 1;
+        }
+        let entry = catalogs.entry(ty.to_string()).or_default();
+        let mut depth = 0i32;
+        for t in &toks[j..] {
+            match &t.tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) if depth > 0 => {
+                    entry.insert(s.clone());
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+
+    // Every `Enum::Variant` path mentioned anywhere else in the tree.
+    let mut referenced: BTreeSet<(String, String)> = BTreeSet::new();
+    for file in &ws.files {
+        if file.rel == tf.rel {
+            continue;
+        }
+        for i in 0..file.lexed.tokens.len() {
+            let Some(e) = file.ident_at(i) else { continue };
+            if !tc.enums.iter().any(|n| n == e) {
+                continue;
+            }
+            if file.path_sep_at(i + 1) {
+                if let Some(v) = file.ident_at(i + 3) {
+                    referenced.insert((e.to_string(), v.to_string()));
+                }
+            }
+        }
+    }
+
+    for enum_name in &tc.enums {
+        let Some(e) = tf
+            .model
+            .enums
+            .iter()
+            .find(|e| e.name == *enum_name && !e.is_test)
+        else {
+            out.push(Diagnostic::new(
+                &tf.rel,
+                1,
+                "telemetry-catalog",
+                format!("metric enum `{enum_name}` not found in telemetry file"),
+            ));
+            continue;
+        };
+        let catalog = catalogs.get(enum_name);
+        if catalog.is_none() {
+            out.push(Diagnostic::new(
+                &tf.rel,
+                e.line,
+                "telemetry-catalog",
+                format!("no `const ALL` catalog found for metric enum `{enum_name}`"),
+            ));
+        }
+        for (variant, line) in &e.variants {
+            if let Some(cat) = catalog {
+                if !cat.contains(variant) {
+                    out.push(Diagnostic::new(
+                        &tf.rel,
+                        *line,
+                        "telemetry-catalog",
+                        format!(
+                            "`{enum_name}::{variant}` is missing from `{enum_name}::ALL` — \
+                             exposition would silently skip it"
+                        ),
+                    ));
+                }
+            }
+            if !referenced.contains(&(enum_name.clone(), variant.clone())) {
+                out.push(Diagnostic::new(
+                    &tf.rel,
+                    *line,
+                    "telemetry-catalog",
+                    format!(
+                        "`{enum_name}::{variant}` is never referenced outside the catalog \
+                         — dead metric; wire it up or remove it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Structured-event names must be literal: `.emit("name", ...)`.
+    for file in &ws.files {
+        for i in 0..file.lexed.tokens.len() {
+            if !file.punct_at(i, '.')
+                || file.ident_at(i + 1) != Some("emit")
+                || !file.punct_at(i + 2, '(')
+            {
+                continue;
+            }
+            let arg_is_literal = matches!(
+                file.lexed.tokens.get(i + 3).map(|t| &t.tok),
+                Some(Tok::Str(_))
+            );
+            if !arg_is_literal {
+                out.push(Diagnostic::new(
+                    &file.rel,
+                    file.line_of(i + 1),
+                    "telemetry-catalog",
+                    "event name passed to `emit` must be a string literal so the event \
+                     vocabulary stays greppable",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelemetryConfig;
+
+    fn cfg() -> LintConfig {
+        let mut cfg = LintConfig::bare(".");
+        cfg.telemetry = Some(TelemetryConfig {
+            file: "telemetry.rs".into(),
+            enums: vec!["Counter".into()],
+        });
+        cfg
+    }
+
+    const GOOD_CATALOG: &str = "\
+        pub enum Counter { Hits, Misses }\n\
+        impl Counter {\n\
+        \x20   pub const ALL: [Counter; 2] = [Counter::Hits, Counter::Misses];\n\
+        }\n";
+
+    #[test]
+    fn complete_and_referenced_catalog_passes() {
+        let ws = Workspace::from_sources(&[
+            ("telemetry.rs", GOOD_CATALOG),
+            (
+                "user.rs",
+                "fn f() { add(Counter::Hits); add(Counter::Misses); }\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        check(&cfg(), &ws, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn variant_missing_from_all_fires() {
+        let src = "\
+            pub enum Counter { Hits, Misses }\n\
+            impl Counter {\n\
+            \x20   pub const ALL: [Counter; 1] = [Counter::Hits];\n\
+            }\n";
+        let ws = Workspace::from_sources(&[
+            ("telemetry.rs", src),
+            (
+                "user.rs",
+                "fn f() { add(Counter::Hits); add(Counter::Misses); }\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        check(&cfg(), &ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("missing from"));
+    }
+
+    #[test]
+    fn unreferenced_variant_fires() {
+        let ws = Workspace::from_sources(&[
+            ("telemetry.rs", GOOD_CATALOG),
+            ("user.rs", "fn f() { add(Counter::Hits); }\n"),
+        ]);
+        let mut out = Vec::new();
+        check(&cfg(), &ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("never referenced"));
+    }
+
+    #[test]
+    fn non_literal_event_name_fires() {
+        let ws = Workspace::from_sources(&[
+            ("telemetry.rs", GOOD_CATALOG),
+            (
+                "user.rs",
+                "fn f(log: &Log, which: &str) {\n\
+                 \x20   add(Counter::Hits); add(Counter::Misses);\n\
+                 \x20   log.emit(which, &[]);\n\
+                 \x20   log.emit(\"merge\", &[]);\n\
+                 }\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        check(&cfg(), &ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+}

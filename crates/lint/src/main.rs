@@ -1,0 +1,98 @@
+//! CLI driver: `resilience-lint [--deny] [--root <path>]`.
+//!
+//! Prints one machine-readable diagnostic per line
+//! (`path:line: [lint-id] message`) and a summary. Exit code 0 in
+//! advisory mode (default); with `--deny` — the CI mode — any finding
+//! exits 1. I/O or usage errors exit 2.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use resilience_lint::LintConfig;
+
+const USAGE: &str = "\
+usage: resilience-lint [--deny] [--root <path>]
+
+Workspace contract linter: statically enforces the determinism,
+identity, hot-path and error-hygiene invariants.
+
+options:
+  --deny         exit 1 on any finding (CI mode); default is advisory
+  --root <path>  workspace root (default: nearest ancestor with a
+                 [workspace] Cargo.toml)
+  -h, --help     show this help";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("resilience-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("resilience-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("resilience-lint: no [workspace] Cargo.toml found above the current directory (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = LintConfig::workspace(&root);
+    let diags = match resilience_lint::run(&cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("resilience-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    let mode = if deny { "deny" } else { "advisory" };
+    eprintln!(
+        "resilience-lint: {} finding(s) ({mode} mode, root: {})",
+        diags.len(),
+        root.display()
+    );
+    if deny && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Nearest ancestor of the current directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Workspace loading: walk the tree, lex and model every `.rs` file.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::annot::{self, Annotations};
+use crate::config::LintConfig;
+use crate::lexer::{self, Lexed, Tok};
+use crate::model::{self, FileModel};
+
+/// One lexed, modelled source file.
+pub struct SourceFile {
+    /// Path relative to the lint root.
+    pub rel: PathBuf,
+    pub lexed: Lexed,
+    pub model: FileModel,
+    pub anns: Annotations,
+}
+
+impl SourceFile {
+    /// Builds a file straight from source text — the unit-test and
+    /// fixture entry point.
+    pub fn from_source(rel: impl Into<PathBuf>, text: &str) -> Self {
+        let lexed = lexer::lex(text);
+        let model = model::build(&lexed);
+        let anns = annot::parse(&lexed);
+        SourceFile {
+            rel: rel.into(),
+            lexed,
+            model,
+            anns,
+        }
+    }
+
+    /// The identifier at token index `i`, if any.
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.lexed.tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Is token `i` the punct `c`?
+    pub fn punct_at(&self, i: usize, c: char) -> bool {
+        matches!(self.lexed.tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    /// Is `name::` or `Type::name` path punctuation at `i..i+2`?
+    pub fn path_sep_at(&self, i: usize) -> bool {
+        self.punct_at(i, ':') && self.punct_at(i + 1, ':')
+    }
+
+    /// 1-based line of token `i` (0 when out of range — callers only
+    /// ask about tokens they just matched).
+    pub fn line_of(&self, i: usize) -> u32 {
+        self.lexed.tokens.get(i).map(|t| t.line).unwrap_or(0)
+    }
+}
+
+/// Every `.rs` file under the configured root, in sorted order.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    pub fn load(cfg: &LintConfig) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        walk(&cfg.root, &cfg.root, cfg, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for rel in paths {
+            let text = std::fs::read_to_string(cfg.root.join(&rel))?;
+            files.push(SourceFile::from_source(rel, &text));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// In-memory workspace for tests.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(rel, text)| SourceFile::from_source(*rel, text))
+                .collect(),
+        }
+    }
+
+    pub fn file(&self, rel: &Path) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &LintConfig, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == "target" || name.starts_with('.') {
+            continue;
+        }
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        if crate::config::under_any(&rel, &cfg.skip) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

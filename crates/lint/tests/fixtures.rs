@@ -1,0 +1,133 @@
+//! Fixture self-tests: every lint must fire on its known-bad tree at
+//! exactly the marked lines, and nowhere else.
+//!
+//! Expectations live in the fixtures themselves as `//~ ERROR <lint>`
+//! (same line) and `//~^ ERROR <lint>` (line above) markers — see
+//! `fixtures/README.md`. The comparison is bidirectional: a missing
+//! diagnostic and a spurious one both fail.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use resilience_lint::{IdentityMode, IdentityStruct, LintConfig, TelemetryConfig};
+
+type Finding = (String, u32, String);
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Collect `//~ ERROR` / `//~^ ERROR` markers from every `.rs` file
+/// under `root`, keyed by path relative to `root`.
+fn expected_findings(root: &Path) -> BTreeSet<Finding> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read fixture dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path.strip_prefix(root).expect("under root");
+                let src = std::fs::read_to_string(&path).expect("read fixture");
+                for (idx, line) in src.lines().enumerate() {
+                    let lineno = idx as u32 + 1;
+                    if let Some(rest) = line.split("//~^ ERROR ").nth(1) {
+                        let lint = rest.split_whitespace().next().expect("lint id");
+                        out.insert((rel.display().to_string(), lineno - 1, lint.to_string()));
+                    } else if let Some(rest) = line.split("//~ ERROR ").nth(1) {
+                        let lint = rest.split_whitespace().next().expect("lint id");
+                        out.insert((rel.display().to_string(), lineno, lint.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the linter over fixture `name` and compare against its markers.
+fn check_fixture(name: &str, cfg: &LintConfig) {
+    let root = fixture_root(name);
+    let expected = expected_findings(&root);
+    assert!(
+        !expected.is_empty(),
+        "fixture `{name}` has no //~ ERROR markers — nothing to pin"
+    );
+    let found: BTreeSet<Finding> = resilience_lint::run(cfg)
+        .expect("lint run")
+        .into_iter()
+        .map(|d| (d.file.display().to_string(), d.line, d.lint.to_string()))
+        .collect();
+    let missing: Vec<_> = expected.difference(&found).collect();
+    let spurious: Vec<_> = found.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && spurious.is_empty(),
+        "fixture `{name}` mismatch:\n  expected but not reported: {missing:?}\n  \
+         reported but not expected: {spurious:?}"
+    );
+}
+
+#[test]
+fn identity_fixture() {
+    let mut cfg = LintConfig::bare(fixture_root("identity"));
+    cfg.fingerprint_file = Some(PathBuf::from("hash.rs"));
+    cfg.fingerprint_fns = vec!["point_fingerprint".into()];
+    cfg.identity_structs = vec![
+        IdentityStruct {
+            name: "Point".into(),
+            mode: IdentityMode::TokenCoverage,
+        },
+        IdentityStruct {
+            name: "Cfg".into(),
+            mode: IdentityMode::DebugHashed,
+        },
+    ];
+    check_fixture("identity", &cfg);
+}
+
+#[test]
+fn determinism_fixture() {
+    let mut cfg = LintConfig::bare(fixture_root("determinism"));
+    cfg.order_sensitive = vec![PathBuf::from("src")];
+    check_fixture("determinism", &cfg);
+}
+
+#[test]
+fn hot_path_alloc_fixture() {
+    let mut cfg = LintConfig::bare(fixture_root("hot-path-alloc"));
+    cfg.hot_path_roots = vec!["simulate_packet_with".into()];
+    check_fixture("hot-path-alloc", &cfg);
+}
+
+#[test]
+fn hygiene_fixture() {
+    let mut cfg = LintConfig::bare(fixture_root("hygiene"));
+    cfg.hardened = vec![PathBuf::from("src/campaign")];
+    check_fixture("hygiene", &cfg);
+}
+
+#[test]
+fn unsafe_hygiene_fixture() {
+    let mut cfg = LintConfig::bare(fixture_root("unsafe-hygiene"));
+    cfg.forbid_unsafe_crates = vec![PathBuf::from("src/lib.rs")];
+    check_fixture("unsafe-hygiene", &cfg);
+}
+
+#[test]
+fn telemetry_fixture() {
+    let mut cfg = LintConfig::bare(fixture_root("telemetry"));
+    cfg.telemetry = Some(TelemetryConfig {
+        file: PathBuf::from("telemetry.rs"),
+        enums: vec!["Counter".into()],
+    });
+    check_fixture("telemetry", &cfg);
+}
+
+#[test]
+fn annotation_syntax_fixture() {
+    let cfg = LintConfig::bare(fixture_root("annotation-syntax"));
+    check_fixture("annotation-syntax", &cfg);
+}

@@ -1,0 +1,27 @@
+//! The real workspace must be clean under the full contract surface:
+//! this is the same check CI runs via `resilience-lint --deny`, kept as
+//! a test so `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+use resilience_lint::LintConfig;
+
+#[test]
+fn workspace_has_no_contract_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let cfg = LintConfig::workspace(&root);
+    let diags = resilience_lint::run(&cfg).expect("lint run");
+    assert!(
+        diags.is_empty(),
+        "workspace contract violations:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -105,7 +105,11 @@ impl FaultMap {
             "cannot place {n_faults} faults in {cells} cells"
         );
         let mut rng = seeded(seed);
-        // Floyd's algorithm for distinct uniform samples.
+        // Floyd's algorithm for distinct uniform samples. The set only
+        // answers membership queries; the samples are sorted into a Vec
+        // before any further RNG draws, so iteration order never leaks
+        // into the result.
+        // determinism: unordered-ok(membership test only; samples sorted before RNG-coupled mapping)
         let mut chosen = std::collections::HashSet::with_capacity(n_faults);
         let n = cells;
         let k = n_faults as u64;
@@ -114,7 +118,9 @@ impl FaultMap {
             let cell = if chosen.contains(&t) { j } else { t };
             chosen.insert(cell);
         }
-        let mut faults: Vec<Fault> = chosen
+        let mut cells_sorted: Vec<u64> = chosen.into_iter().collect();
+        cells_sorted.sort_unstable();
+        let faults: Vec<Fault> = cells_sorted
             .into_iter()
             .map(|cell| Fault {
                 word: (cell / bits_per_word as u64) as u32,
@@ -122,7 +128,6 @@ impl FaultMap {
                 kind: resolve_kind(kind, &mut rng),
             })
             .collect();
-        faults.sort_by_key(|f| (f.word, f.bit));
         map.faults = faults;
         map.rebuild_masks();
         map
@@ -199,13 +204,18 @@ impl FaultMap {
                 })
                 .collect()
         } else {
+            // Same membership-only Floyd sampling as `random_exact`:
+            // sort the draws before the RNG-coupled kind resolution.
+            // determinism: unordered-ok(membership test only; samples sorted before RNG-coupled mapping)
             let mut chosen = std::collections::HashSet::with_capacity(n_faults);
             for j in cells - n_faults as u64..cells {
                 let t = rng.gen_range(0..=j);
                 let cell = if chosen.contains(&t) { j } else { t };
                 chosen.insert(cell);
             }
-            chosen
+            let mut cells_sorted: Vec<u64> = chosen.into_iter().collect();
+            cells_sorted.sort_unstable();
+            cells_sorted
                 .into_iter()
                 .map(|cell| Fault {
                     word: (cell / span) as u32,

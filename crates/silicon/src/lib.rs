@@ -32,6 +32,8 @@
 //! assert!(y > 0.99);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod area_power;
 pub mod cell;
 pub mod ecc;
